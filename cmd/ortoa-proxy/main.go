@@ -1,0 +1,118 @@
+// Command ortoa-proxy runs the trusted side of an ORTOA deployment:
+// it holds the secret keys (and, for LBL, the per-key access
+// counters), connects to the untrusted ortoa-server, and serves
+// oblivious accesses to end-user clients (§2.1's proxy model).
+//
+// Usage:
+//
+//	ortoa-proxy -server localhost:7001 -listen :7002 \
+//	    -protocol lbl -value-size 160 -keys keys.json \
+//	    -load-synthetic 10000
+//
+// Keys are created on first run and reused afterwards.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ortoa"
+	"ortoa/internal/workload"
+)
+
+func main() {
+	log.SetPrefix("ortoa-proxy: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	serverAddr := flag.String("server", "localhost:7001", "ortoa-server address")
+	listen := flag.String("listen", ":7002", "address to serve clients on")
+	protocol := flag.String("protocol", "lbl", "protocol: lbl, tee, fhe, or 2rtt")
+	valueSize := flag.Int("value-size", 160, "fixed value size in bytes")
+	keysPath := flag.String("keys", "ortoa-keys.json", "keys file (created if missing)")
+	variant := flag.String("lbl-variant", "point-permute", "LBL variant: basic, space-opt, point-permute")
+	conns := flag.Int("conns", 32, "connection pool size to the server")
+	loadSynthetic := flag.Int("load-synthetic", 0, "bulk-load N synthetic records at startup")
+	statePath := flag.String("state", "", "LBL access-counter state file (restored at startup, saved on SIGINT)")
+	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
+	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
+	flag.Parse()
+
+	keys, err := ortoa.LoadOrGenerateKeys(*keysPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := ortoa.NewClient(ortoa.ClientConfig{
+		Protocol:   ortoa.Protocol(*protocol),
+		ValueSize:  *valueSize,
+		Keys:       keys,
+		LBLVariant: ortoa.LBLVariant(*variant),
+		Conns:      *conns,
+		FHE:        ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
+	}, func() (net.Conn, error) { return net.Dial("tcp", *serverAddr) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if ortoa.Protocol(*protocol) == ortoa.ProtocolTEE {
+		if err := client.Provision(); err != nil {
+			log.Fatalf("attesting server enclave: %v", err)
+		}
+		log.Print("enclave attested and provisioned")
+	}
+	if ortoa.Protocol(*protocol) == ortoa.ProtocolFHE && len(keys.FHESecretKey) == 0 {
+		keys.FHESecretKey = client.FHESecretKey()
+		if err := keys.Save(*keysPath); err != nil {
+			log.Fatalf("persisting FHE secret key: %v", err)
+		}
+	}
+
+	if *statePath != "" {
+		if _, err := os.Stat(*statePath); err == nil {
+			if err := client.LoadState(*statePath); err != nil {
+				log.Fatalf("restoring counter state: %v", err)
+			}
+			log.Printf("restored LBL counters from %s", *statePath)
+		}
+	}
+
+	if *loadSynthetic > 0 {
+		data := workload.InitialData(workload.Config{
+			NumKeys: *loadSynthetic, ValueSize: *valueSize, Seed: 1,
+		})
+		if err := client.Load(data); err != nil {
+			log.Fatalf("bulk load: %v", err)
+		}
+		log.Printf("loaded %d synthetic records (keys key-00000000..key-%08d)", *loadSynthetic, *loadSynthetic-1)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("proxying protocol=%s server=%s on %s", *protocol, *serverAddr, l.Addr())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		if *statePath != "" {
+			if err := client.SaveState(*statePath); err != nil {
+				log.Printf("saving counter state: %v", err)
+			} else {
+				log.Printf("saved LBL counters to %s", *statePath)
+			}
+		}
+		l.Close()
+		os.Exit(0)
+	}()
+
+	if err := client.ServeProxy(l); err != nil {
+		log.Printf("proxy stopped: %v", err)
+	}
+}

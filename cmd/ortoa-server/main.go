@@ -1,0 +1,109 @@
+// Command ortoa-server runs the untrusted ORTOA storage server: the
+// record store plus the access handlers of one protocol. It learns
+// neither plaintext values nor operation types.
+//
+// Usage:
+//
+//	ortoa-server -listen :7001 -protocol lbl -value-size 160
+//
+// With -snapshot, the store is restored at startup (if the file
+// exists) and saved on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ortoa"
+)
+
+func main() {
+	log.SetPrefix("ortoa-server: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	listen := flag.String("listen", ":7001", "address to listen on")
+	protocol := flag.String("protocol", "lbl", "protocol: lbl, tee, fhe, or 2rtt")
+	valueSize := flag.Int("value-size", 160, "fixed value size in bytes")
+	snapshot := flag.String("snapshot", "", "snapshot file to restore/save the store")
+	walPath := flag.String("wal", "", "write-ahead log for crash durability (replayed at startup)")
+	walSyncEvery := flag.Duration("wal-sync", 2*time.Second, "WAL fsync interval")
+	enclaveCost := flag.Duration("enclave-cost", 0, "simulated per-ecall enclave transition cost (tee)")
+	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
+	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
+	flag.Parse()
+
+	server, err := ortoa.NewServer(ortoa.ServerConfig{
+		Protocol:          ortoa.Protocol(*protocol),
+		ValueSize:         *valueSize,
+		EnclaveTransition: *enclaveCost,
+		FHE:               ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			if err := server.LoadSnapshot(*snapshot); err != nil {
+				log.Fatalf("restoring snapshot: %v", err)
+			}
+			log.Printf("restored %d records from %s", server.Records(), *snapshot)
+		}
+	}
+	if *walPath != "" {
+		if err := server.AttachWAL(*walPath); err != nil {
+			log.Fatalf("attaching WAL: %v", err)
+		}
+		log.Printf("WAL attached at %s (%d records after replay)", *walPath, server.Records())
+		go func() {
+			for range time.Tick(*walSyncEvery) {
+				if err := server.SyncWAL(); err != nil {
+					log.Printf("WAL sync: %v", err)
+				}
+			}
+		}()
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving protocol=%s value-size=%d on %s", *protocol, *valueSize, l.Addr())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		if *snapshot != "" {
+			if err := server.SaveSnapshot(*snapshot); err != nil {
+				log.Printf("saving snapshot: %v", err)
+			} else {
+				log.Printf("saved %d records to %s", server.Records(), *snapshot)
+			}
+		}
+		if *walPath != "" {
+			if err := server.DetachWAL(); err != nil {
+				log.Printf("closing WAL: %v", err)
+			}
+		}
+		server.Close()
+		l.Close()
+	}()
+
+	// Periodic stats for operators.
+	go func() {
+		for range time.Tick(30 * time.Second) {
+			fmt.Printf("records=%d storage=%dB\n", server.Records(), server.StorageBytes())
+		}
+	}()
+
+	if err := server.Serve(l); err != nil {
+		log.Printf("server stopped: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package ortoa_test
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"ortoa"
+	"ortoa/internal/netsim"
+)
+
+// Example shows the minimal ORTOA deployment: an untrusted server, a
+// trusted client, one oblivious read and one oblivious write.
+func Example() {
+	server, err := ortoa.NewServer(ortoa.ServerConfig{
+		Protocol:  ortoa.ProtocolLBL,
+		ValueSize: 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	link := netsim.Listen(netsim.Loopback)
+	go server.Serve(link)
+
+	client, err := ortoa.NewClient(ortoa.ClientConfig{
+		Protocol:  ortoa.ProtocolLBL,
+		ValueSize: 16,
+		Keys:      ortoa.GenerateKeys(),
+	}, func() (net.Conn, error) { return link.Dial() })
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Load(map[string][]byte{"greeting": []byte("hello")}); err != nil {
+		log.Fatal(err)
+	}
+	v, err := client.Read("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", v[:5])
+	if err := client.Write("greeting", []byte("goodbye")); err != nil {
+		log.Fatal(err)
+	}
+	v, _ = client.Read("greeting")
+	fmt.Printf("%s\n", v[:7])
+	// Output:
+	// hello
+	// goodbye
+}
+
+// ExampleRecommend applies the paper's §6.3.2 rule to two deployments.
+func ExampleRecommend() {
+	// GDPR scenario: EU-resident server, 300-byte records.
+	eu, _ := ortoa.Recommend(ortoa.Deployment{
+		RTT:       148 * time.Millisecond,
+		Bandwidth: 12 << 20,
+		ValueSize: 300,
+	})
+	fmt.Println(eu.Protocol)
+
+	// Nearby server, large media objects.
+	near, _ := ortoa.Recommend(ortoa.Deployment{
+		RTT:       5 * time.Millisecond,
+		Bandwidth: 12 << 20,
+		ValueSize: 8192,
+	})
+	fmt.Println(near.Protocol)
+	// Output:
+	// lbl
+	// 2rtt
+}
+
+// ExampleClient_ReadRange reads consecutive primary keys through the
+// trusted-side key directory (§8.2 direction).
+func ExampleClient_ReadRange() {
+	server, _ := ortoa.NewServer(ortoa.ServerConfig{Protocol: ortoa.ProtocolLBL, ValueSize: 8})
+	defer server.Close()
+	link := netsim.Listen(netsim.Loopback)
+	go server.Serve(link)
+	client, _ := ortoa.NewClient(ortoa.ClientConfig{
+		Protocol: ortoa.ProtocolLBL, ValueSize: 8, Keys: ortoa.GenerateKeys(),
+	}, func() (net.Conn, error) { return link.Dial() })
+	defer client.Close()
+
+	client.Load(map[string][]byte{
+		"user-01": []byte("alice"),
+		"user-02": []byte("bob"),
+		"user-03": []byte("carol"),
+	})
+	pairs, _ := client.ReadRange("user-02", 2)
+	for _, p := range pairs {
+		fmt.Println(p.Key)
+	}
+	// Output:
+	// user-02
+	// user-03
+}

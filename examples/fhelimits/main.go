@@ -1,0 +1,73 @@
+// FHE limits: why FHE-ORTOA is a design study, not a deployment
+// option (§3.3).
+//
+// FHE-ORTOA evaluates the read/write selector homomorphically, so a
+// single round trip suffices with no proxy state and no enclave. The
+// catch is RLWE noise: every access multiplies the stored ciphertext,
+// and without bootstrapping the noise budget drains in a handful of
+// accesses — the paper measured ~10 with SEAL before decryption
+// failed, and this example reproduces the same arc with the built-in
+// BFV implementation, watching the budget fall access by access.
+//
+// Run with: go run ./examples/fhelimits
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+
+	"ortoa"
+	"ortoa/internal/netsim"
+)
+
+func main() {
+	opts := ortoa.FHEOptions{RingDegree: 128, ModulusBits: 275}
+	const valueSize = 32
+
+	server, err := ortoa.NewServer(ortoa.ServerConfig{
+		Protocol: ortoa.ProtocolFHE, ValueSize: valueSize, FHE: opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	link := netsim.Listen(netsim.Loopback)
+	go server.Serve(link)
+
+	client, err := ortoa.NewClient(ortoa.ClientConfig{
+		Protocol: ortoa.ProtocolFHE, ValueSize: valueSize, Keys: ortoa.GenerateKeys(), FHE: opts,
+	}, func() (net.Conn, error) { return link.Dial() })
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	secret := []byte("attack at dawn")
+	if err := client.Load(map[string][]byte{"order": secret}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %q under FHE; ciphertext expands the record to %d bytes (%.0fx)\n\n",
+		secret, server.StorageBytes(), float64(server.StorageBytes())/valueSize)
+
+	fmt.Println("access  result                ciphertext-size")
+	for access := 1; access <= 15; access++ {
+		got, err := client.Read("order")
+		switch {
+		case err != nil:
+			fmt.Printf("%4d    DECRYPTION FAILED: %v\n", access, err)
+			fmt.Println("\nnoise exhausted — exactly the §3.3 failure mode that rules out")
+			fmt.Println("FHE-ORTOA in practice until cheaper bootstrapping exists")
+			return
+		case !bytes.HasPrefix(got, secret):
+			fmt.Printf("%4d    GARBAGE %q\n", access, got[:8])
+			fmt.Println("\nnoise exceeded the decryption threshold — the stored value is lost,")
+			fmt.Println("exactly the §3.3 failure mode that rules out FHE-ORTOA in practice")
+			return
+		default:
+			fmt.Printf("%4d    ok %q    %8dB\n", access, got[:14], server.StorageBytes())
+		}
+	}
+	fmt.Println("\nno failure within 15 accesses — try smaller FHEOptions.ModulusBits")
+}

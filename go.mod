@@ -1,0 +1,3 @@
+module ortoa
+
+go 1.22

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/kvstore"
+	"ortoa/internal/netsim"
+	"ortoa/internal/transport"
+)
+
+// BenchmarkLBLBuildRequest isolates the proxy's table construction
+// (steps 1.1–1.5 of §5.2) — the "p" term of the §6.3.2 decision rule.
+func BenchmarkLBLBuildRequest(b *testing.B) {
+	for _, mode := range allLBLModes() {
+		for _, size := range []int{10, 160, 600} {
+			b.Run(fmt.Sprintf("%v/%dB", mode, size), func(b *testing.B) {
+				proxy, err := NewLBLProxy(LBLConfig{ValueSize: size, Mode: mode}, prf.NewRandom(), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				value := make([]byte, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := proxy.buildRequest(OpWrite, "k", value, uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLBLServerDecrypt isolates the server's per-access work: the
+// decrypt-and-install pass over the encryption table (step 2 of §5.2).
+func BenchmarkLBLServerDecrypt(b *testing.B) {
+	for _, mode := range allLBLModes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			r, proxy, _ := newBenchLBL(b, mode, 160)
+			// Pre-build b.N requests at successive counters so the
+			// timed loop is server-side only... a request can only be
+			// applied once, so measure full round trips minus a
+			// precomputed build cost instead: here we simply measure
+			// the full access as a proxy for server work under
+			// loopback (network-free).
+			for i := 0; i < b.N; i++ {
+				if _, _, err := proxy.Access(OpRead, "bench", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = r
+		})
+	}
+}
+
+func newBenchLBL(b *testing.B, mode LBLMode, valueSize int) (*rig, *LBLProxy, *LBLServer) {
+	b.Helper()
+	r := &rig{store: kvstore.New(), server: transport.NewServer()}
+	l := netsim.Listen(netsim.Loopback)
+	go r.server.Serve(l)
+	b.Cleanup(func() { r.server.Close() })
+	c, err := transport.Dial(l.Dial, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	r.client = c
+
+	srv := NewLBLServer(r.store)
+	srv.Register(r.server)
+	proxy, err := NewLBLProxy(LBLConfig{ValueSize: valueSize, Mode: mode}, prf.NewRandom(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ek, rec, err := proxy.BuildRecord("bench", make([]byte, valueSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.store.Put(ek, rec)
+	return r, proxy, srv
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// A counterTable is the proxy's only persistent state for LBL-ORTOA:
+// the per-key access counter (§5.3.1 — 8 bytes per key, ~8 MB for 1M
+// objects). It also provides the per-key mutual exclusion LBL-ORTOA
+// needs: two concurrent accesses to one key must not build tables from
+// the same counter value, or the second would target labels the first
+// already replaced.
+type counterTable struct {
+	shards [64]counterShard
+}
+
+type counterShard struct {
+	mu      sync.Mutex
+	entries map[string]*counterEntry
+}
+
+type counterEntry struct {
+	mu sync.Mutex
+	ct uint64
+}
+
+func newCounterTable() *counterTable {
+	t := &counterTable{}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[string]*counterEntry)
+	}
+	return t
+}
+
+func (t *counterTable) shardFor(key string) *counterShard {
+	// FNV-1a, inlined to avoid an allocation per access.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &t.shards[h%64]
+}
+
+// acquire locks key's counter and returns its entry. The caller must
+// call entry.mu.Unlock when the access completes.
+func (t *counterTable) acquire(key string) *counterEntry {
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		e = &counterEntry{}
+		sh.entries[key] = e
+	}
+	sh.mu.Unlock()
+	e.mu.Lock()
+	return e
+}
+
+// Len returns the number of tracked keys.
+func (t *counterTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += len(t.shards[i].entries)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// counterMagic heads the counter snapshot format.
+var counterMagic = [8]byte{'O', 'R', 'T', 'O', 'A', 'C', 'T', '1'}
+
+// save serializes all counters. The proxy's counters are the only
+// state LBL-ORTOA cannot regenerate (§5.3.1): losing them desynchronizes
+// the label schedule from the server's records, so deployments persist
+// them across proxy restarts.
+//
+// Snapshotting concurrent with in-flight accesses captures each
+// counter either before or after its access — safe only if the server
+// saw no later access; quiesce the proxy before saving, as ortoa-proxy
+// does on shutdown.
+func (t *counterTable) save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(counterMagic[:]); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(t.Len()))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	written := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			var lenBuf [binary.MaxVarintLen64]byte
+			n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
+			if _, err := bw.Write(lenBuf[:n]); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			if _, err := bw.WriteString(key); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			e.mu.Lock()
+			ct := e.ct
+			e.mu.Unlock()
+			binary.LittleEndian.PutUint64(cnt[:], ct)
+			if _, err := bw.Write(cnt[:]); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			written++
+		}
+		sh.mu.Unlock()
+	}
+	if got := t.Len(); got != written {
+		return fmt.Errorf("core: counters mutated during save (%d vs %d)", written, got)
+	}
+	return bw.Flush()
+}
+
+// load restores counters saved with save, replacing current entries
+// for the same keys.
+func (t *counterTable) load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("core: reading counter magic: %w", err)
+	}
+	if magic != counterMagic {
+		return fmt.Errorf("core: bad counter snapshot magic %q", magic[:])
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint64(buf[:])
+	for i := uint64(0); i < n; i++ {
+		klen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("core: counter entry %d: %w", i, err)
+		}
+		if klen > 1<<20 {
+			return fmt.Errorf("core: counter key length %d implausible", klen)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return fmt.Errorf("core: counter entry %d key: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("core: counter entry %d value: %w", i, err)
+		}
+		e := t.acquire(string(key))
+		e.ct = binary.LittleEndian.Uint64(buf[:])
+		e.mu.Unlock()
+	}
+	return nil
+}

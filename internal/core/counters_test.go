@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterAcquireCreatesAtZero(t *testing.T) {
+	tbl := newCounterTable()
+	e := tbl.acquire("k")
+	if e.ct != 0 {
+		t.Errorf("fresh counter = %d", e.ct)
+	}
+	e.ct = 5
+	e.mu.Unlock()
+	e = tbl.acquire("k")
+	if e.ct != 5 {
+		t.Errorf("counter lost: %d", e.ct)
+	}
+	e.mu.Unlock()
+}
+
+func TestCounterMutualExclusion(t *testing.T) {
+	tbl := newCounterTable()
+	const workers = 16
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				e := tbl.acquire("hot")
+				e.ct++
+				e.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	e := tbl.acquire("hot")
+	defer e.mu.Unlock()
+	if e.ct != workers*rounds {
+		t.Errorf("counter = %d, want %d (lost increments)", e.ct, workers*rounds)
+	}
+}
+
+func TestCounterSaveLoadRoundTrip(t *testing.T) {
+	tbl := newCounterTable()
+	want := map[string]uint64{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		e := tbl.acquire(key)
+		e.ct = uint64(i * 7)
+		e.mu.Unlock()
+		want[key] = uint64(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := tbl.save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newCounterTable()
+	if err := restored.load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != len(want) {
+		t.Fatalf("restored %d keys, want %d", restored.Len(), len(want))
+	}
+	for key, ct := range want {
+		e := restored.acquire(key)
+		if e.ct != ct {
+			t.Errorf("restored[%q] = %d, want %d", key, e.ct, ct)
+		}
+		e.mu.Unlock()
+	}
+}
+
+func TestCounterLoadBadMagic(t *testing.T) {
+	tbl := newCounterTable()
+	if err := tbl.load(bytes.NewReader([]byte("GARBAGE--PADDING"))); err == nil {
+		t.Error("load accepted bad magic")
+	}
+}
+
+func TestCounterLoadTruncated(t *testing.T) {
+	tbl := newCounterTable()
+	e := tbl.acquire("k")
+	e.ct = 9
+	e.mu.Unlock()
+	var buf bytes.Buffer
+	if err := tbl.save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if err := newCounterTable().load(bytes.NewReader(trunc)); err == nil {
+		t.Error("load accepted truncated snapshot")
+	}
+}
+
+func TestCounterSaveEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := newCounterTable().save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newCounterTable()
+	if err := restored.load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Errorf("restored empty table has %d keys", restored.Len())
+	}
+}
+
+// TestLBLCountersSurviveProxySwap exercises the protocol-level
+// round-trip: proxy A advances counters, proxy B (same PRF key)
+// restores them and continues against the same server.
+func TestLBLCountersSurviveProxySwap(t *testing.T) {
+	r, proxyA, _ := newLBL(t, LBLPointPermute, 4)
+	loadData(t, r, proxyA, map[string][]byte{"k": {1, 2, 3, 4}})
+	for i := 0; i < 4; i++ {
+		if _, _, err := proxyA.Access(OpRead, "k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var state bytes.Buffer
+	if err := proxyA.SaveCounters(&state); err != nil {
+		t.Fatal(err)
+	}
+
+	proxyB, err := NewLBLProxy(proxyA.Config(), proxyA.prf, r.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxyB.LoadCounters(&state); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := proxyB.Access(OpRead, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("read after counter transfer = %v", got)
+	}
+}

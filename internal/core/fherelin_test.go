@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/fhe"
+)
+
+func newFHERelin(t *testing.T) (*rig, *FHEClient) {
+	t.Helper()
+	r := newRig(t)
+	params, err := fhe.NewParameters(64, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FHEConfig{Params: params, ValueSize: 8, RelinBaseBits: 20}
+	NewFHEServer(r.store, cfg).Register(r.server)
+	client, err := NewFHEClient(cfg, prf.NewRandom(), r.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ProvisionRelinKey(); err != nil {
+		t.Fatal(err)
+	}
+	return r, client
+}
+
+func TestFHERelinReadWrite(t *testing.T) {
+	r, client := newFHERelin(t)
+	loadData(t, r, client, map[string][]byte{"k": {1, 2, 3, 4, 5, 6, 7, 8}})
+	got, _, err := client.Access(OpRead, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Errorf("read = %v", got)
+	}
+	want := []byte{9, 8, 7, 6, 5, 4, 3, 2}
+	if _, _, err := client.Access(OpWrite, "k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = client.Access(OpRead, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read after write = %v", got)
+	}
+}
+
+func TestFHERelinConstantCiphertextSize(t *testing.T) {
+	// The point of relinearization: stored records stop growing.
+	r, client := newFHERelin(t)
+	loadData(t, r, client, map[string][]byte{"k": {1, 1, 1, 1, 1, 1, 1, 1}})
+	ek := keyOf(t, r.store)
+	var sizes []int
+	for i := 0; i < 3; i++ {
+		if _, _, err := client.Access(OpRead, "k", nil); err != nil {
+			t.Fatal(err)
+		}
+		rec, _ := r.store.Get(ek)
+		sizes = append(sizes, len(rec))
+		ct, err := fhe.UnmarshalCiphertext(client.cfg.Params, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct.Degree() != 1 {
+			t.Fatalf("access %d: stored degree = %d, want 1", i+1, ct.Degree())
+		}
+	}
+	if sizes[0] != sizes[1] || sizes[1] != sizes[2] {
+		t.Errorf("record sizes grew despite relinearization: %v", sizes)
+	}
+}
+
+func TestFHERelinRejectsGarbageKey(t *testing.T) {
+	r, _ := newFHERelin(t)
+	if _, err := r.client.Call(MsgFHESetRelin, []byte("garbage")); err == nil {
+		t.Error("server accepted a garbage relin key")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/kvstore"
+)
+
+// The server-side handlers parse payloads from an untrusted network.
+// Arbitrary bytes must produce errors, never panics or state
+// corruption.
+
+func seededLBLStore(f *testing.F) (*LBLServer, []byte) {
+	f.Helper()
+	store := kvstore.New()
+	srv := NewLBLServer(store)
+	proxy, err := NewLBLProxy(LBLConfig{ValueSize: 4, Mode: LBLPointPermute}, prf.NewRandom(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ek, rec, err := proxy.BuildRecord("k", []byte{1, 2, 3, 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	store.Put(ek, rec)
+	// A well-formed request as fuzz seed.
+	req, err := proxy.buildRequest(OpRead, "k", nil, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return srv, req
+}
+
+func FuzzLBLServerPayload(f *testing.F) {
+	srv, seed := seededLBLStore(f)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 17))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// Errors are expected; panics are bugs.
+		srv.handleAccess(payload) //nolint:errcheck
+	})
+}
+
+func FuzzTEEServerPayload(f *testing.F) {
+	store := kvstore.New()
+	srv, err := NewTEEServer(store, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	store.Put("0123456789abcdef", []byte("sealed-record"))
+	f.Add([]byte("0123456789abcdef\x05aaaaa\x05bbbbb"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		srv.handleAccess(payload) //nolint:errcheck
+	})
+}
+
+func FuzzLoaderPayload(f *testing.F) {
+	store := kvstore.New()
+	f.Add([]byte{1, 1, 'k', 1, 'v'})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		// Reconstruct the loader handler logic through a server the
+		// same way RegisterLoader does, via a direct call.
+		handler := loaderHandler(store)
+		handler(payload) //nolint:errcheck
+	})
+}
+
+func FuzzLBLRecordParse(f *testing.F) {
+	f.Add([]byte{byte(LBLPointPermute)}, uint16(4))
+	f.Add([]byte{}, uint16(1))
+	f.Fuzz(func(t *testing.T, raw []byte, groups uint16) {
+		g := int(groups)%64 + 1
+		parseLBLRecord(raw, LBLPointPermute, g) //nolint:errcheck
+		parseLBLRecord(raw, LBLBasic, g)        //nolint:errcheck
+		parseLBLRecord(raw, LBLWide, g)         //nolint:errcheck
+	})
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/transport"
+	"ortoa/internal/wire"
+)
+
+// LBLMode selects the LBL-ORTOA variant.
+type LBLMode uint8
+
+const (
+	// LBLBasic is the §5.2 protocol: one label per plaintext bit
+	// (y=1), entries shuffled, server try-decrypts both.
+	LBLBasic LBLMode = iota
+	// LBLSpaceOpt is the §10.1 space optimization: one label per two
+	// bits (y=2), halving server storage; the server try-decrypts up
+	// to four entries per group.
+	LBLSpaceOpt
+	// LBLPointPermute adds the §10.2 point-and-permute optimization
+	// to y=2: the server stores two decryption bits per group and
+	// decrypts exactly one entry. This is the configuration the
+	// paper's cost analysis assumes (§6.3.3).
+	LBLPointPermute
+	// LBLWide generalizes the space optimization to y=4 (one label
+	// per four plaintext bits, 2^4 = 16 shuffled entries per group).
+	// Appendix §10.1 analyzes this point: storage shrinks to ℓ/4
+	// labels but communication doubles relative to y=2, which is why
+	// the paper settles on y=2. Implemented so the Fig 6 trade-off can
+	// be measured rather than only computed.
+	LBLWide
+	// LBLWidePointPermute is y=4 with point-and-permute decryption
+	// bits (four per group).
+	LBLWidePointPermute
+)
+
+// String names the mode for experiment labels.
+func (m LBLMode) String() string {
+	switch m {
+	case LBLBasic:
+		return "basic(y=1)"
+	case LBLSpaceOpt:
+		return "spaceopt(y=2)"
+	case LBLPointPermute:
+		return "point-permute(y=2)"
+	case LBLWide:
+		return "wide(y=4)"
+	case LBLWidePointPermute:
+		return "wide-point-permute(y=4)"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Y returns how many plaintext bits one label represents.
+func (m LBLMode) Y() int {
+	switch m {
+	case LBLBasic:
+		return 1
+	case LBLWide, LBLWidePointPermute:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// entries returns the encryption-table entries per group (2^y).
+func (m LBLMode) entries() int { return 1 << m.Y() }
+
+// hasDbits reports whether records carry decryption bits.
+func (m LBLMode) hasDbits() bool {
+	return m == LBLPointPermute || m == LBLWidePointPermute
+}
+
+// entryPlainLen is the plaintext length of one table entry: the new
+// label, plus the next decryption bits under point-and-permute.
+func (m LBLMode) entryPlainLen() int {
+	if m.hasDbits() {
+		return prf.Size + 1
+	}
+	return prf.Size
+}
+
+// entryLen is the sealed length of one table entry.
+func (m LBLMode) entryLen() int { return m.entryPlainLen() + secretbox.LabelOverhead }
+
+// LBLConfig fixes the parameters shared by an LBL proxy and the
+// records it creates.
+type LBLConfig struct {
+	// ValueSize is the fixed plaintext value length in bytes (ℓ/8).
+	ValueSize int
+	// Mode selects the protocol variant.
+	Mode LBLMode
+}
+
+// Groups returns the number of label groups per value (ℓ/y).
+func (c LBLConfig) Groups() int { return c.ValueSize * 8 / c.Mode.Y() }
+
+// ServerBytesPerValue returns the server-side record size, the
+// quantity §5.3.1 and the Fig 6 storage factor analysis price.
+func (c LBLConfig) ServerBytesPerValue() int {
+	n := 1 + c.Groups()*prf.Size
+	if c.Mode.hasDbits() {
+		n += c.Groups()
+	}
+	return n
+}
+
+// RequestBytesPerAccess returns the exact access payload size
+// (§5.3.2: 2^y · E_len · ℓ/y table entries plus framing).
+func (c LBLConfig) RequestBytesPerAccess() int {
+	return prf.Size + 1 +
+		wire.UvarintLen(uint64(c.Groups())) +
+		wire.UvarintLen(uint64(c.Mode.entryLen())) +
+		c.Groups()*c.Mode.entries()*c.Mode.entryLen()
+}
+
+func (c LBLConfig) validate() error {
+	if c.ValueSize <= 0 {
+		return fmt.Errorf("core: LBL value size %d must be positive", c.ValueSize)
+	}
+	if c.Mode > LBLWidePointPermute {
+		return fmt.Errorf("core: unknown LBL mode %d", c.Mode)
+	}
+	return nil
+}
+
+// groupBits extracts the y-bit group g from value (little-endian bit
+// order within each byte; y ∈ {1, 2, 4} always divides 8, so a group
+// never straddles a byte boundary).
+func groupBits(value []byte, g, y int) uint8 {
+	bit := g * y
+	mask := uint8(1)<<y - 1
+	return (value[bit/8] >> (uint(bit) % 8)) & mask
+}
+
+// setGroupBits writes the y-bit group g of value.
+func setGroupBits(value []byte, g, y int, bits uint8) {
+	pos := g * y
+	mask := uint8(1)<<y - 1
+	value[pos/8] |= (bits & mask) << (uint(pos) % 8)
+}
+
+// An LBLProxy is the trusted, stateful side of LBL-ORTOA. It holds the
+// PRF master secret and the per-key access counters, and talks to the
+// untrusted server over client.
+type LBLProxy struct {
+	cfg      LBLConfig
+	prf      *prf.PRF
+	counters *counterTable
+	client   *transport.Client
+}
+
+// NewLBLProxy returns a proxy using f as its PRF and client to reach
+// the server. client may be nil for offline uses (BuildRecord only).
+func NewLBLProxy(cfg LBLConfig, f *prf.PRF, client *transport.Client) (*LBLProxy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &LBLProxy{cfg: cfg, prf: f, counters: newCounterTable(), client: client}, nil
+}
+
+// Config returns the proxy's configuration.
+func (p *LBLProxy) Config() LBLConfig { return p.cfg }
+
+// CounterKeys returns the number of keys with tracked access counters
+// — the proxy state whose size §5.3.1 analyzes.
+func (p *LBLProxy) CounterKeys() int { return p.counters.Len() }
+
+// SaveCounters persists the access-counter table — the one piece of
+// proxy state LBL-ORTOA cannot regenerate. Quiesce accesses first.
+func (p *LBLProxy) SaveCounters(w io.Writer) error { return p.counters.save(w) }
+
+// LoadCounters restores a SaveCounters snapshot, merging over current
+// entries. A proxy restarted without its counters will fail its first
+// access per key with a server-side decryption error rather than
+// corrupt data.
+func (p *LBLProxy) LoadCounters(r io.Reader) error { return p.counters.load(r) }
+
+// BuildRecord encodes the initial record for (key, value) at access
+// counter 0, to be bulk-loaded into the server's store (the Init
+// procedure of Figure 1). value must be exactly ValueSize bytes.
+func (p *LBLProxy) BuildRecord(key string, value []byte) (encKey string, record []byte, err error) {
+	if len(value) != p.cfg.ValueSize {
+		return "", nil, ErrValueSize
+	}
+	y := p.cfg.Mode.Y()
+	groups := p.cfg.Groups()
+	gen := p.prf.LabelGen(key)
+	rec := make([]byte, 0, p.cfg.ServerBytesPerValue())
+	rec = append(rec, byte(p.cfg.Mode))
+	for g := 0; g < groups; g++ {
+		bits := groupBits(value, g, y)
+		label := gen.Label(g, bits, 0)
+		rec = append(rec, label[:]...)
+	}
+	if p.cfg.Mode.hasDbits() {
+		mask := uint8(p.cfg.Mode.entries() - 1)
+		for g := 0; g < groups; g++ {
+			bits := groupBits(value, g, y)
+			r := gen.PermuteBits(g, 0) & mask
+			rec = append(rec, bits^r)
+		}
+	}
+	ek := p.prf.EncodeKey(key)
+	return string(ek[:]), rec, nil
+}
+
+// Access performs one oblivious access (§5.2). For reads, newValue is
+// ignored and the stored value is returned. For writes, newValue
+// (exactly ValueSize bytes) replaces the stored value; the returned
+// slice echoes the written value.
+func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
+	var stats AccessStats
+	if op == OpWrite && len(newValue) != p.cfg.ValueSize {
+		return nil, stats, ErrValueSize
+	}
+	if p.client == nil {
+		return nil, stats, fmt.Errorf("core: LBL proxy has no server connection")
+	}
+
+	// Per-key serialization: the label schedule is counter-indexed,
+	// so a key's accesses must not interleave (see counterTable).
+	entry := p.counters.acquire(key)
+	defer entry.mu.Unlock()
+
+	req, err := p.buildRequest(op, key, newValue, entry.ct)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.PrepBytes = len(req)
+
+	resp, err := p.client.Call(MsgLBLAccess, req)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.RespBytes = len(resp)
+
+	value, err := p.recover(op, key, newValue, entry.ct+1, resp)
+	if err != nil {
+		return nil, stats, err
+	}
+	entry.ct++ // commit the counter only after a successful round
+	return value, stats, nil
+}
+
+// buildRequest constructs the encryption table for key at counter ct
+// (steps 1.1–1.5 of §5.2).
+func (p *LBLProxy) buildRequest(op Op, key string, newValue []byte, ct uint64) ([]byte, error) {
+	cfg := p.cfg
+	y := cfg.Mode.Y()
+	groups := cfg.Groups()
+	nEntries := cfg.Mode.entries()
+	entryLen := cfg.Mode.entryLen()
+
+	gen := p.prf.LabelGen(key)
+	w := wire.NewWriter(cfg.RequestBytesPerAccess())
+	ek := p.prf.EncodeKey(key)
+	w.Raw(ek[:])
+	w.Byte(byte(cfg.Mode))
+	w.Uvarint(uint64(groups))
+	w.Uvarint(uint64(entryLen))
+
+	var olds, news [16]prf.Output
+	var plain [prf.Size + 1]byte
+	// Scratch buffers for the shuffled variants: one per entry slot,
+	// reused across groups, so sealing allocates nothing per group.
+	var scratch [16][]byte
+	for i := range scratch[:nEntries] {
+		scratch[i] = make([]byte, 0, entryLen)
+	}
+	var sealErr error
+	// One closure for every table entry: sealKey/plain are set before
+	// each Append call, avoiding a closure allocation per entry.
+	var sealKey []byte
+	appendEntry := func(dst []byte) []byte {
+		dst, sealErr = secretbox.AppendSealLabel(dst, sealKey, plain[:])
+		return dst
+	}
+	for g := 0; g < groups; g++ {
+		for b := 0; b < nEntries; b++ {
+			olds[b] = gen.Label(g, uint8(b), ct)
+			news[b] = gen.Label(g, uint8(b), ct+1)
+		}
+		var newBits uint8
+		if op == OpWrite {
+			newBits = groupBits(newValue, g, y)
+		}
+
+		if cfg.Mode.hasDbits() {
+			// Point-and-permute: entry e is keyed by old label
+			// ol_{e⊕r}; its plaintext carries the new label and the
+			// next decryption bits, linked through r' (§10.2).
+			mask := uint8(nEntries - 1)
+			r := gen.PermuteBits(g, ct) & mask
+			rNew := gen.PermuteBits(g, ct+1) & mask
+			for e := 0; e < nEntries; e++ {
+				b := uint8(e) ^ r
+				target := b
+				if op == OpWrite {
+					target = newBits
+				}
+				copy(plain[:prf.Size], news[target][:])
+				plain[prf.Size] = target ^ rNew
+				sealKey = olds[b][:]
+				w.Append(appendEntry)
+				if sealErr != nil {
+					return nil, sealErr
+				}
+			}
+			continue
+		}
+
+		// Basic / space-optimized: seal per bit value, then shuffle
+		// pairwise so position leaks nothing (step 1.5).
+		for b := 0; b < nEntries; b++ {
+			target := uint8(b)
+			if op == OpWrite {
+				target = newBits
+			}
+			scratch[b], sealErr = secretbox.AppendSealLabel(scratch[b][:0], olds[b][:], news[target][:])
+			if sealErr != nil {
+				return nil, sealErr
+			}
+		}
+		rand.Shuffle(nEntries, func(i, j int) {
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+		})
+		for _, ctext := range scratch[:nEntries] {
+			w.Raw(ctext)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// recover maps the server's returned labels back to plaintext bits
+// using the counter-(ct+1) label schedule, and performs the §5.4
+// integrity check: every returned label must be one the proxy could
+// have generated.
+func (p *LBLProxy) recover(op Op, key string, newValue []byte, ctNew uint64, resp []byte) ([]byte, error) {
+	cfg := p.cfg
+	y := cfg.Mode.Y()
+	groups := cfg.Groups()
+	if len(resp) != groups*prf.Size {
+		return nil, fmt.Errorf("%w: response has %d bytes, want %d", ErrTampered, len(resp), groups*prf.Size)
+	}
+	gen := p.prf.LabelGen(key)
+	value := make([]byte, cfg.ValueSize)
+	var got prf.Output
+	for g := 0; g < groups; g++ {
+		copy(got[:], resp[g*prf.Size:])
+		matched := false
+		for b := 0; b < cfg.Mode.entries(); b++ {
+			if got.Equal(gen.Label(g, uint8(b), ctNew)) {
+				setGroupBits(value, g, y, uint8(b))
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("%w: group %d label unrecognized", ErrTampered, g)
+		}
+	}
+	if op == OpWrite {
+		// The installed labels must reflect exactly the written value.
+		for i := range value {
+			if value[i] != newValue[i] {
+				return nil, fmt.Errorf("%w: write-back mismatch at byte %d", ErrTampered, i)
+			}
+		}
+	}
+	return value, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/kvstore"
+	"ortoa/internal/transport"
+	"ortoa/internal/wire"
+)
+
+// An LBLServer is the untrusted side of LBL-ORTOA: it stores one
+// secret label per bit group (plus decryption bits under
+// point-and-permute) and, per access, decrypts exactly the table
+// entries its stored labels open, installing the recovered new labels
+// (steps 2.1–2.2 of §5.2). It learns nothing about the operation type:
+// reads and writes present identical work.
+type LBLServer struct {
+	store *kvstore.Store
+
+	ops             atomic.Int64
+	decryptAttempts atomic.Int64
+}
+
+// NewLBLServer returns a server over store.
+func NewLBLServer(store *kvstore.Store) *LBLServer {
+	return &LBLServer{store: store}
+}
+
+// Register installs the LBL access handler on ts.
+func (s *LBLServer) Register(ts *transport.Server) {
+	ts.Handle(MsgLBLAccess, s.handleAccess)
+}
+
+// Ops returns the number of accesses served.
+func (s *LBLServer) Ops() int64 { return s.ops.Load() }
+
+// DecryptAttempts returns the cumulative number of authenticated
+// decryptions attempted — the server-compute quantity the
+// point-and-permute optimization halves (§10.2).
+func (s *LBLServer) DecryptAttempts() int64 { return s.decryptAttempts.Load() }
+
+// lblRecord is the parsed server-side state for one object.
+type lblRecord struct {
+	mode   LBLMode
+	labels []byte // groups × prf.Size
+	dbits  []byte // groups × 1, point-and-permute only
+}
+
+func parseLBLRecord(raw []byte, wantMode LBLMode, wantGroups int) (*lblRecord, error) {
+	if len(raw) < 1 {
+		return nil, errors.New("core: empty LBL record")
+	}
+	rec := &lblRecord{mode: LBLMode(raw[0])}
+	if rec.mode != wantMode {
+		return nil, fmt.Errorf("core: record mode %v does not match request mode %v", rec.mode, wantMode)
+	}
+	body := raw[1:]
+	need := wantGroups * prf.Size
+	if rec.mode.hasDbits() {
+		need += wantGroups
+	}
+	if len(body) != need {
+		return nil, fmt.Errorf("core: LBL record body %d bytes, want %d", len(body), need)
+	}
+	rec.labels = body[:wantGroups*prf.Size]
+	if rec.mode.hasDbits() {
+		rec.dbits = body[wantGroups*prf.Size:]
+	}
+	return rec, nil
+}
+
+func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	encKey := r.Raw(prf.Size)
+	mode := LBLMode(r.Byte())
+	groups := int(r.Uvarint())
+	entryLen := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if mode > LBLWidePointPermute {
+		return nil, fmt.Errorf("core: unknown LBL mode %d", mode)
+	}
+	if groups <= 0 || groups > 1<<22 {
+		return nil, fmt.Errorf("core: implausible group count %d", groups)
+	}
+	if entryLen != mode.entryLen() {
+		return nil, fmt.Errorf("core: entry length %d, want %d", entryLen, mode.entryLen())
+	}
+	nEntries := mode.entries()
+	table := r.Raw(groups * nEntries * entryLen)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+
+	resp := make([]byte, 0, groups*prf.Size)
+	err := s.store.Update(string(encKey), func(old []byte) ([]byte, error) {
+		rec, err := parseLBLRecord(old, mode, groups)
+		if err != nil {
+			return nil, err
+		}
+		newRec := make([]byte, len(old))
+		newRec[0] = byte(mode)
+		newLabels := newRec[1 : 1+groups*prf.Size]
+		var newDbits []byte
+		if mode.hasDbits() {
+			newDbits = newRec[1+groups*prf.Size:]
+		}
+		scratch := make([]byte, 0, mode.entryPlainLen())
+		for g := 0; g < groups; g++ {
+			stored := rec.labels[g*prf.Size : (g+1)*prf.Size]
+			entries := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
+			var plain []byte
+			if mode.hasDbits() {
+				// Point-and-permute: exactly one decryption, at the
+				// stored entry index.
+				d := int(rec.dbits[g]) & (nEntries - 1)
+				s.decryptAttempts.Add(1)
+				plain, err = secretbox.AppendOpenLabel(scratch[:0], stored, entries[d*entryLen:(d+1)*entryLen])
+				if err != nil {
+					return nil, fmt.Errorf("core: group %d entry %d undecryptable (proxy/server divergence?)", g, d)
+				}
+				newDbits[g] = plain[prf.Size]
+			} else {
+				// Try each shuffled entry; authenticated encryption
+				// identifies the one our label opens (§5.2 step 2.1).
+				plain = nil
+				for e := 0; e < nEntries; e++ {
+					s.decryptAttempts.Add(1)
+					p, derr := secretbox.AppendOpenLabel(scratch[:0], stored, entries[e*entryLen:(e+1)*entryLen])
+					if derr == nil {
+						plain = p
+						break
+					}
+				}
+				if plain == nil {
+					return nil, fmt.Errorf("core: group %d: no table entry decryptable", g)
+				}
+			}
+			copy(newLabels[g*prf.Size:], plain[:prf.Size])
+		}
+		resp = append(resp, newLabels...)
+		return newRec, nil
+	})
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.ops.Add(1)
+	return resp, nil
+}

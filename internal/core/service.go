@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"ortoa/internal/kvstore"
+	"ortoa/internal/transport"
+	"ortoa/internal/wire"
+)
+
+// An Accessor performs one oblivious single-object access. All four
+// protocol clients (LBL, TEE, FHE, baseline) implement it, as does the
+// client→proxy RPC stub, so workloads and experiments are written once.
+type Accessor interface {
+	Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error)
+}
+
+// A KV is one record for bulk loading.
+type KV struct {
+	Key    string // server-side (encoded) key
+	Record []byte // opaque, protocol-encoded record
+}
+
+// RegisterLoader installs the MsgLoad bulk-load handler on ts, writing
+// records into store. Records arrive pre-encoded by the trusted side,
+// so one loader serves every protocol.
+func RegisterLoader(ts *transport.Server, store *kvstore.Store) {
+	ts.Handle(MsgLoad, loaderHandler(store))
+}
+
+func loaderHandler(store *kvstore.Store) transport.HandlerFunc {
+	return func(payload []byte) ([]byte, error) {
+		r := wire.NewReader(payload)
+		n := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			key := r.BytesPfx()
+			rec := r.BytesCopy()
+			if err := r.Err(); err != nil {
+				return nil, fmt.Errorf("core: load entry %d: %w", i, err)
+			}
+			store.Put(string(key), rec)
+		}
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+}
+
+// BulkLoad sends records to the server in batches.
+func BulkLoad(client *transport.Client, records []KV) error {
+	const batchSize = 1024
+	for start := 0; start < len(records); start += batchSize {
+		end := start + batchSize
+		if end > len(records) {
+			end = len(records)
+		}
+		w := wire.NewWriter(64 * (end - start))
+		w.Uvarint(uint64(end - start))
+		for _, kv := range records[start:end] {
+			w.BytesPfx([]byte(kv.Key))
+			w.BytesPfx(kv.Record)
+		}
+		if _, err := client.Call(MsgLoad, w.Bytes()); err != nil {
+			return fmt.Errorf("core: bulk load: %w", err)
+		}
+	}
+	return nil
+}
+
+// RegisterProxyService exposes accessor as the MsgClientAccess RPC, so
+// untrusted-network clients can route requests through the proxy
+// (§2.1's client→proxy→server deployment).
+func RegisterProxyService(ts *transport.Server, accessor Accessor) {
+	ts.Handle(MsgClientAccess, func(payload []byte) ([]byte, error) {
+		r := wire.NewReader(payload)
+		op := Op(r.Byte())
+		key := r.String()
+		value := r.BytesCopy()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		if op != OpRead && op != OpWrite {
+			return nil, fmt.Errorf("core: unknown op %d", op)
+		}
+		out, _, err := accessor.Access(op, key, value)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
+// A RemoteAccessor is the client-side stub for a proxy reached over
+// the network. It implements Accessor.
+type RemoteAccessor struct {
+	client *transport.Client
+}
+
+// NewRemoteAccessor wraps client as an Accessor.
+func NewRemoteAccessor(client *transport.Client) *RemoteAccessor {
+	return &RemoteAccessor{client: client}
+}
+
+// Access sends the request to the proxy and returns its response.
+func (a *RemoteAccessor) Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
+	w := wire.NewWriter(2 + len(key) + len(newValue) + 16)
+	w.Byte(byte(op))
+	w.String(key)
+	w.BytesPfx(newValue)
+	var stats AccessStats
+	stats.PrepBytes = w.Len()
+	resp, err := a.client.Call(MsgClientAccess, w.Bytes())
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.RespBytes = len(resp)
+	return resp, stats, nil
+}

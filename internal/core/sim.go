@@ -1,0 +1,157 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand/v2"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/wire"
+)
+
+// This file implements the Ideal-world simulators of the paper's
+// ROR-RW security analysis (§7, §11). A simulator sees only the key of
+// each access — never the operation type or the value — and emits a
+// server-bound message. ROR-RW security says the real protocol's
+// transcripts are computationally indistinguishable from the
+// simulator's; the testable projection of that claim (exercised in
+// sim_test.go) is that real read transcripts, real write transcripts,
+// and simulated transcripts are structurally identical: same message
+// count, same sizes, same framing.
+
+// An LBLSimulator is the §11.2 simulator (Figure 7): it keeps one
+// random "old label" per group per key and, per access, emits one
+// valid encryption (a fresh random label under the stored old label)
+// and 2^y−1 encryptions of zeros under fresh random labels, shuffled.
+type LBLSimulator struct {
+	cfg   LBLConfig
+	state map[string][][]byte // key → stored per-group labels
+}
+
+// NewLBLSimulator returns a simulator for cfg.
+func NewLBLSimulator(cfg LBLConfig) (*LBLSimulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &LBLSimulator{cfg: cfg, state: make(map[string][][]byte)}, nil
+}
+
+func randomLabel() ([]byte, error) {
+	l := make([]byte, prf.Size)
+	if _, err := rand.Read(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Simulate produces a server-bound access message for key, shaped
+// exactly like a real LBL request, from dummy values only.
+func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
+	cfg := s.cfg
+	groups := cfg.Groups()
+	labels, ok := s.state[key]
+	if !ok {
+		labels = make([][]byte, groups)
+		for g := range labels {
+			l, err := randomLabel()
+			if err != nil {
+				return nil, err
+			}
+			labels[g] = l
+		}
+		s.state[key] = labels
+	}
+
+	nEntries := cfg.Mode.entries()
+	entryLen := cfg.Mode.entryLen()
+	plainLen := cfg.Mode.entryPlainLen()
+
+	w := wire.NewWriter(cfg.RequestBytesPerAccess())
+	// The simulator does not know the PRF key; a random encoded key of
+	// the right size stands in (the adversary sees PRF outputs either
+	// way).
+	ek := make([]byte, prf.Size)
+	if _, err := rand.Read(ek); err != nil {
+		return nil, err
+	}
+	w.Raw(ek)
+	w.Byte(byte(cfg.Mode))
+	w.Uvarint(uint64(groups))
+	w.Uvarint(uint64(entryLen))
+
+	for g := 0; g < groups; g++ {
+		nl, err := randomLabel()
+		if err != nil {
+			return nil, err
+		}
+		entries := make([][]byte, 0, nEntries)
+		// One valid entry: Enc_{ol}(nl ‖ pad).
+		plain := make([]byte, plainLen)
+		copy(plain, nl)
+		valid, err := secretbox.SealLabel(labels[g], plain)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, valid)
+		// 2^y − 1 entries of zeros under fresh labels the server
+		// cannot open.
+		for e := 1; e < nEntries; e++ {
+			junkKey, err := randomLabel()
+			if err != nil {
+				return nil, err
+			}
+			junk, err := secretbox.SealLabel(junkKey, make([]byte, plainLen))
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, junk)
+		}
+		mrand.Shuffle(len(entries), func(i, j int) {
+			entries[i], entries[j] = entries[j], entries[i]
+		})
+		for _, e := range entries {
+			w.Raw(e)
+		}
+		// The simulator's server now stores the new label.
+		labels[g] = nl
+	}
+	return w.Bytes(), nil
+}
+
+// A TEESimulator emits TEE-ORTOA-shaped requests from dummy values
+// (§11.1): an encryption of a dummy selector and a dummy value under
+// an unrelated key.
+type TEESimulator struct {
+	cfg TEEConfig
+	box *secretbox.Box
+}
+
+// NewTEESimulator returns a simulator for cfg.
+func NewTEESimulator(cfg TEEConfig) (*TEESimulator, error) {
+	if cfg.ValueSize <= 0 {
+		return nil, fmt.Errorf("core: TEE simulator value size %d", cfg.ValueSize)
+	}
+	box, err := secretbox.NewBox(secretbox.NewRandomKey())
+	if err != nil {
+		return nil, err
+	}
+	return &TEESimulator{cfg: cfg, box: box}, nil
+}
+
+// Simulate produces a server-bound access message for key.
+func (s *TEESimulator) Simulate(key string) ([]byte, error) {
+	ek := make([]byte, prf.Size)
+	if _, err := rand.Read(ek); err != nil {
+		return nil, err
+	}
+	dummy := make([]byte, s.cfg.ValueSize)
+	if _, err := rand.Read(dummy); err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(prf.Size + 2*s.cfg.ValueSize)
+	w.Raw(ek)
+	w.BytesPfx(s.box.Seal([]byte{0}))
+	w.BytesPfx(s.box.Seal(dummy))
+	return w.Bytes(), nil
+}

@@ -1,0 +1,64 @@
+package prf
+
+import "testing"
+
+func BenchmarkEncodeKey(b *testing.B) {
+	p := NewRandom()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.EncodeKey("key-00001234")
+	}
+}
+
+func BenchmarkLabelGenCreate(b *testing.B) {
+	p := NewRandom()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.LabelGen("key-00001234")
+	}
+}
+
+// BenchmarkLabel is the LBL hot path: one AES block per label; an
+// access at ℓ=1280, y=2 derives ~5k of these.
+func BenchmarkLabel(b *testing.B) {
+	gen := NewRandom().LabelGen("key-00001234")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Label(i&1023, uint8(i&3), uint64(i))
+	}
+}
+
+func BenchmarkPermuteBits(b *testing.B) {
+	gen := NewRandom().LabelGen("key-00001234")
+	for i := 0; i < b.N; i++ {
+		_ = gen.PermuteBits(i&1023, uint64(i))
+	}
+}
+
+// BenchmarkLabelSlowPath measures the convenience method that rebuilds
+// the generator per call, to document why LabelGen exists.
+func BenchmarkLabelSlowPath(b *testing.B) {
+	p := NewRandom()
+	for i := 0; i < b.N; i++ {
+		_ = p.Label("key-00001234", i&1023, uint8(i&3), uint64(i))
+	}
+}
+
+func BenchmarkAccessLabelSchedule160B(b *testing.B) {
+	// The full label derivation of one 160-byte access (y=2,
+	// point-and-permute): 8 labels + 2 pads per group × 640 groups.
+	p := NewRandom()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen := p.LabelGen("key-00001234")
+		ct := uint64(i)
+		for g := 0; g < 640; g++ {
+			for bits := uint8(0); bits < 4; bits++ {
+				_ = gen.Label(g, bits, ct)
+				_ = gen.Label(g, bits, ct+1)
+			}
+			_ = gen.PermuteBits(g, ct)
+			_ = gen.PermuteBits(g, ct+1)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package prf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKeyLength(t *testing.T) {
+	if _, err := New(make([]byte, 16)); err == nil {
+		t.Error("New accepted a short key")
+	}
+	if _, err := New(make([]byte, KeySize)); err != nil {
+		t.Errorf("New rejected a %d-byte key: %v", KeySize, err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := NewRandom()
+	if p.EncodeKey("k1") != p.EncodeKey("k1") {
+		t.Error("EncodeKey not deterministic")
+	}
+	if p.Label("k1", 3, 1, 7) != p.Label("k1", 3, 1, 7) {
+		t.Error("Label not deterministic")
+	}
+	if p.PermuteBits("k1", 3, 7) != p.PermuteBits("k1", 3, 7) {
+		t.Error("PermuteBits not deterministic")
+	}
+	if !bytes.Equal(p.DummyValue("k1", 2, 40), p.DummyValue("k1", 2, 40)) {
+		t.Error("DummyValue not deterministic")
+	}
+}
+
+func TestKeyRestoration(t *testing.T) {
+	p := NewRandom()
+	q, err := New(p.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EncodeKey("abc") != q.EncodeKey("abc") {
+		t.Error("PRF restored from Key() disagrees with original")
+	}
+}
+
+func TestDistinctKeysDistinctOutputs(t *testing.T) {
+	p, q := NewRandom(), NewRandom()
+	if p.EncodeKey("k") == q.EncodeKey("k") {
+		t.Error("two random PRFs coincide (astronomically unlikely)")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// The same underlying inputs through different roles must differ.
+	p := NewRandom()
+	enc := p.EncodeKey("k")
+	lbl := p.Label("k", 0, 0, 0)
+	if enc == lbl {
+		t.Error("EncodeKey and Label collide on identical inputs")
+	}
+}
+
+func TestLabelSensitivity(t *testing.T) {
+	p := NewRandom()
+	base := p.Label("k", 1, 0, 5)
+	variants := []Output{
+		p.Label("k2", 1, 0, 5), // key
+		p.Label("k", 2, 0, 5),  // group index
+		p.Label("k", 1, 1, 5),  // bit value
+		p.Label("k", 1, 0, 6),  // counter
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d did not change the label", i)
+		}
+	}
+}
+
+func TestInjectiveEncoding(t *testing.T) {
+	// Length-prefixing must prevent concatenation ambiguity:
+	// ("ab","c") vs ("a","bc") style collisions on the raw key.
+	p := NewRandom()
+	if p.EncodeKey("ab") == p.EncodeKey("a\x00b") {
+		t.Error("encoding is not injective across embedded separators")
+	}
+}
+
+func TestDummyValueLengths(t *testing.T) {
+	p := NewRandom()
+	for _, n := range []int{0, 1, 15, 16, 17, 160, 600} {
+		if got := len(p.DummyValue("k", 0, n)); got != n {
+			t.Errorf("DummyValue(%d) has length %d", n, got)
+		}
+	}
+}
+
+func TestOutputEqual(t *testing.T) {
+	var a, b Output
+	a[0] = 1
+	if a.Equal(b) {
+		t.Error("distinct outputs compare equal")
+	}
+	b[0] = 1
+	if !a.Equal(b) {
+		t.Error("equal outputs compare unequal")
+	}
+}
+
+func TestQuickLabelUniqueAcrossCounters(t *testing.T) {
+	p := NewRandom()
+	f := func(key string, group uint8, bits uint8, ct uint32) bool {
+		a := p.Label(key, int(group), bits&1, uint64(ct))
+		b := p.Label(key, int(group), bits&1, uint64(ct)+1)
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeKeyInjectiveish(t *testing.T) {
+	p := NewRandom()
+	f := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return p.EncodeKey(a) != p.EncodeKey(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package secretbox
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSeal(b *testing.B) {
+	box, _ := NewBox(NewRandomKey())
+	for _, size := range []int{16, 160, 600} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			msg := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = box.Seal(msg)
+			}
+		})
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	box, _ := NewBox(NewRandomKey())
+	msg := make([]byte, 160)
+	ct := box.Seal(msg)
+	b.SetBytes(160)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := box.Open(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealLabel is the proxy's per-entry cost: 2^y·ℓ/y of these
+// per LBL access (2560 at the paper's 160-byte default).
+func BenchmarkSealLabel(b *testing.B) {
+	label := NewRandomKey()
+	plain := make([]byte, 17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SealLabel(label, plain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenLabelHit is the server's point-and-permute cost: one
+// per group.
+func BenchmarkOpenLabelHit(b *testing.B) {
+	label := NewRandomKey()
+	ct, _ := SealLabel(label, make([]byte, 17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenLabel(label, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOpenLabelMiss is the try-decrypt failure path the
+// non-point-and-permute variants pay (§10.2's motivation).
+func BenchmarkOpenLabelMiss(b *testing.B) {
+	ct, _ := SealLabel(NewRandomKey(), make([]byte, 17))
+	wrong := NewRandomKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenLabel(wrong, ct); err == nil {
+			b.Fatal("miss decrypted")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package secretbox wraps AES-GCM for the two encryption roles in
+// ORTOA.
+//
+// Box is the general-purpose authenticated encryption used for stored
+// values (TEE-ORTOA, the 2RTT baseline) and for client↔proxy payloads.
+// Every Seal draws a fresh random nonce, so re-encrypting the same
+// value yields an unlinkable ciphertext — the property the 2RTT
+// baseline and TEE-ORTOA rely on for read/write indistinguishability
+// (§1.1, §4.1).
+//
+// SealLabel/OpenLabel implement the label-keyed entries of LBL-ORTOA's
+// encryption tables with the construction garbled-circuit
+// implementations use: the 128-bit label keys exactly one encryption
+// ever (labels change on every access), so a single hash of the label
+// yields both a one-time pad for the body and a recognition tag. The
+// tag is what lets the server recognize the one entry its stored label
+// opens (§5.2 step 2.1); end-to-end integrity against a tampering
+// server comes from the proxy-side label check of §5.4, which accepts
+// only labels its PRF could have produced. One SHA-256 per entry keeps
+// the proxy's 2^y·ℓ/y seals per access at the ~2 ms/object cost the
+// paper reports (§6.3.3), where an AES-GCM instance per entry would
+// dominate the access path.
+package secretbox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+)
+
+// Overhead is the ciphertext expansion of Seal: nonce plus GCM tag.
+const Overhead = NonceSize + TagSize
+
+// LabelOverhead is the ciphertext expansion of SealLabel (tag only).
+const LabelOverhead = LabelTagSize
+
+// NonceSize is the GCM nonce size in bytes.
+const NonceSize = 12
+
+// TagSize is the GCM authentication tag size in bytes.
+const TagSize = 16
+
+// ErrDecrypt reports an authentication failure. For LBL-ORTOA this is
+// the common case: the server tries entries its stored label cannot
+// open.
+var ErrDecrypt = errors.New("secretbox: message authentication failed")
+
+// A Box encrypts and decrypts with a fixed AES-GCM key and random
+// nonces. It is safe for concurrent use.
+type Box struct {
+	aead cipher.AEAD
+}
+
+// NewBox returns a Box for key, which must be 16, 24, or 32 bytes.
+func NewBox(key []byte) (*Box, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secretbox: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secretbox: %w", err)
+	}
+	return &Box{aead: aead}, nil
+}
+
+// NewRandomKey returns a fresh 16-byte AES-128 key.
+func NewRandomKey() []byte {
+	key := make([]byte, 16)
+	if _, err := rand.Read(key); err != nil {
+		panic("secretbox: crypto/rand failed: " + err.Error())
+	}
+	return key
+}
+
+// Seal encrypts plaintext with a fresh random nonce and returns
+// nonce‖ciphertext‖tag. len(result) = len(plaintext) + Overhead.
+func (b *Box) Seal(plaintext []byte) []byte {
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
+	if _, err := rand.Read(out); err != nil {
+		panic("secretbox: crypto/rand failed: " + err.Error())
+	}
+	return b.aead.Seal(out, out[:NonceSize], plaintext, nil)
+}
+
+// Open decrypts a Seal result. It returns ErrDecrypt if the ciphertext
+// is malformed or fails authentication.
+func (b *Box) Open(sealed []byte) ([]byte, error) {
+	if len(sealed) < Overhead {
+		return nil, ErrDecrypt
+	}
+	pt, err := b.aead.Open(nil, sealed[:NonceSize], sealed[NonceSize:], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// MaxLabelPlaintext is the largest SealLabel body: the 32-byte hash
+// must cover the pad plus the tag.
+const MaxLabelPlaintext = sha256.Size - LabelTagSize
+
+// LabelTagSize is the recognition tag appended by SealLabel.
+const LabelTagSize = 8
+
+// labelDomain separates the entry-pad hash from other SHA-256 uses of
+// label-sized inputs. Its length is fixed so labelPad can hash a
+// stack-allocated buffer.
+const labelDomain = "ortoa/lbl-entry/v1"
+
+func labelPad(label []byte) [sha256.Size]byte {
+	var in [len(labelDomain) + 16]byte
+	copy(in[:], labelDomain)
+	copy(in[len(labelDomain):], label)
+	return sha256.Sum256(in[:])
+}
+
+// SealLabel encrypts plaintext (≤ MaxLabelPlaintext bytes) under a
+// 16-byte one-time label key. The caller must guarantee each label
+// keys at most one SealLabel — LBL-ORTOA's label schedule does (a
+// label is consumed and replaced on every access).
+func SealLabel(label, plaintext []byte) ([]byte, error) {
+	return AppendSealLabel(nil, label, plaintext)
+}
+
+// AppendSealLabel appends a SealLabel ciphertext to dst and returns
+// the extended slice. The proxy seals thousands of entries per access
+// into one table buffer; the append form keeps that a single
+// allocation.
+func AppendSealLabel(dst, label, plaintext []byte) ([]byte, error) {
+	if len(label) != 16 {
+		return nil, fmt.Errorf("secretbox: label must be 16 bytes, got %d", len(label))
+	}
+	if len(plaintext) > MaxLabelPlaintext {
+		return nil, fmt.Errorf("secretbox: label plaintext %d exceeds %d bytes", len(plaintext), MaxLabelPlaintext)
+	}
+	pad := labelPad(label)
+	for i, b := range plaintext {
+		dst = append(dst, b^pad[i])
+	}
+	return append(dst, pad[sha256.Size-LabelTagSize:]...), nil
+}
+
+// OpenLabel attempts to decrypt a SealLabel result with label,
+// returning ErrDecrypt when the label does not match — the signal
+// LBL-ORTOA's server uses to find the entry meant for it.
+func OpenLabel(label, sealed []byte) ([]byte, error) {
+	var out []byte
+	return AppendOpenLabel(out, label, sealed)
+}
+
+// AppendOpenLabel appends the decrypted plaintext to dst and returns
+// the extended slice, or ErrDecrypt with dst unchanged. The server
+// decrypts one entry per bit group per access; the append form lets it
+// reuse one scratch buffer.
+func AppendOpenLabel(dst, label, sealed []byte) ([]byte, error) {
+	if len(label) != 16 {
+		return dst, fmt.Errorf("secretbox: label must be 16 bytes, got %d", len(label))
+	}
+	if len(sealed) < LabelTagSize || len(sealed) > MaxLabelPlaintext+LabelTagSize {
+		return dst, ErrDecrypt
+	}
+	pad := labelPad(label)
+	n := len(sealed) - LabelTagSize
+	if subtle.ConstantTimeCompare(sealed[n:], pad[sha256.Size-LabelTagSize:]) != 1 {
+		return dst, ErrDecrypt
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, sealed[i]^pad[i])
+	}
+	return dst, nil
+}

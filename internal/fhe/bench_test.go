@@ -1,0 +1,111 @@
+package fhe
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchParams(b *testing.B, n, qBits int) Parameters {
+	b.Helper()
+	p, err := NewParameters(n, qBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkNTTForward(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			primes, err := findNTTPrimes(55, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, err := newNTTContext(primes[0], n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.forward(a)
+			}
+		})
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	p := benchParams(b, 512, 370)
+	sk, _ := p.KeyGen()
+	pt := make([]uint64, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Encrypt(sk, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	p := benchParams(b, 512, 370)
+	sk, _ := p.KeyGen()
+	ct, _ := p.Encrypt(sk, []uint64{42})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Decrypt(sk, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMul is the server-side cost of one Proc term — the
+// operation whose noise growth dooms FHE-ORTOA (§3.3).
+func BenchmarkMul(b *testing.B) {
+	p := benchParams(b, 512, 370)
+	sk, _ := p.KeyGen()
+	x, _ := p.Encrypt(sk, []uint64{3})
+	y, _ := p.Encrypt(sk, []uint64{1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Mul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	p := benchParams(b, 512, 370)
+	sk, _ := p.KeyGen()
+	x, _ := p.Encrypt(sk, []uint64{3})
+	y, _ := p.Encrypt(sk, []uint64{1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Add(x, y)
+	}
+}
+
+func BenchmarkNoiseBudget(b *testing.B) {
+	p := benchParams(b, 512, 370)
+	sk, _ := p.KeyGen()
+	ct, _ := p.Encrypt(sk, []uint64{42})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.NoiseBudget(sk, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCiphertextMarshal(b *testing.B) {
+	p := benchParams(b, 512, 370)
+	sk, _ := p.KeyGen()
+	ct, _ := p.Encrypt(sk, []uint64{42})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ct.Marshal(p)
+	}
+}

@@ -1,0 +1,132 @@
+package fhe
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// A crtBasis is a set of NTT-friendly primes whose product M bounds an
+// exact integer computation: any value in (-M/2, M/2] is recovered
+// exactly from its residues.
+type crtBasis struct {
+	n      int
+	primes []uint64
+	ctxs   []*nttContext
+	prod   *big.Int   // M = Π p_i
+	half   *big.Int   // M/2
+	coeffs []*big.Int // CRT recombination constants: (M/p_i) · ((M/p_i)^{-1} mod p_i)
+}
+
+var (
+	basisMu    sync.Mutex
+	basisCache = map[string]*crtBasis{}
+)
+
+// auxBasis returns a CRT basis of length-n NTT primes whose product
+// exceeds 2*bound, so signed values of magnitude ≤ bound reconstruct
+// exactly. Bases are cached per (n, prime count).
+func auxBasis(n int, bound *big.Int) (*crtBasis, error) {
+	need := new(big.Int).Lsh(bound, 1) // 2*bound
+	need.Add(need, big.NewInt(1))
+	// 60-bit primes: each contributes ~60 bits to the product.
+	count := (need.BitLen() + 59) / 60
+	if count < 1 {
+		count = 1
+	}
+	key := fmt.Sprintf("%d/%d", n, count)
+	basisMu.Lock()
+	defer basisMu.Unlock()
+	if b, ok := basisCache[key]; ok && b.prod.Cmp(need) >= 0 {
+		return b, nil
+	}
+	for {
+		b, err := newCRTBasis(n, count)
+		if err != nil {
+			return nil, err
+		}
+		if b.prod.Cmp(need) >= 0 {
+			basisCache[key] = b
+			return b, nil
+		}
+		count++
+	}
+}
+
+func newCRTBasis(n, count int) (*crtBasis, error) {
+	primes, err := findNTTPrimes(61, n, count)
+	if err != nil {
+		return nil, err
+	}
+	b := &crtBasis{n: n, primes: primes, prod: big.NewInt(1)}
+	for _, p := range primes {
+		ctx, err := newNTTContext(p, n)
+		if err != nil {
+			return nil, err
+		}
+		b.ctxs = append(b.ctxs, ctx)
+		b.prod.Mul(b.prod, new(big.Int).SetUint64(p))
+	}
+	b.half = new(big.Int).Rsh(b.prod, 1)
+	for _, p := range primes {
+		pi := new(big.Int).SetUint64(p)
+		mi := new(big.Int).Div(b.prod, pi)          // M/p_i
+		yi := new(big.Int).ModInverse(mi, pi)       // (M/p_i)^{-1} mod p_i
+		b.coeffs = append(b.coeffs, mi.Mul(mi, yi)) // M/p_i · y_i
+	}
+	return b, nil
+}
+
+// residues reduces a signed big-int polynomial modulo prime index pi.
+func (b *crtBasis) residues(a []*big.Int, pi int) []uint64 {
+	p := b.primes[pi]
+	pBig := new(big.Int).SetUint64(p)
+	out := make([]uint64, b.n)
+	tmp := new(big.Int)
+	for i, c := range a {
+		if c == nil || c.Sign() == 0 {
+			continue
+		}
+		tmp.Mod(c, pBig) // Go's Mod is Euclidean: result in [0, p)
+		out[i] = tmp.Uint64()
+	}
+	return out
+}
+
+// reconstruct converts per-prime residue polynomials back to centered
+// big-int coefficients in (-M/2, M/2].
+func (b *crtBasis) reconstruct(res [][]uint64) []*big.Int {
+	out := make([]*big.Int, b.n)
+	term := new(big.Int)
+	for i := 0; i < b.n; i++ {
+		acc := new(big.Int)
+		for j := range b.primes {
+			term.SetUint64(res[j][i])
+			term.Mul(term, b.coeffs[j])
+			acc.Add(acc, term)
+		}
+		acc.Mod(acc, b.prod)
+		if acc.Cmp(b.half) > 0 {
+			acc.Sub(acc, b.prod)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// convolve returns the exact negacyclic convolution a*b mod X^n+1 over
+// the integers, valid as long as every output coefficient has
+// magnitude ≤ bound (the caller's promise, enforced by basis size).
+func convolve(a, b []*big.Int, n int, bound *big.Int) ([]*big.Int, error) {
+	basis, err := auxBasis(n, bound)
+	if err != nil {
+		return nil, err
+	}
+	res := make([][]uint64, len(basis.primes))
+	for j := range basis.primes {
+		ra := basis.residues(a, j)
+		rb := basis.residues(b, j)
+		res[j] = basis.ctxs[j].mulPoly(ra, rb)
+	}
+	return basis.reconstruct(res), nil
+}

@@ -1,0 +1,45 @@
+package fhe
+
+import "fmt"
+
+// EncodeBytes packs a byte string into plaintext coefficients, two
+// bytes per coefficient (T = 65537 > 65535). The length is recorded in
+// the first coefficient so DecodeBytes can strip padding.
+func (p Parameters) EncodeBytes(value []byte) ([]uint64, error) {
+	maxLen := 2 * (p.N - 1)
+	if len(value) > maxLen {
+		return nil, fmt.Errorf("fhe: value of %d bytes exceeds capacity %d", len(value), maxLen)
+	}
+	if uint64(len(value)) >= p.T {
+		return nil, fmt.Errorf("fhe: value length %d not representable", len(value))
+	}
+	out := make([]uint64, 1+(len(value)+1)/2)
+	out[0] = uint64(len(value))
+	for i, b := range value {
+		out[1+i/2] |= uint64(b) << (8 * uint(i%2))
+	}
+	return out, nil
+}
+
+// DecodeBytes unpacks an EncodeBytes plaintext.
+func (p Parameters) DecodeBytes(coeffs []uint64) ([]byte, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("fhe: empty plaintext")
+	}
+	n := int(coeffs[0])
+	if n < 0 || n > 2*(len(coeffs)-1) {
+		return nil, fmt.Errorf("fhe: implausible decoded length %d (noise overflow?): %w", n, ErrNoiseOverflow)
+	}
+	out := make([]byte, n)
+	for i := range out {
+		c := coeffs[1+i/2]
+		out[i] = byte(c >> (8 * uint(i%2)))
+	}
+	return out, nil
+}
+
+// EncodeBit returns the constant plaintext polynomial b ∈ {0, 1} —
+// the c_r/c_w selector bits of Procedure Pcr (§3.1).
+func (p Parameters) EncodeBit(b int) []uint64 {
+	return []uint64{uint64(b & 1)}
+}

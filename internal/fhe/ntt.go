@@ -1,0 +1,119 @@
+package fhe
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// An nttContext evaluates negacyclic NTTs of length n modulo one
+// prime. Forward and inverse transforms use the standard ψ-twisted
+// Cooley-Tukey/Gentleman-Sande pair, so polynomial multiplication mod
+// X^N+1 is a pointwise product between transforms.
+type nttContext struct {
+	p    uint64
+	n    int
+	psi  []uint64 // powers of ψ in bit-reversed order, for the forward pass
+	ipsi []uint64 // powers of ψ^{-1} in bit-reversed order, for the inverse
+	nInv uint64   // n^{-1} mod p
+}
+
+func newNTTContext(p uint64, n int) (*nttContext, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fhe: NTT size %d is not a power of two ≥ 2", n)
+	}
+	psi, err := primitiveRoot2N(p, n)
+	if err != nil {
+		return nil, err
+	}
+	psiInv := modPow(psi, p-2, p) // Fermat inverse
+	ctx := &nttContext{
+		p:    p,
+		n:    n,
+		psi:  make([]uint64, n),
+		ipsi: make([]uint64, n),
+		nInv: modPow(uint64(n), p-2, p),
+	}
+	logN := bits.TrailingZeros(uint(n))
+	cur, curInv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		rev := int(bits.Reverse64(uint64(i)) >> (64 - logN))
+		ctx.psi[rev] = cur
+		ctx.ipsi[rev] = curInv
+		cur = modMul(cur, psi, p)
+		curInv = modMul(curInv, psiInv, p)
+	}
+	return ctx, nil
+}
+
+// forward transforms a in place to the NTT domain.
+func (c *nttContext) forward(a []uint64) {
+	p := c.p
+	t := c.n
+	for m := 1; m < c.n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			s := c.psi[m+i]
+			for j := j1; j < j2; j++ {
+				u := a[j]
+				v := modMul(a[j+t], s, p)
+				a[j] = u + v
+				if a[j] >= p {
+					a[j] -= p
+				}
+				if u >= v {
+					a[j+t] = u - v
+				} else {
+					a[j+t] = u + p - v
+				}
+			}
+		}
+	}
+}
+
+// inverse transforms a in place back to the coefficient domain.
+func (c *nttContext) inverse(a []uint64) {
+	p := c.p
+	t := 1
+	for m := c.n >> 1; m >= 1; m >>= 1 {
+		j1 := 0
+		for i := 0; i < m; i++ {
+			j2 := j1 + t
+			s := c.ipsi[m+i]
+			for j := j1; j < j2; j++ {
+				u, v := a[j], a[j+t]
+				a[j] = u + v
+				if a[j] >= p {
+					a[j] -= p
+				}
+				var w uint64
+				if u >= v {
+					w = u - v
+				} else {
+					w = u + p - v
+				}
+				a[j+t] = modMul(w, s, p)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a {
+		a[i] = modMul(a[i], c.nInv, p)
+	}
+}
+
+// mulPoly returns the negacyclic product of a and b mod p. a and b are
+// consumed (transformed in place); pass copies if the caller needs
+// them again.
+func (c *nttContext) mulPoly(a, b []uint64) []uint64 {
+	c.forward(a)
+	c.forward(b)
+	out := make([]uint64, c.n)
+	for i := range out {
+		out[i] = modMul(a[i], b[i], c.p)
+	}
+	c.inverse(out)
+	return out
+}

@@ -1,0 +1,89 @@
+// Package fhe implements the BFV-style fully homomorphic encryption
+// scheme FHE-ORTOA builds on (§3). It replaces Microsoft SEAL in the
+// paper's prototype.
+//
+// Plaintexts are polynomials over Z_t[X]/(X^N+1); ciphertexts are
+// vectors of polynomials over Z_q[X]/(X^N+1) with big-integer q (a
+// product of word-sized primes, like SEAL's default coefficient
+// modulus). Homomorphic multiplication grows ciphertext degree — this
+// implementation deliberately has no relinearization keys, matching
+// the paper's symmetric-key usage — and RLWE noise grows with every
+// operation. NoiseBudget exposes the exact remaining budget so the
+// §3.3 experiment ("decryption fails after about 10 accesses") can be
+// measured rather than asserted.
+//
+// Internally, all polynomial multiplication is exact integer
+// negacyclic convolution evaluated via number-theoretic transforms
+// over a set of auxiliary 61-bit primes and recombined by CRT.
+package fhe
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// modMul returns a*b mod m for a, b < m < 2^62.
+func modMul(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// modPow returns base^exp mod m.
+func modPow(base, exp, m uint64) uint64 {
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = modMul(result, base, m)
+		}
+		base = modMul(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// findNTTPrimes returns count distinct primes p ≡ 1 (mod 2n) just
+// below 2^bitLen, largest first. The search is deterministic, so every
+// party derives the same primes from the same parameters.
+func findNTTPrimes(bitLen, n, count int) ([]uint64, error) {
+	if bitLen < 20 || bitLen > 62 {
+		return nil, fmt.Errorf("fhe: prime bit length %d out of range [20, 62]", bitLen)
+	}
+	step := uint64(2 * n)
+	// Start at the largest candidate ≡ 1 (mod 2n) below 2^bitLen.
+	top := (uint64(1)<<uint(bitLen) - 1)
+	cand := top - (top-1)%step // cand ≡ 1 (mod step)
+	primes := make([]uint64, 0, count)
+	for cand > uint64(1)<<uint(bitLen-1) {
+		if new(big.Int).SetUint64(cand).ProbablyPrime(32) {
+			primes = append(primes, cand)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		cand -= step
+	}
+	return nil, fmt.Errorf("fhe: found only %d/%d %d-bit NTT primes for n=%d", len(primes), count, bitLen, n)
+}
+
+// primitiveRoot2N returns ψ, a primitive 2n-th root of unity mod p.
+// p must satisfy p ≡ 1 (mod 2n).
+func primitiveRoot2N(p uint64, n int) (uint64, error) {
+	order := uint64(2 * n)
+	if (p-1)%order != 0 {
+		return 0, fmt.Errorf("fhe: %d is not 1 mod %d", p, order)
+	}
+	exp := (p - 1) / order
+	// Deterministic search for a base whose power has exact order 2n:
+	// ψ = g^((p-1)/2n) has order dividing 2n; it has exact order 2n
+	// iff ψ^n ≠ 1, i.e. ψ^n = -1.
+	for g := uint64(2); g < p; g++ {
+		psi := modPow(g, exp, p)
+		if modPow(psi, uint64(n), p) == p-1 {
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("fhe: no primitive 2*%d-th root mod %d", n, p)
+}

@@ -1,0 +1,211 @@
+package fhe
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Relinearization: evaluation keys that collapse a degree-2 ciphertext
+// back to degree 1. The paper's FHE-ORTOA prototype (like this
+// package's default path) runs without them, so every access grows the
+// stored ciphertext by one degree; with a RelinKey the server keeps
+// ciphertexts at constant size and constant per-access compute.
+//
+// Relinearization does NOT rescue FHE-ORTOA's access budget: BFV
+// multiplication scales the *noise* by ~N·T regardless, so decryption
+// still fails after a similar number of accesses (see the
+// ablation-fhe-relin experiment). It demonstrates that the §3.3
+// infeasibility is noise-fundamental, not an artifact of degree
+// growth — only bootstrapping or fresher schemes change the verdict
+// (§3.3's closing remark).
+
+// A RelinKey is a base-2^baseBits decomposition key: for each digit i,
+// a pseudo-encryption of w^i·s² under s. It is an evaluation key: it
+// can be given to the untrusted server without revealing s (standard
+// RLWE circular-security assumption).
+type RelinKey struct {
+	baseBits int
+	digits   int
+	b        [][]*big.Int // b[i] = -(a[i]·s) + w^i·s² + e[i]
+	a        [][]*big.Int
+}
+
+// Digits returns the number of decomposition digits (key size scales
+// with it; relin noise shrinks as digits grow).
+func (rk *RelinKey) Digits() int { return rk.digits }
+
+// RelinKeyGen produces a relinearization key for sk with digit width
+// baseBits (16–60; smaller digits add less noise but make larger keys
+// and slower relinearization).
+func (p Parameters) RelinKeyGen(sk *SecretKey, baseBits int) (*RelinKey, error) {
+	if baseBits < 16 || baseBits > 60 {
+		return nil, fmt.Errorf("fhe: relin base bits %d out of range [16, 60]", baseBits)
+	}
+	digits := (p.Q.BitLen() + baseBits - 1) / baseBits
+	s2, err := p.ringMul(sk.s, sk.s)
+	if err != nil {
+		return nil, err
+	}
+	rk := &RelinKey{baseBits: baseBits, digits: digits}
+	wPow := big.NewInt(1) // w^i mod Q
+	w := new(big.Int).Lsh(big.NewInt(1), uint(baseBits))
+	for i := 0; i < digits; i++ {
+		a, err := p.uniformPoly()
+		if err != nil {
+			return nil, err
+		}
+		e, err := p.noisePoly()
+		if err != nil {
+			return nil, err
+		}
+		as, err := p.ringMul(a, sk.s)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]*big.Int, p.N)
+		for j := 0; j < p.N; j++ {
+			v := new(big.Int).Mul(s2[j], wPow)
+			v.Add(v, e[j])
+			v.Sub(v, as[j])
+			v.Mod(v, p.Q)
+			b[j] = v
+		}
+		rk.b = append(rk.b, b)
+		rk.a = append(rk.a, a)
+		wPow.Mul(wPow, w)
+		wPow.Mod(wPow, p.Q)
+	}
+	return rk, nil
+}
+
+// decomposeDigits splits poly (coefficients in [0, Q)) into digit
+// polynomials with coefficients < 2^baseBits, least significant first.
+func (p Parameters) decomposeDigits(poly []*big.Int, baseBits, digits int) [][]*big.Int {
+	mask := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(baseBits)), big.NewInt(1))
+	out := make([][]*big.Int, digits)
+	for i := range out {
+		out[i] = make([]*big.Int, p.N)
+	}
+	tmp := new(big.Int)
+	for j, c := range poly {
+		tmp.Mod(c, p.Q)
+		for i := 0; i < digits; i++ {
+			d := new(big.Int).Rsh(tmp, uint(i*baseBits))
+			d.And(d, mask)
+			out[i][j] = d
+		}
+	}
+	return out
+}
+
+// Relinearize reduces a degree-2 ciphertext to degree 1 using rk.
+// Lower-degree ciphertexts pass through unchanged; higher degrees are
+// rejected (relinearize after every multiplication instead).
+func (p Parameters) Relinearize(ct *Ciphertext, rk *RelinKey) (*Ciphertext, error) {
+	switch ct.Degree() {
+	case 0, 1:
+		return ct, nil
+	case 2:
+	default:
+		return nil, fmt.Errorf("fhe: cannot relinearize degree %d (relinearize after each Mul)", ct.Degree())
+	}
+	c2digits := p.decomposeDigits(ct.polys[2], rk.baseBits, rk.digits)
+	c0 := p.copyPoly(ct.polys[0])
+	c1 := p.copyPoly(ct.polys[1])
+	for i := 0; i < rk.digits; i++ {
+		// Digit coefficients are < 2^baseBits, key coefficients < Q:
+		// the standard convolution bound covers the product.
+		db, err := p.ringMul(c2digits[i], rk.b[i])
+		if err != nil {
+			return nil, err
+		}
+		da, err := p.ringMul(c2digits[i], rk.a[i])
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < p.N; j++ {
+			c0[j].Add(c0[j], db[j])
+			c0[j].Mod(c0[j], p.Q)
+			c1[j].Add(c1[j], da[j])
+			c1[j].Mod(c1[j], p.Q)
+		}
+	}
+	return &Ciphertext{polys: [][]*big.Int{c0, c1}}, nil
+}
+
+// MulRelin multiplies and immediately relinearizes, keeping results at
+// degree 1.
+func (p Parameters) MulRelin(a, b *Ciphertext, rk *RelinKey) (*Ciphertext, error) {
+	prod, err := p.Mul(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return p.Relinearize(prod, rk)
+}
+
+// Marshal serializes the relinearization key for shipping to the
+// evaluating server.
+func (rk *RelinKey) Marshal(p Parameters) []byte {
+	cb := p.coeffBytes()
+	size := 16 + rk.digits*2*p.N*cb
+	out := make([]byte, 0, size)
+	out = append(out, byte(rk.baseBits), byte(rk.digits))
+	buf := make([]byte, cb)
+	appendPoly := func(poly []*big.Int) {
+		for _, c := range poly {
+			c.FillBytes(buf)
+			out = append(out, buf...)
+		}
+	}
+	for i := 0; i < rk.digits; i++ {
+		appendPoly(rk.b[i])
+		appendPoly(rk.a[i])
+	}
+	return out
+}
+
+// UnmarshalRelinKey parses a Marshal result.
+func (p Parameters) UnmarshalRelinKey(data []byte) (*RelinKey, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("fhe: relin key too short")
+	}
+	rk := &RelinKey{baseBits: int(data[0]), digits: int(data[1])}
+	if rk.baseBits < 16 || rk.baseBits > 60 {
+		return nil, fmt.Errorf("fhe: relin key base bits %d invalid", rk.baseBits)
+	}
+	wantDigits := (p.Q.BitLen() + rk.baseBits - 1) / rk.baseBits
+	if rk.digits != wantDigits {
+		return nil, fmt.Errorf("fhe: relin key has %d digits, want %d", rk.digits, wantDigits)
+	}
+	cb := p.coeffBytes()
+	want := 2 + rk.digits*2*p.N*cb
+	if len(data) != want {
+		return nil, fmt.Errorf("fhe: relin key is %d bytes, want %d", len(data), want)
+	}
+	off := 2
+	readPoly := func() ([]*big.Int, error) {
+		poly := make([]*big.Int, p.N)
+		for j := range poly {
+			c := new(big.Int).SetBytes(data[off : off+cb])
+			if c.Cmp(p.Q) >= 0 {
+				return nil, fmt.Errorf("fhe: relin key coefficient ≥ Q")
+			}
+			poly[j] = c
+			off += cb
+		}
+		return poly, nil
+	}
+	for i := 0; i < rk.digits; i++ {
+		b, err := readPoly()
+		if err != nil {
+			return nil, err
+		}
+		a, err := readPoly()
+		if err != nil {
+			return nil, err
+		}
+		rk.b = append(rk.b, b)
+		rk.a = append(rk.a, a)
+	}
+	return rk, nil
+}

@@ -1,0 +1,178 @@
+package fhe
+
+import "testing"
+
+func relinTestSetup(t *testing.T) (Parameters, *SecretKey, *RelinKey) {
+	t.Helper()
+	p, err := NewParameters(64, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := p.KeyGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := p.RelinKeyGen(sk, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sk, rk
+}
+
+func TestRelinearizePreservesPlaintext(t *testing.T) {
+	p, sk, rk := relinTestSetup(t)
+	a, _ := p.Encrypt(sk, []uint64{6, 2})
+	b, _ := p.Encrypt(sk, []uint64{7})
+	prod, err := p.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Degree() != 2 {
+		t.Fatalf("product degree = %d", prod.Degree())
+	}
+	lin, err := p.Relinearize(prod, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Degree() != 1 {
+		t.Fatalf("relinearized degree = %d, want 1", lin.Degree())
+	}
+	got, err := p.Decrypt(sk, lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 || got[1] != 14 {
+		t.Errorf("decrypt after relin = %d, %d; want 42, 14", got[0], got[1])
+	}
+}
+
+func TestMulRelinChain(t *testing.T) {
+	// Repeated multiply-by-one with relinearization: degree stays 1.
+	p, sk, rk := relinTestSetup(t)
+	ct, _ := p.Encrypt(sk, []uint64{123})
+	for i := 0; i < 3; i++ {
+		one, _ := p.Encrypt(sk, []uint64{1})
+		var err error
+		ct, err = p.MulRelin(ct, one, rk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct.Degree() != 1 {
+			t.Fatalf("chain step %d: degree = %d", i, ct.Degree())
+		}
+	}
+	got, err := p.Decrypt(sk, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 123 {
+		t.Errorf("after relin chain = %d, want 123", got[0])
+	}
+}
+
+func TestRelinNoiseCost(t *testing.T) {
+	// Relinearization adds bounded noise: the budget after MulRelin
+	// must stay positive and within a sane distance of plain Mul's.
+	p, sk, rk := relinTestSetup(t)
+	a, _ := p.Encrypt(sk, []uint64{3})
+	b, _ := p.Encrypt(sk, []uint64{5})
+	prod, err := p.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBudget, _ := p.NoiseBudget(sk, prod)
+	lin, err := p.Relinearize(prod, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linBudget, err := p.NoiseBudget(sk, lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linBudget <= 0 {
+		t.Fatalf("budget after relin = %d", linBudget)
+	}
+	if plainBudget-linBudget > 40 {
+		t.Errorf("relinearization cost %d bits (plain %d, relin %d) — excessive", plainBudget-linBudget, plainBudget, linBudget)
+	}
+	t.Logf("noise budget: after mul %d bits, after relin %d bits", plainBudget, linBudget)
+}
+
+func TestRelinearizePassThrough(t *testing.T) {
+	p, sk, rk := relinTestSetup(t)
+	ct, _ := p.Encrypt(sk, []uint64{9})
+	out, err := p.Relinearize(ct, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Degree() != 1 {
+		t.Errorf("pass-through changed degree to %d", out.Degree())
+	}
+}
+
+func TestRelinearizeRejectsHighDegree(t *testing.T) {
+	p, sk, rk := relinTestSetup(t)
+	a, _ := p.Encrypt(sk, []uint64{1})
+	b, _ := p.Encrypt(sk, []uint64{1})
+	c, _ := p.Encrypt(sk, []uint64{1})
+	ab, err := p.Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc, err := p.Mul(ab, c) // degree 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Relinearize(abc, rk); err == nil {
+		t.Error("degree-3 relinearization accepted")
+	}
+}
+
+func TestRelinKeyGenValidation(t *testing.T) {
+	p, sk, _ := relinTestSetup(t)
+	if _, err := p.RelinKeyGen(sk, 4); err == nil {
+		t.Error("accepted tiny base")
+	}
+	if _, err := p.RelinKeyGen(sk, 64); err == nil {
+		t.Error("accepted oversize base")
+	}
+}
+
+func TestRelinKeyMarshalRoundTrip(t *testing.T) {
+	p, sk, rk := relinTestSetup(t)
+	data := rk.Marshal(p)
+	back, err := p.UnmarshalRelinKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digits() != rk.Digits() {
+		t.Fatalf("digits %d != %d", back.Digits(), rk.Digits())
+	}
+	// The restored key must actually work.
+	a, _ := p.Encrypt(sk, []uint64{4})
+	b, _ := p.Encrypt(sk, []uint64{11})
+	prod, _ := p.Mul(a, b)
+	lin, err := p.Relinearize(prod, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Decrypt(sk, lin)
+	if got[0] != 44 {
+		t.Errorf("decrypt with restored key = %d", got[0])
+	}
+}
+
+func TestUnmarshalRelinKeyRejectsGarbage(t *testing.T) {
+	p, _, rk := relinTestSetup(t)
+	if _, err := p.UnmarshalRelinKey(nil); err == nil {
+		t.Error("accepted empty key")
+	}
+	if _, err := p.UnmarshalRelinKey([]byte{20, 1, 2, 3}); err == nil {
+		t.Error("accepted truncated key")
+	}
+	data := rk.Marshal(p)
+	data[0] = 5 // invalid base bits
+	if _, err := p.UnmarshalRelinKey(data); err == nil {
+		t.Error("accepted invalid base bits")
+	}
+}

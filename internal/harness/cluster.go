@@ -1,0 +1,262 @@
+// Package harness deploys in-process ORTOA clusters over simulated WAN
+// links and runs the paper's experiments (§6). Each figure/table of
+// the evaluation has a runner that produces the same rows/series the
+// paper reports; cmd/ortoa-bench and the repository-root benchmarks
+// drive them.
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"ortoa/internal/core"
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/kvstore"
+	"ortoa/internal/netsim"
+	"ortoa/internal/transport"
+)
+
+// System identifies a protocol under test.
+type System string
+
+// Systems of the evaluation.
+const (
+	SystemLBL      System = "LBL-ORTOA"
+	SystemTEE      System = "TEE-ORTOA"
+	SystemBaseline System = "2RTT"
+)
+
+// Config describes one cluster deployment.
+type Config struct {
+	// System selects the protocol.
+	System System
+	// Link is the proxy↔server network path (clients are colocated
+	// with the proxy, as in the paper's California placement).
+	Link netsim.Link
+	// ValueSize is the fixed value length in bytes (paper default
+	// 160 B).
+	ValueSize int
+	// Data is the initial database. Every key in it is accessible.
+	Data map[string][]byte
+	// Shards is the number of proxy/server pairs (Fig 3a); keys are
+	// hash-partitioned across them. Zero means 1.
+	Shards int
+	// LBLMode selects the LBL variant (default point-and-permute, the
+	// configuration of the paper's cost analysis).
+	LBLMode core.LBLMode
+	// EnclaveTransition is the simulated ecall overhead for TEE.
+	EnclaveTransition time.Duration
+	// ConnsPerShard sizes the proxy→server connection pool. Zero
+	// means one per expected concurrent client (set by Run).
+	ConnsPerShard int
+}
+
+// A Cluster is a running deployment: servers, proxies, and the routing
+// needed to access any key.
+type Cluster struct {
+	cfg     Config
+	shards  []*shard
+	servers []*transport.Server
+}
+
+type shard struct {
+	store    *kvstore.Store
+	rpc      *transport.Client
+	accessor core.Accessor
+	lblSrv   *core.LBLServer
+}
+
+// NewCluster builds, loads, and connects a deployment.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ConnsPerShard <= 0 {
+		cfg.ConnsPerShard = 32
+	}
+	if cfg.ValueSize <= 0 {
+		return nil, fmt.Errorf("harness: ValueSize must be positive")
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, srv, err := newShard(cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.shards = append(c.shards, sh)
+		c.servers = append(c.servers, srv)
+	}
+	if err := c.load(cfg.Data); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func newShard(cfg Config) (*shard, *transport.Server, error) {
+	store := kvstore.New()
+	srv := transport.NewServer()
+	listener := netsim.Listen(cfg.Link)
+	go srv.Serve(listener) //nolint:errcheck // returns on Close
+
+	client, err := transport.Dial(listener.Dial, cfg.ConnsPerShard)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := &shard{store: store, rpc: client}
+
+	switch cfg.System {
+	case SystemLBL:
+		lblSrv := core.NewLBLServer(store)
+		lblSrv.Register(srv)
+		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: cfg.LBLMode}, prf.NewRandom(), client)
+		if err != nil {
+			return nil, nil, err
+		}
+		sh.accessor = proxy
+		sh.lblSrv = lblSrv
+	case SystemTEE:
+		teeSrv, err := core.NewTEEServer(store, cfg.EnclaveTransition)
+		if err != nil {
+			return nil, nil, err
+		}
+		teeSrv.Register(srv)
+		teeClient, err := core.NewTEEClient(core.TEEConfig{ValueSize: cfg.ValueSize}, prf.NewRandom(), secretbox.NewRandomKey(), client)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := teeClient.AttestAndProvision(teeSrv.Enclave()); err != nil {
+			return nil, nil, err
+		}
+		sh.accessor = teeClient
+	case SystemBaseline:
+		core.NewBaselineServer(store).Register(srv)
+		proxy, err := core.NewBaselineProxy(core.BaselineConfig{ValueSize: cfg.ValueSize}, prf.NewRandom(), secretbox.NewRandomKey(), client)
+		if err != nil {
+			return nil, nil, err
+		}
+		sh.accessor = proxy
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown system %q", cfg.System)
+	}
+	return sh, srv, nil
+}
+
+// recordBuilder is implemented by every trusted-side protocol client.
+type recordBuilder interface {
+	BuildRecord(key string, value []byte) (string, []byte, error)
+}
+
+// load encodes and installs the initial database, building records in
+// parallel (record building is PRF/AES-heavy for LBL).
+func (c *Cluster) load(data map[string][]byte) error {
+	type kv struct{ k, v string }
+	keys := make([]kv, 0, len(data))
+	for k, v := range data {
+		keys = append(keys, kv{k, string(v)})
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	chunk := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []kv) {
+			defer wg.Done()
+			for _, e := range part {
+				sh := c.shardFor(e.k)
+				builder, ok := sh.accessor.(recordBuilder)
+				if !ok {
+					errc <- fmt.Errorf("harness: %T cannot build records", sh.accessor)
+					return
+				}
+				ek, rec, err := builder.BuildRecord(e.k, []byte(e.v))
+				if err != nil {
+					errc <- fmt.Errorf("harness: building record for %q: %w", e.k, err)
+					return
+				}
+				sh.store.Put(ek, rec)
+			}
+		}(keys[lo:hi])
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (c *Cluster) shardFor(key string) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Access routes one operation to the owning shard.
+func (c *Cluster) Access(op core.Op, key string, value []byte) ([]byte, core.AccessStats, error) {
+	return c.shardFor(key).Access(op, key, value)
+}
+
+func (s *shard) Access(op core.Op, key string, value []byte) ([]byte, core.AccessStats, error) {
+	return s.accessor.Access(op, key, value)
+}
+
+// TrafficStats aggregates proxy→server traffic across shards.
+func (c *Cluster) TrafficStats() transport.Stats {
+	var total transport.Stats
+	for _, sh := range c.shards {
+		st := sh.rpc.Stats()
+		total.BytesSent += st.BytesSent
+		total.BytesReceived += st.BytesReceived
+		total.Calls += st.Calls
+	}
+	return total
+}
+
+// ServerBytes returns total server-side storage, for §5.3.1 reporting.
+func (c *Cluster) ServerBytes() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.store.Bytes()
+	}
+	return n
+}
+
+// Shards returns the number of proxy/server pairs.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Close tears down all connections and servers.
+func (c *Cluster) Close() {
+	for _, sh := range c.shards {
+		if sh != nil && sh.rpc != nil {
+			sh.rpc.Close()
+		}
+	}
+	for _, srv := range c.servers {
+		srv.Close()
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Alternative table renderers, for piping experiment output into
+// spreadsheets (CSV) or documentation (Markdown). cmd/ortoa-bench
+// selects them with -format.
+
+// RenderCSV writes the table as CSV: a comment row with the title,
+// the header, then data rows. Notes become trailing comment rows.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.ID, t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# note", n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored Markdown table
+// with a heading.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderAs dispatches on format: "text" (default), "csv", "markdown".
+func (t *Table) RenderAs(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return t.Render(w)
+	case "csv":
+		return t.RenderCSV(w)
+	case "markdown", "md":
+		return t.RenderMarkdown(w)
+	default:
+		return fmt.Errorf("harness: unknown format %q (text, csv, markdown)", format)
+	}
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func renderTestTable() *Table {
+	t := &Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("beta|pipe", "2")
+	return t
+}
+
+func TestRenderCSVParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderTestTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	// title + header + 2 rows + 1 note.
+	if len(records) != 5 {
+		t.Fatalf("CSV has %d records, want 5", len(records))
+	}
+	if records[1][0] != "name" || records[2][0] != "alpha" {
+		t.Errorf("unexpected CSV layout: %v", records[:3])
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := renderTestTable().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### demo:", "| name | value |", "| --- | --- |", "| alpha | 1 |", `beta\|pipe`, "> a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	tbl := renderTestTable()
+	for _, format := range []string{"", "text", "csv", "markdown", "md"} {
+		var buf bytes.Buffer
+		if err := tbl.RenderAs(&buf, format); err != nil {
+			t.Errorf("format %q: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced no output", format)
+		}
+	}
+	if err := tbl.RenderAs(&bytes.Buffer{}, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"ortoa/internal/core"
+	"ortoa/internal/stats"
+	"ortoa/internal/workload"
+)
+
+// RunConfig describes one measured run against a cluster.
+type RunConfig struct {
+	Cluster *Cluster
+	// Workload drives the request mix; NumKeys/ValueSize must match
+	// the cluster's loaded data.
+	Workload workload.Config
+	// Concurrency is the number of closed-loop client threads (each
+	// waits for its response before issuing the next request, §6).
+	Concurrency int
+	// OpsPerClient is the number of operations each thread performs.
+	OpsPerClient int
+}
+
+// Result is one measured data point.
+type Result struct {
+	System      System
+	Latency     stats.Summary
+	Throughput  float64 // ops/s
+	Elapsed     time.Duration
+	Ops         int
+	Errors      int
+	BytesSentOp float64 // proxy→server bytes per op
+	BytesRecvOp float64 // server→proxy bytes per op
+}
+
+// Run drives the workload and measures latency and throughput.
+func Run(cfg RunConfig) (Result, error) {
+	if cfg.Cluster == nil {
+		return Result{}, fmt.Errorf("harness: RunConfig requires a Cluster")
+	}
+	if cfg.Concurrency <= 0 || cfg.OpsPerClient <= 0 {
+		return Result{}, fmt.Errorf("harness: Concurrency and OpsPerClient must be positive")
+	}
+	totalOps := cfg.Concurrency * cfg.OpsPerClient
+	rec := stats.NewRecorder(totalOps)
+	before := cfg.Cluster.TrafficStats()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errCount := 0
+	var firstErr error
+
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wl := cfg.Workload
+			wl.Seed = cfg.Workload.Seed + uint64(worker)*1_000_003 + 1
+			gen, err := workload.NewGenerator(wl)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				req := gen.Next()
+				opStart := time.Now()
+				_, _, err := cfg.Cluster.Access(req.Op, req.Key, req.Value)
+				rec.Add(time.Since(opStart))
+				if err != nil {
+					mu.Lock()
+					errCount++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("harness: %s %q: %w", req.Op, req.Key, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil && errCount == totalOps {
+		return Result{}, firstErr
+	}
+
+	after := cfg.Cluster.TrafficStats()
+	res := Result{
+		System:     cfg.Cluster.cfg.System,
+		Latency:    rec.Summarize(),
+		Throughput: stats.Throughput(totalOps, elapsed),
+		Elapsed:    elapsed,
+		Ops:        totalOps,
+		Errors:     errCount,
+	}
+	if totalOps > 0 {
+		res.BytesSentOp = float64(after.BytesSent-before.BytesSent) / float64(totalOps)
+		res.BytesRecvOp = float64(after.BytesReceived-before.BytesReceived) / float64(totalOps)
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// RunKeyed drives a 50/50 read/write closed-loop workload over an
+// explicit key set (the real-dataset experiments of Fig 4, whose keys
+// are not the synthetic key space).
+func RunKeyed(cluster *Cluster, records []workload.Record, concurrency, opsPerClient, valueSize int) (Result, error) {
+	if len(records) == 0 {
+		return Result{}, fmt.Errorf("harness: RunKeyed needs records")
+	}
+	totalOps := concurrency * opsPerClient
+	rec := stats.NewRecorder(totalOps)
+	before := cluster.TrafficStats()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errCount := 0
+	var firstErr error
+
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(worker), 0xDA7A))
+			for i := 0; i < opsPerClient; i++ {
+				r := records[rng.IntN(len(records))]
+				op := core.OpRead
+				var value []byte
+				if rng.IntN(2) == 1 {
+					op = core.OpWrite
+					value = make([]byte, valueSize)
+					for j := range value {
+						value[j] = byte(rng.Uint32())
+					}
+				}
+				opStart := time.Now()
+				_, _, err := cluster.Access(op, r.Key, value)
+				rec.Add(time.Since(opStart))
+				if err != nil {
+					mu.Lock()
+					errCount++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("harness: %s %q: %w", op, r.Key, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after := cluster.TrafficStats()
+	res := Result{
+		System:     cluster.cfg.System,
+		Latency:    rec.Summarize(),
+		Throughput: stats.Throughput(totalOps, elapsed),
+		Elapsed:    elapsed,
+		Ops:        totalOps,
+		Errors:     errCount,
+	}
+	if totalOps > 0 {
+		res.BytesSentOp = float64(after.BytesSent-before.BytesSent) / float64(totalOps)
+		res.BytesRecvOp = float64(after.BytesReceived-before.BytesReceived) / float64(totalOps)
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// Measure builds a cluster for cfg, runs the workload once, and tears
+// the cluster down — the one-shot helper most experiments use.
+func Measure(ccfg Config, wl workload.Config, concurrency, opsPerClient int) (Result, error) {
+	if ccfg.ConnsPerShard == 0 {
+		per := concurrency / max(1, ccfg.Shards)
+		if per < 1 {
+			per = 1
+		}
+		if per > 64 {
+			per = 64
+		}
+		ccfg.ConnsPerShard = per
+	}
+	if ccfg.Data == nil {
+		ccfg.Data = workload.InitialData(wl)
+	}
+	cluster, err := NewCluster(ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cluster.Close()
+	return Run(RunConfig{
+		Cluster:      cluster,
+		Workload:     wl,
+		Concurrency:  concurrency,
+		OpsPerClient: opsPerClient,
+	})
+}

@@ -1,0 +1,77 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(n int) *Store {
+	s := New()
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("key-%08d", i), make([]byte, 160))
+	}
+	return s
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := benchStore(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("key-%08d", i%10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := benchStore(10000)
+	v := make([]byte, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%08d", i%10000), v)
+	}
+}
+
+// BenchmarkUpdate is the protocols' atomic read-modify-replace path.
+func BenchmarkUpdate(b *testing.B) {
+	s := benchStore(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := s.Update(fmt.Sprintf("key-%08d", i%10000), func(old []byte) ([]byte, error) {
+			return old, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetParallel(b *testing.B) {
+	s := benchStore(10000)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Get(fmt.Sprintf("key-%08d", i%10000)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkUpdateParallelDisjoint(b *testing.B) {
+	s := benchStore(10000)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("key-%08d", i%10000)
+			if err := s.Update(key, func(old []byte) ([]byte, error) { return old, nil }); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,203 @@
+// Package kvstore is the in-memory key-value store the untrusted ORTOA
+// server keeps its encoded records in. It plays the role Redis plays in
+// the paper's deployment (§4.1): a fast GET/PUT map under the server
+// process, oblivious to what the bytes mean.
+//
+// The store is sharded to keep concurrent accesses from serializing on
+// one mutex, and tracks byte-level statistics so experiments can report
+// server storage exactly as §5.3.1 computes it.
+package kvstore
+
+import (
+	"errors"
+	"hash/maphash"
+	"sync"
+)
+
+// ErrNotFound reports a Get or Update of a key that is not present.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+const numShards = 256
+
+// A Store is a sharded in-memory byte-string map, safe for concurrent
+// use. AttachWAL adds crash-durable journaling (wal.go).
+type Store struct {
+	seed   maphash.Seed
+	shards [numShards]shard
+
+	walMu sync.Mutex
+	wal   *wal
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	items map[string][]byte
+	bytes int64 // sum of key+value lengths in this shard
+}
+
+// New returns an empty Store.
+func New() *Store {
+	s := &Store{seed: maphash.MakeSeed()}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string][]byte)
+	}
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := maphash.String(s.seed, key)
+	return &s.shards[h%numShards]
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	v, ok := sh.items[key]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	sh.mu.RUnlock()
+	return out, nil
+}
+
+// Put stores a copy of value under key, replacing any previous value.
+func (s *Store) Put(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if old, ok := sh.items[key]; ok {
+		sh.bytes -= int64(len(old))
+	} else {
+		sh.bytes += int64(len(key))
+	}
+	sh.items[key] = v
+	sh.bytes += int64(len(v))
+	s.journal(walOpPut, key, v)
+	sh.mu.Unlock()
+}
+
+// applyPut mutates without journaling (WAL replay).
+func (s *Store) applyPut(key string, value []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if old, ok := sh.items[key]; ok {
+		sh.bytes -= int64(len(old))
+	} else {
+		sh.bytes += int64(len(key))
+	}
+	sh.items[key] = value
+	sh.bytes += int64(len(value))
+	sh.mu.Unlock()
+}
+
+// applyDelete mutates without journaling (WAL replay).
+func (s *Store) applyDelete(key string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if v, ok := sh.items[key]; ok {
+		sh.bytes -= int64(len(key) + len(v))
+		delete(sh.items, key)
+	}
+	sh.mu.Unlock()
+}
+
+// journal appends a mutation to the WAL, if attached. Called with the
+// key's shard lock held, so replay order per key matches application
+// order. Journal failures are recorded and surfaced by SyncWAL /
+// DetachWAL rather than failing the in-memory operation.
+func (s *Store) journal(op byte, key string, value []byte) {
+	s.walMu.Lock()
+	w := s.wal
+	s.walMu.Unlock()
+	if w == nil {
+		return
+	}
+	w.append(op, key, value) //nolint:errcheck // surfaced on Sync/Detach via file state
+}
+
+// Update applies fn to the value stored under key while holding the
+// shard lock, storing fn's result. It returns ErrNotFound if key is
+// absent. The protocols use Update for their atomic
+// read-decrypt-replace step so two concurrent accesses to the same
+// object cannot interleave (the LBL server's decrypt-and-install must
+// see a consistent label array).
+func (s *Store) Update(key string, fn func(old []byte) ([]byte, error)) error {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.items[key]
+	if !ok {
+		return ErrNotFound
+	}
+	nv, err := fn(old)
+	if err != nil {
+		return err
+	}
+	sh.bytes += int64(len(nv)) - int64(len(old))
+	sh.items[key] = nv
+	s.journal(walOpPut, key, nv)
+	return nil
+}
+
+// Delete removes key. It reports whether the key was present.
+func (s *Store) Delete(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.items[key]
+	if !ok {
+		return false
+	}
+	sh.bytes -= int64(len(key) + len(v))
+	delete(sh.items, key)
+	s.journal(walOpDelete, key, nil)
+	return true
+}
+
+// Len returns the number of keys in the store.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Bytes returns the total size of all keys and values, the quantity
+// the paper's storage cost analysis (§5.3.1, §6.3.3) prices.
+func (s *Store) Bytes() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every key/value pair until fn returns false. The
+// value passed to fn must not be retained or modified. Range holds one
+// shard lock at a time, so it sees a consistent view per shard but not
+// across shards.
+func (s *Store) Range(fn func(key string, value []byte) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.items {
+			if !fn(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}

@@ -1,0 +1,141 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot format: magic, version, entry count, then count entries of
+// varint(keyLen) key varint(valLen) val. Values and keys are opaque
+// (already encrypted/encoded by the protocol layer).
+var snapshotMagic = [8]byte{'O', 'R', 'T', 'O', 'A', 'K', 'V', '1'}
+
+// WriteSnapshot serializes the full store contents to w. Concurrent
+// writers may interleave with the snapshot; per-shard consistency is
+// guaranteed, cross-shard is not (same contract as Range).
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(s.Len()))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	var writeErr error
+	written := uint64(0)
+	s.Range(func(k string, v []byte) bool {
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(k)))
+		if _, writeErr = bw.Write(lenBuf[:n]); writeErr != nil {
+			return false
+		}
+		if _, writeErr = bw.WriteString(k); writeErr != nil {
+			return false
+		}
+		n = binary.PutUvarint(lenBuf[:], uint64(len(v)))
+		if _, writeErr = bw.Write(lenBuf[:n]); writeErr != nil {
+			return false
+		}
+		if _, writeErr = bw.Write(v); writeErr != nil {
+			return false
+		}
+		written++
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	// The count was captured before iterating; if a concurrent writer
+	// changed the key set the snapshot is inconsistent — report it.
+	if got := uint64(s.Len()); got != written {
+		return fmt.Errorf("kvstore: store mutated during snapshot (wrote %d, now %d keys)", written, got)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads entries from r into the store, overwriting
+// duplicates.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("kvstore: reading snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("kvstore: bad snapshot magic %q", magic[:])
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return fmt.Errorf("kvstore: reading snapshot count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	for i := uint64(0); i < n; i++ {
+		key, err := readBlob(br)
+		if err != nil {
+			return fmt.Errorf("kvstore: snapshot entry %d key: %w", i, err)
+		}
+		val, err := readBlob(br)
+		if err != nil {
+			return fmt.Errorf("kvstore: snapshot entry %d value: %w", i, err)
+		}
+		s.Put(string(key), val)
+	}
+	return nil
+}
+
+func readBlob(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("blob length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// SaveFile writes a snapshot to path atomically (write to a temp file
+// in the same directory, then rename).
+func (s *Store) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ortoa-kv-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a snapshot from path into the store.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.ReadSnapshot(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

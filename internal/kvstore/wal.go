@@ -1,0 +1,328 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL support: a Store can journal every mutation to an append-only
+// log, so a crashed server restarts with its (encrypted) records
+// intact — the durability a Redis-style substrate would provide with
+// AOF persistence. Records are CRC-framed; replay stops cleanly at a
+// torn tail.
+//
+// Log record: [1B op][uvarint keyLen][key][uvarint valLen][value]
+// [4B crc32 of everything before it]. Deletes carry no value.
+
+const (
+	walOpPut    byte = 1
+	walOpDelete byte = 2
+)
+
+var walMagic = [8]byte{'O', 'R', 'T', 'O', 'A', 'W', 'L', '1'}
+
+// ErrWALAttached reports an AttachWAL on a store that already has one.
+var ErrWALAttached = errors.New("kvstore: WAL already attached")
+
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// AttachWAL replays the log at path into the store (creating it if
+// absent) and journals every subsequent Put, Update, and Delete.
+// Writes are buffered; call SyncWAL for durability points and
+// DetachWAL on shutdown.
+func (s *Store) AttachWAL(path string) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal != nil {
+		return ErrWALAttached
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return err
+	}
+	replayed, err := s.replayWAL(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	// Truncate any torn tail so new records append after the last
+	// valid one.
+	if err := f.Truncate(replayed); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(replayed, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	w := &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}
+	if replayed == 0 {
+		if _, err := w.w.Write(walMagic[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.wal = w
+	return nil
+}
+
+// replayWAL applies valid records and returns the byte offset of the
+// end of the last valid record.
+func (s *Store) replayWAL(f *os.File) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if info.Size() == 0 {
+		return 0, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("kvstore: reading WAL magic: %w", err)
+	}
+	if magic != walMagic {
+		return 0, fmt.Errorf("kvstore: bad WAL magic %q", magic[:])
+	}
+	valid := int64(len(walMagic))
+	for {
+		rec, n, err := readWALRecord(br)
+		if err != nil {
+			// Torn or corrupt tail: keep what was valid.
+			return valid, nil
+		}
+		switch rec.op {
+		case walOpPut:
+			s.applyPut(rec.key, rec.value)
+		case walOpDelete:
+			s.applyDelete(rec.key)
+		}
+		valid += n
+	}
+}
+
+type walRecord struct {
+	op    byte
+	key   string
+	value []byte
+}
+
+func readWALRecord(br *bufio.Reader) (walRecord, int64, error) {
+	var rec walRecord
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(br, crc)
+	var opBuf [1]byte
+	if _, err := io.ReadFull(tee, opBuf[:]); err != nil {
+		return rec, 0, err
+	}
+	rec.op = opBuf[0]
+	if rec.op != walOpPut && rec.op != walOpDelete {
+		return rec, 0, errors.New("kvstore: bad WAL op")
+	}
+	n := int64(1)
+	readBlobLen := func() ([]byte, error) {
+		l, vn, err := readUvarintCounted(tee)
+		if err != nil {
+			return nil, err
+		}
+		n += vn
+		if l > 1<<30 {
+			return nil, errors.New("kvstore: WAL blob too large")
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(tee, buf); err != nil {
+			return nil, err
+		}
+		n += int64(l)
+		return buf, nil
+	}
+	key, err := readBlobLen()
+	if err != nil {
+		return rec, 0, err
+	}
+	rec.key = string(key)
+	if rec.op == walOpPut {
+		rec.value, err = readBlobLen()
+		if err != nil {
+			return rec, 0, err
+		}
+	}
+	want := crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return rec, 0, err
+	}
+	n += 4
+	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
+		return rec, 0, errors.New("kvstore: WAL record CRC mismatch")
+	}
+	return rec, n, nil
+}
+
+// readUvarintCounted reads a uvarint and reports how many bytes it
+// consumed.
+func readUvarintCounted(r io.Reader) (uint64, int64, error) {
+	var v uint64
+	var shift uint
+	var n int64
+	var b [1]byte
+	for {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, n, err
+		}
+		n++
+		if shift >= 64 {
+			return 0, n, errors.New("kvstore: uvarint overflow")
+		}
+		v |= uint64(b[0]&0x7F) << shift
+		if b[0] < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+	}
+}
+
+// append journals one mutation. Callers hold the relevant shard lock,
+// so per-key replay order matches application order.
+func (w *wal) append(op byte, key string, value []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w.w, crc)
+	var lenBuf [binary.MaxVarintLen64]byte
+	if _, err := out.Write([]byte{op}); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
+	if _, err := out.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(out, key); err != nil {
+		return err
+	}
+	if op == walOpPut {
+		n = binary.PutUvarint(lenBuf[:], uint64(len(value)))
+		if _, err := out.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := out.Write(value); err != nil {
+			return err
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	_, err := w.w.Write(crcBuf[:])
+	return err
+}
+
+// SyncWAL flushes buffered log records and fsyncs the file. No-op
+// without an attached WAL.
+func (s *Store) SyncWAL() error {
+	s.walMu.Lock()
+	w := s.wal
+	s.walMu.Unlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// DetachWAL flushes, fsyncs, and closes the log; the store keeps its
+// contents and stops journaling.
+func (s *Store) DetachWAL() error {
+	s.walMu.Lock()
+	w := s.wal
+	s.wal = nil
+	s.walMu.Unlock()
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// CompactWAL rewrites the log as one Put per live key, bounding replay
+// time after long histories of record updates (every ORTOA access is
+// an update, so logs grow fast). The store must have a WAL attached.
+func (s *Store) CompactWAL() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return errors.New("kvstore: no WAL attached")
+	}
+	w := s.wal
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	tmpPath := w.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err := bw.Write(walMagic[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	fresh := &wal{f: tmp, w: bw, path: w.path}
+	var writeErr error
+	s.Range(func(key string, value []byte) bool {
+		// fresh.append locks fresh.mu; uncontended here.
+		if err := fresh.append(walOpPut, key, value); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		tmp.Close()
+		return writeErr
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Swap the live handle to the compacted file.
+	old := w.f
+	w.f = tmp
+	w.w = bw
+	old.Close()
+	return nil
+}

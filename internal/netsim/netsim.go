@@ -1,0 +1,333 @@
+// Package netsim provides in-memory net.Conn pairs with configurable
+// one-way propagation latency and per-connection bandwidth.
+//
+// It stands in for the paper's AWS/Azure WAN deployment and for the
+// Linux `tc` shaping the authors used for TEE-ORTOA (§6). A Link's RTT
+// models cross-datacenter propagation (Table 2); its Bandwidth models
+// effective per-stream TCP throughput, which is what turns LBL-ORTOA's
+// large encryption tables into the measurable communication-overhead
+// term `o` of §6.3.2 and the Fig 3b crossover.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// A Link describes one bidirectional network path.
+type Link struct {
+	// RTT is the round-trip propagation delay; each direction delays
+	// delivery by RTT/2.
+	RTT time.Duration
+	// Bandwidth is the per-connection throughput in bytes/second.
+	// Zero means unlimited.
+	Bandwidth int64
+	// Jitter adds a uniform random extra delay in [0, Jitter) to each
+	// delivery, modeling WAN variance. Zero means deterministic
+	// latency (the default; experiments average over runs instead).
+	Jitter time.Duration
+}
+
+// DefaultBandwidth approximates the effective single-stream TCP
+// throughput the paper's r5.xlarge cross-region links sustain
+// (~100 Mbit/s). Experiments use it unless overridden.
+const DefaultBandwidth = 12 << 20 // 12 MiB/s
+
+// Datacenter links from Table 2: proxy/clients in California, server at
+// the named location. Bandwidth set to DefaultBandwidth.
+var (
+	Loopback = Link{RTT: 0, Bandwidth: 0}
+	Oregon   = Link{RTT: 21840 * time.Microsecond, Bandwidth: DefaultBandwidth}
+	Virginia = Link{RTT: 62060 * time.Microsecond, Bandwidth: DefaultBandwidth}
+	London   = Link{RTT: 147730 * time.Microsecond, Bandwidth: DefaultBandwidth}
+	Mumbai   = Link{RTT: 230300 * time.Microsecond, Bandwidth: DefaultBandwidth}
+)
+
+// Locations maps Table 2 location names to their links, in the order
+// the paper sweeps them (Fig 2a).
+var Locations = []struct {
+	Name string
+	Link Link
+}{
+	{"Oregon", Oregon},
+	{"N.Virginia", Virginia},
+	{"London", London},
+	{"Mumbai", Mumbai},
+}
+
+// OneWay returns the one-direction propagation delay.
+func (l Link) OneWay() time.Duration { return l.RTT / 2 }
+
+// TransferTime returns the serialization delay for n bytes.
+func (l Link) TransferTime(n int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(l.Bandwidth) * float64(time.Second))
+}
+
+// String renders the link for experiment labels.
+func (l Link) String() string {
+	if l.Bandwidth <= 0 {
+		return fmt.Sprintf("rtt=%v bw=inf", l.RTT)
+	}
+	return fmt.Sprintf("rtt=%v bw=%dMiB/s", l.RTT, l.Bandwidth>>20)
+}
+
+// Pipe returns a connected pair of net.Conns joined by link. Data
+// written to one end becomes readable at the other after the link's
+// serialization plus propagation delay. Closing either end closes both
+// directions.
+func Pipe(link Link) (net.Conn, net.Conn) {
+	ab := newQueue()
+	ba := newQueue()
+	a := &conn{link: link, rd: ba, wr: ab, local: addr("netsim-a"), remote: addr("netsim-b")}
+	b := &conn{link: link, rd: ab, wr: ba, local: addr("netsim-b"), remote: addr("netsim-a")}
+	return a, b
+}
+
+type addr string
+
+func (a addr) Network() string { return "netsim" }
+func (a addr) String() string  { return string(a) }
+
+// A chunk is one Write's payload plus the time it becomes deliverable.
+type chunk struct {
+	deliverAt time.Time
+	data      []byte
+}
+
+// A queue is one direction of a pipe.
+type queue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	chunks    []chunk
+	busyUntil time.Time // link serialization horizon
+	closed    bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(link Link, p []byte) error {
+	data := make([]byte, len(p))
+	copy(data, p)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return io.ErrClosedPipe
+	}
+	now := time.Now()
+	start := now
+	if q.busyUntil.After(start) {
+		start = q.busyUntil
+	}
+	done := start.Add(link.TransferTime(len(p)))
+	q.busyUntil = done
+	delay := link.OneWay()
+	if link.Jitter > 0 {
+		delay += time.Duration(rand.Int64N(int64(link.Jitter)))
+	}
+	q.chunks = append(q.chunks, chunk{deliverAt: done.Add(delay), data: data})
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until data is available (and its delivery time has
+// passed), the queue is closed, or the deadline expires.
+func (q *queue) pop(p []byte, deadline time.Time) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.chunks) > 0 {
+			head := &q.chunks[0]
+			now := time.Now()
+			if wait := head.deliverAt.Sub(now); wait > 0 {
+				if !deadline.IsZero() && deadline.Before(head.deliverAt) {
+					if !deadline.After(now) {
+						return 0, os.ErrDeadlineExceeded
+					}
+					q.sleepLocked(deadline.Sub(now))
+					continue
+				}
+				q.sleepLocked(wait)
+				continue
+			}
+			n := copy(p, head.data)
+			if n == len(head.data) {
+				q.chunks = q.chunks[1:]
+				if len(q.chunks) == 0 {
+					q.chunks = nil
+				}
+			} else {
+				head.data = head.data[n:]
+			}
+			return n, nil
+		}
+		if q.closed {
+			return 0, io.EOF
+		}
+		if !deadline.IsZero() {
+			now := time.Now()
+			if !deadline.After(now) {
+				return 0, os.ErrDeadlineExceeded
+			}
+			q.sleepLocked(deadline.Sub(now))
+			continue
+		}
+		q.cond.Wait()
+	}
+}
+
+// sleepLocked waits for d or until the queue state changes, whichever
+// comes first, releasing the lock while asleep.
+func (q *queue) sleepLocked(d time.Duration) {
+	timer := time.AfterFunc(d, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	q.cond.Wait()
+	timer.Stop()
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+type conn struct {
+	link   Link
+	rd, wr *queue
+	local  addr
+	remote addr
+
+	mu           sync.Mutex
+	readDeadline time.Time
+	closed       bool
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	deadline := c.readDeadline
+	c.mu.Unlock()
+	return c.rd.pop(p, deadline)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, io.ErrClosedPipe
+	}
+	if err := c.wr.push(c.link, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	return c.SetReadDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	// Wake a blocked reader so it re-evaluates the deadline.
+	c.rd.mu.Lock()
+	c.rd.cond.Broadcast()
+	c.rd.mu.Unlock()
+	return nil
+}
+
+func (c *conn) SetWriteDeadline(time.Time) error {
+	// Writes never block in netsim; the deadline is trivially met.
+	return nil
+}
+
+// A Listener accepts in-memory connections created by its Dial method,
+// so a server and many clients can share one simulated network segment.
+type Listener struct {
+	link    Link
+	pending chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Listen returns a Listener whose connections traverse link.
+func Listen(link Link) *Listener {
+	return &Listener{
+		link:    link,
+		pending: make(chan net.Conn, 128),
+		done:    make(chan struct{}),
+	}
+}
+
+// Dial creates a new connection to the listener.
+func (l *Listener) Dial() (net.Conn, error) {
+	select {
+	case <-l.done:
+		return nil, errors.New("netsim: listener closed")
+	default:
+	}
+	client, server := Pipe(l.link)
+	select {
+	case l.pending <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, errors.New("netsim: listener closed")
+	}
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, errors.New("netsim: listener closed")
+	}
+}
+
+// Close stops the listener. Established connections are unaffected.
+func (l *Listener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return addr("netsim-listener") }

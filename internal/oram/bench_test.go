@@ -1,0 +1,61 @@
+package oram
+
+import (
+	"testing"
+
+	"ortoa/internal/core"
+	"ortoa/internal/netsim"
+	"ortoa/internal/transport"
+)
+
+func benchDeployment(b *testing.B, mode Mode) *Client {
+	b.Helper()
+	cfg := Config{NumBlocks: 256, BlockSize: 64}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := transport.NewServer()
+	srv.Register(ts)
+	l := netsim.Listen(netsim.Loopback)
+	go ts.Serve(l)
+	b.Cleanup(func() { ts.Close() })
+	rpc, err := transport.Dial(l.Dial, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { rpc.Close() })
+	client, err := NewClient(cfg, mode, rpc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := map[int][]byte{}
+	for i := 0; i < cfg.NumBlocks; i++ {
+		values[i] = make([]byte, cfg.BlockSize)
+	}
+	buckets, err := client.BuildInitialBuckets(values)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Load(buckets); err != nil {
+		b.Fatal(err)
+	}
+	return client
+}
+
+// BenchmarkAccess compares the per-access cost of the classic
+// two-round PathORAM and the fused one-round variant (§8).
+func BenchmarkAccess(b *testing.B) {
+	for _, mode := range []Mode{TwoRound, OneRound} {
+		b.Run(mode.String(), func(b *testing.B) {
+			client := benchDeployment(b, mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Access(core.OpRead, i%256, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,367 @@
+package oram
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"ortoa/internal/core"
+	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/transport"
+	"ortoa/internal/wire"
+)
+
+// A positionMap resolves and reassigns block positions. The in-memory
+// implementation is the classic O(N)-client-state PathORAM map; the
+// recursive construction (recursive.go) stores it in a smaller ORAM.
+type positionMap interface {
+	// swap returns the block's current leaf and installs newLeaf, as
+	// one logical operation (an access consults the map exactly once).
+	swap(id int, newLeaf uint32) (uint32, error)
+}
+
+// memPositions is the in-memory position map.
+type memPositions []uint32
+
+func (m memPositions) swap(id int, newLeaf uint32) (uint32, error) {
+	old := m[id]
+	m[id] = newLeaf
+	return old, nil
+}
+
+// A Client is the trusted side of the ORAM: it owns the position map
+// and the stash (the O(N) proxy state §5.3.1 discusses for oblivious
+// schemes) and the bucket encryption key.
+type Client struct {
+	cfg  Config
+	mode Mode
+	box  *secretbox.Box
+	rpc  *transport.Client
+
+	mu        sync.Mutex
+	positions positionMap
+	stash     map[uint32]block
+	rng       *rand.Rand
+}
+
+// NewClient returns a client for cfg in the given mode. If cfg.Key is
+// nil a fresh key is generated.
+func NewClient(cfg Config, mode Mode, rpc *transport.Client) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Key == nil {
+		cfg.Key = secretbox.NewRandomKey()
+	}
+	box, err := secretbox.NewBox(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:   cfg,
+		mode:  mode,
+		box:   box,
+		rpc:   rpc,
+		stash: make(map[uint32]block),
+		rng:   rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
+	}
+	pos := make(memPositions, cfg.NumBlocks)
+	for i := range pos {
+		pos[i] = c.randomLeaf()
+	}
+	c.positions = pos
+	return c, nil
+}
+
+func (c *Client) randomLeaf() uint32 {
+	return uint32(c.rng.IntN(c.cfg.numLeaves()))
+}
+
+// Mode returns the client's access protocol.
+func (c *Client) Mode() Mode { return c.mode }
+
+// StashSize returns the current stash occupancy.
+func (c *Client) StashSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stash)
+}
+
+// BuildInitialBuckets assigns every block a random position, packs
+// blocks into their paths (overflow stays in the stash), and returns
+// sealed buckets for every tree node, ready for Server.Load.
+func (c *Client) BuildInitialBuckets(values map[int][]byte) (map[int][]byte, error) {
+	buckets, _, err := c.BuildInitialBucketsAssign(values)
+	return buckets, err
+}
+
+// BuildInitialBucketsAssign is BuildInitialBuckets, additionally
+// returning the full position assignment (indexed by block id). The
+// recursive construction packs these positions into the next level's
+// blocks instead of keeping them in client memory.
+func (c *Client) BuildInitialBucketsAssign(values map[int][]byte) (map[int][]byte, []uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Fresh random assignment for every block id, not just loaded ones
+	// (never-written blocks still need defined positions).
+	positions := make([]uint32, c.cfg.NumBlocks)
+	for i := range positions {
+		positions[i] = c.randomLeaf()
+	}
+	if mem, ok := c.positions.(memPositions); ok {
+		copy(mem, positions)
+	}
+	// Tentative placement: blocks per node.
+	placement := make(map[int][]block)
+	for id, v := range values {
+		if id < 0 || id >= c.cfg.NumBlocks {
+			return nil, nil, fmt.Errorf("oram: block id %d out of range", id)
+		}
+		if len(v) != c.cfg.BlockSize {
+			return nil, nil, fmt.Errorf("oram: block %d has %d bytes, want %d", id, len(v), c.cfg.BlockSize)
+		}
+		leaf := positions[id]
+		b := block{id: uint32(id), leaf: leaf, value: append([]byte(nil), v...)}
+		placed := false
+		// Deepest level first.
+		for level := c.cfg.levels() - 1; level >= 0; level-- {
+			node := c.cfg.nodeAt(leaf, level)
+			if len(placement[node]) < c.cfg.BucketSize {
+				placement[node] = append(placement[node], b)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			c.stash[b.id] = b
+		}
+	}
+	out := make(map[int][]byte, c.cfg.numNodes())
+	for node := 1; node <= c.cfg.numNodes(); node++ {
+		sealed, err := c.cfg.sealBucket(c.box, placement[node])
+		if err != nil {
+			return nil, nil, err
+		}
+		out[node] = sealed
+	}
+	return out, positions, nil
+}
+
+// Access reads or writes one logical block obliviously. Reads of
+// never-written blocks return zeros.
+func (c *Client) Access(op core.Op, id int, newValue []byte) ([]byte, error) {
+	if id < 0 || id >= c.cfg.NumBlocks {
+		return nil, fmt.Errorf("oram: block id %d out of range", id)
+	}
+	if op == core.OpWrite && len(newValue) != c.cfg.BlockSize {
+		return nil, fmt.Errorf("oram: write of %d bytes, want %d", len(newValue), c.cfg.BlockSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	newLeaf := c.randomLeaf()
+	oldLeaf, err := c.positions.swap(id, newLeaf)
+	if err != nil {
+		return nil, fmt.Errorf("oram: position map: %w", err)
+	}
+
+	switch c.mode {
+	case TwoRound:
+		return c.accessTwoRound(op, uint32(id), oldLeaf, newLeaf, newValue, nil)
+	case OneRound:
+		return c.accessOneRound(op, uint32(id), oldLeaf, newLeaf, newValue, nil)
+	default:
+		return nil, fmt.Errorf("oram: unknown mode %d", c.mode)
+	}
+}
+
+// AccessModify atomically reads block id and replaces its value with
+// modify(old) within a single ORAM access — the read-modify-write the
+// recursive position map needs to stay at one access per level.
+// It returns the pre-modification value.
+func (c *Client) AccessModify(id int, modify func(old []byte) []byte) ([]byte, error) {
+	if id < 0 || id >= c.cfg.NumBlocks {
+		return nil, fmt.Errorf("oram: block id %d out of range", id)
+	}
+	if modify == nil {
+		return nil, fmt.Errorf("oram: AccessModify requires a modify function")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	newLeaf := c.randomLeaf()
+	oldLeaf, err := c.positions.swap(id, newLeaf)
+	if err != nil {
+		return nil, fmt.Errorf("oram: position map: %w", err)
+	}
+	switch c.mode {
+	case TwoRound:
+		return c.accessTwoRound(core.OpWrite, uint32(id), oldLeaf, newLeaf, nil, modify)
+	case OneRound:
+		return c.accessOneRound(core.OpWrite, uint32(id), oldLeaf, newLeaf, nil, modify)
+	default:
+		return nil, fmt.Errorf("oram: unknown mode %d", c.mode)
+	}
+}
+
+// accessTwoRound is classic PathORAM: round 1 reads the path into the
+// stash, round 2 writes the re-shuffled path back.
+func (c *Client) accessTwoRound(op core.Op, id, leaf, newLeaf uint32, newValue []byte, modify func([]byte) []byte) ([]byte, error) {
+	w := wire.NewWriter(8)
+	w.Uint32(leaf)
+	resp, err := c.rpc.Call(MsgReadPath, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.mergePath(resp); err != nil {
+		return nil, err
+	}
+	result := c.serveFromStash(op, id, newLeaf, newValue, modify)
+
+	buckets, err := c.buildEviction(leaf, dummyID)
+	if err != nil {
+		return nil, err
+	}
+	w = wire.NewWriter(len(buckets) * (c.cfg.bucketPlainLen() + 64))
+	w.Uint32(leaf)
+	w.Uvarint(uint64(len(buckets)))
+	for _, b := range buckets {
+		w.BytesPfx(b)
+	}
+	if _, err := c.rpc.Call(MsgWritePath, w.Bytes()); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// accessOneRound fuses the two rounds (§8): evict *current* stash
+// blocks into the requested path and read the path's previous contents
+// in one message. The requested block is excluded from this eviction
+// so it can be served after the response arrives.
+func (c *Client) accessOneRound(op core.Op, id, leaf, newLeaf uint32, newValue []byte, modify func([]byte) []byte) ([]byte, error) {
+	buckets, err := c.buildEviction(leaf, id)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(len(buckets) * (c.cfg.bucketPlainLen() + 64))
+	w.Uint32(leaf)
+	w.Uvarint(uint64(len(buckets)))
+	for _, b := range buckets {
+		w.BytesPfx(b)
+	}
+	resp, err := c.rpc.Call(MsgAccessPath, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.mergePath(resp); err != nil {
+		return nil, err
+	}
+	return c.serveFromStash(op, id, newLeaf, newValue, modify), nil
+}
+
+// mergePath decrypts a serialized path and adds its real blocks to the
+// stash.
+func (c *Client) mergePath(payload []byte) error {
+	r := wire.NewReader(payload)
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != c.cfg.levels() {
+		return fmt.Errorf("oram: path has %d buckets, want %d", n, c.cfg.levels())
+	}
+	for i := 0; i < n; i++ {
+		sealed := r.BytesPfx()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if len(sealed) == 0 {
+			continue // node never written (bootstrap-free deployments)
+		}
+		blocks, err := c.cfg.openBucket(c.box, sealed)
+		if err != nil {
+			return fmt.Errorf("oram: bucket %d: %w", i, err)
+		}
+		for _, b := range blocks {
+			c.stash[b.id] = b
+		}
+	}
+	return r.Finish()
+}
+
+// serveFromStash answers the request from the stash, applies writes
+// (or a read-modify-write), and stamps the accessed block with its
+// freshly assigned leaf. Reads of absent blocks return zeros.
+func (c *Client) serveFromStash(op core.Op, id, newLeaf uint32, newValue []byte, modify func([]byte) []byte) []byte {
+	if modify != nil {
+		old := make([]byte, c.cfg.BlockSize)
+		if b, ok := c.stash[id]; ok {
+			copy(old, b.value)
+		}
+		result := append([]byte(nil), old...)
+		c.stash[id] = block{id: id, leaf: newLeaf, value: modify(old)}
+		return result
+	}
+	if op == core.OpWrite {
+		c.stash[id] = block{id: id, leaf: newLeaf, value: append([]byte(nil), newValue...)}
+		return append([]byte(nil), newValue...)
+	}
+	if b, ok := c.stash[id]; ok {
+		b.leaf = newLeaf
+		c.stash[id] = b
+		return append([]byte(nil), b.value...)
+	}
+	return make([]byte, c.cfg.BlockSize)
+}
+
+// buildEviction greedily places stash blocks (except exclude) into the
+// path to leaf, removes the placed blocks from the stash, and returns
+// the sealed per-level buckets (root first).
+func (c *Client) buildEviction(leaf uint32, exclude uint32) ([][]byte, error) {
+	levels := c.cfg.levels()
+	placed := make([][]block, levels)
+
+	// Candidates sorted by deepest placeable level, deepest first, so
+	// blocks sink as far as possible (PathORAM's greedy eviction).
+	type cand struct {
+		b       block
+		deepest int
+	}
+	var cands []cand
+	for _, b := range c.stash {
+		if b.id == exclude {
+			continue
+		}
+		deepest := -1
+		for level := levels - 1; level >= 0; level-- {
+			if c.cfg.onPath(b.leaf, leaf, level) {
+				deepest = level
+				break
+			}
+		}
+		if deepest >= 0 {
+			cands = append(cands, cand{b: b, deepest: deepest})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].deepest > cands[j].deepest })
+	for _, cd := range cands {
+		for level := cd.deepest; level >= 0; level-- {
+			if len(placed[level]) < c.cfg.BucketSize {
+				placed[level] = append(placed[level], cd.b)
+				delete(c.stash, cd.b.id)
+				break
+			}
+		}
+	}
+
+	out := make([][]byte, levels)
+	for level := range out {
+		sealed, err := c.cfg.sealBucket(c.box, placed[level])
+		if err != nil {
+			return nil, err
+		}
+		out[level] = sealed
+	}
+	return out, nil
+}

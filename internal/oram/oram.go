@@ -1,0 +1,190 @@
+// Package oram implements the paper's §8 sketch: tree-based ORAM in
+// the style of PathORAM [58], in two flavours —
+//
+//   - TwoRound: the classic scheme (read the path, then write the
+//     shuffled path back), costing two round trips per access exactly
+//     like the oblivious baselines ORTOA argues against, and
+//   - OneRound: the ORTOA-fused variant the paper sketches, where a
+//     single message both reads a path and evicts stash blocks from
+//     *previous* accesses into it. The server returns the path's old
+//     buckets and atomically installs the new ones, so reading and
+//     evicting share one round trip.
+//
+// Unlike the rest of the repository, this scheme hides the accessed
+// object too (the adversary sees a uniformly random path per access),
+// on top of ORTOA's operation-type obliviousness.
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"ortoa/internal/crypto/secretbox"
+)
+
+// Mode selects the access protocol.
+type Mode uint8
+
+// Access protocol variants.
+const (
+	// TwoRound is classic PathORAM: read path, then evict path.
+	TwoRound Mode = iota
+	// OneRound fuses read and eviction into one round trip (§8).
+	OneRound
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == OneRound {
+		return "one-round"
+	}
+	return "two-round"
+}
+
+// Transport message types (disjoint from core's).
+const (
+	// MsgReadPath returns a path's buckets (TwoRound, round 1).
+	MsgReadPath byte = 0x20
+	// MsgWritePath installs a path's buckets (TwoRound, round 2).
+	MsgWritePath byte = 0x21
+	// MsgAccessPath atomically swaps a path: returns the old buckets
+	// and installs the provided ones (OneRound).
+	MsgAccessPath byte = 0x22
+)
+
+// Config fixes an ORAM deployment's shape.
+type Config struct {
+	// NumBlocks is the logical address space (block ids 0..NumBlocks-1).
+	NumBlocks int
+	// BlockSize is the fixed block payload size in bytes.
+	BlockSize int
+	// BucketSize is Z, the blocks per tree node (default 4, as in
+	// PathORAM).
+	BucketSize int
+	// Key is the AES key encrypting buckets (shared by client;
+	// generated if nil at client construction).
+	Key []byte
+}
+
+func (c Config) withDefaults() Config {
+	if c.BucketSize == 0 {
+		c.BucketSize = 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.NumBlocks <= 0 {
+		return fmt.Errorf("oram: NumBlocks %d must be positive", c.NumBlocks)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("oram: BlockSize %d must be positive", c.BlockSize)
+	}
+	if c.BucketSize <= 0 {
+		return fmt.Errorf("oram: BucketSize %d must be positive", c.BucketSize)
+	}
+	return nil
+}
+
+// levels returns the number of tree levels L+1 (root is level 0,
+// leaves level L) for n logical blocks: enough leaves to give each
+// block its own leaf.
+func (c Config) levels() int {
+	n := c.NumBlocks
+	if n < 2 {
+		n = 2
+	}
+	return bits.Len(uint(n-1)) + 1
+}
+
+// numLeaves returns the leaf count 2^L.
+func (c Config) numLeaves() int { return 1 << (c.levels() - 1) }
+
+// numNodes returns the total node count of the complete tree
+// (1-indexed heap layout: node 1 is the root, children of i are 2i and
+// 2i+1).
+func (c Config) numNodes() int { return 2*c.numLeaves() - 1 }
+
+// nodeAt returns the heap index of the level-th node on the path to
+// leaf (level 0 = root).
+func (c Config) nodeAt(leaf uint32, level int) int {
+	leafNode := c.numLeaves() + int(leaf) // heap index of the leaf
+	return leafNode >> uint(c.levels()-1-level)
+}
+
+// pathNodes returns the heap indices of the root→leaf path.
+func (c Config) pathNodes(leaf uint32) []int {
+	nodes := make([]int, c.levels())
+	for l := range nodes {
+		nodes[l] = c.nodeAt(leaf, l)
+	}
+	return nodes
+}
+
+// onPath reports whether the level-th bucket of the path to leaf a is
+// also on the path to leaf b (the PathORAM eviction condition).
+func (c Config) onPath(a, b uint32, level int) bool {
+	return c.nodeAt(a, level) == c.nodeAt(b, level)
+}
+
+// dummyID marks an empty slot inside a bucket.
+const dummyID = ^uint32(0)
+
+// A block is one stash entry. Each block carries its assigned leaf so
+// eviction never needs a position-map lookup — the property that makes
+// recursive position maps affordable (one map access per ORAM access).
+type block struct {
+	id    uint32
+	leaf  uint32
+	value []byte
+}
+
+// slotLen is the serialized size of one bucket slot: id + leaf +
+// payload.
+func (c Config) slotLen() int { return 8 + c.BlockSize }
+
+// bucketPlainLen is the plaintext bucket size: Z slots.
+func (c Config) bucketPlainLen() int { return c.BucketSize * c.slotLen() }
+
+// sealBucket encrypts Z slots. blocks beyond len are dummies.
+func (c Config) sealBucket(box *secretbox.Box, blocks []block) ([]byte, error) {
+	if len(blocks) > c.BucketSize {
+		return nil, fmt.Errorf("oram: %d blocks exceed bucket size %d", len(blocks), c.BucketSize)
+	}
+	plain := make([]byte, c.bucketPlainLen())
+	for i := 0; i < c.BucketSize; i++ {
+		slot := plain[i*c.slotLen():]
+		if i < len(blocks) {
+			binary.LittleEndian.PutUint32(slot, blocks[i].id)
+			binary.LittleEndian.PutUint32(slot[4:], blocks[i].leaf)
+			copy(slot[8:8+c.BlockSize], blocks[i].value)
+		} else {
+			binary.LittleEndian.PutUint32(slot, dummyID)
+		}
+	}
+	return box.Seal(plain), nil
+}
+
+// openBucket decrypts a bucket and returns its real blocks.
+func (c Config) openBucket(box *secretbox.Box, sealed []byte) ([]block, error) {
+	plain, err := box.Open(sealed)
+	if err != nil {
+		return nil, err
+	}
+	if len(plain) != c.bucketPlainLen() {
+		return nil, fmt.Errorf("oram: bucket plaintext %d bytes, want %d", len(plain), c.bucketPlainLen())
+	}
+	var blocks []block
+	for i := 0; i < c.BucketSize; i++ {
+		slot := plain[i*c.slotLen():]
+		id := binary.LittleEndian.Uint32(slot)
+		if id == dummyID {
+			continue
+		}
+		v := make([]byte, c.BlockSize)
+		copy(v, slot[8:])
+		blocks = append(blocks, block{id: id, leaf: binary.LittleEndian.Uint32(slot[4:]), value: v})
+	}
+	return blocks, nil
+}

@@ -1,0 +1,340 @@
+package oram
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"ortoa/internal/core"
+	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/netsim"
+	"ortoa/internal/transport"
+)
+
+func newDeployment(t *testing.T, cfg Config, mode Mode) (*Client, *Server, *transport.Client) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := transport.NewServer()
+	srv.Register(ts)
+	l := netsim.Listen(netsim.Loopback)
+	go ts.Serve(l)
+	t.Cleanup(func() { ts.Close() })
+	rpc, err := transport.Dial(l.Dial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rpc.Close() })
+	client, err := NewClient(cfg, mode, rpc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, srv, rpc
+}
+
+func initValues(n, size int) map[int][]byte {
+	values := make(map[int][]byte, n)
+	for i := 0; i < n; i++ {
+		v := make([]byte, size)
+		for j := range v {
+			v[j] = byte(i + j)
+		}
+		values[i] = v
+	}
+	return values
+}
+
+func bootstrap(t *testing.T, client *Client, srv *Server, values map[int][]byte) {
+	t.Helper()
+	buckets, err := client.BuildInitialBuckets(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Load(buckets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := Config{NumBlocks: 8, BlockSize: 4}.withDefaults()
+	if cfg.numLeaves() < 8 {
+		t.Errorf("numLeaves = %d, want ≥ 8", cfg.numLeaves())
+	}
+	if cfg.numNodes() != 2*cfg.numLeaves()-1 {
+		t.Errorf("numNodes = %d", cfg.numNodes())
+	}
+	// Path from any leaf has `levels` nodes, root first, leaf last.
+	nodes := cfg.pathNodes(3)
+	if len(nodes) != cfg.levels() {
+		t.Fatalf("path has %d nodes", len(nodes))
+	}
+	if nodes[0] != 1 {
+		t.Errorf("path does not start at root: %v", nodes)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i]/2 != nodes[i-1] {
+			t.Errorf("node %d is not a child of %d", nodes[i], nodes[i-1])
+		}
+	}
+}
+
+func TestOnPath(t *testing.T) {
+	cfg := Config{NumBlocks: 16, BlockSize: 4}.withDefaults()
+	// Every pair shares the root.
+	if !cfg.onPath(0, uint32(cfg.numLeaves()-1), 0) {
+		t.Error("disjoint leaves do not share the root")
+	}
+	// A leaf shares its whole path with itself.
+	for level := 0; level < cfg.levels(); level++ {
+		if !cfg.onPath(5, 5, level) {
+			t.Errorf("leaf not on its own path at level %d", level)
+		}
+	}
+}
+
+func TestBucketSealRoundTrip(t *testing.T) {
+	cfg := Config{NumBlocks: 8, BlockSize: 6}.withDefaults()
+	box, _ := secretbox.NewBox(secretbox.NewRandomKey())
+	blocks := []block{
+		{id: 3, value: []byte{1, 2, 3, 4, 5, 6}},
+		{id: 7, value: []byte{9, 9, 9, 9, 9, 9}},
+	}
+	sealed, err := cfg.sealBucket(box, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfg.openBucket(box, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d blocks", len(got))
+	}
+	if got[0].id != 3 || !bytes.Equal(got[0].value, blocks[0].value) {
+		t.Errorf("block 0 = %+v", got[0])
+	}
+}
+
+func TestBucketOverflowRejected(t *testing.T) {
+	cfg := Config{NumBlocks: 8, BlockSize: 2, BucketSize: 2}
+	box, _ := secretbox.NewBox(secretbox.NewRandomKey())
+	blocks := []block{{id: 1}, {id: 2}, {id: 3}}
+	if _, err := cfg.sealBucket(box, blocks); err == nil {
+		t.Error("sealBucket accepted overflow")
+	}
+}
+
+func TestReadInitialValues(t *testing.T) {
+	for _, mode := range []Mode{TwoRound, OneRound} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{NumBlocks: 16, BlockSize: 8}
+			client, srv, _ := newDeployment(t, cfg, mode)
+			values := initValues(16, 8)
+			bootstrap(t, client, srv, values)
+			for id, want := range values {
+				got, err := client.Access(core.OpRead, id, nil)
+				if err != nil {
+					t.Fatalf("read %d: %v", id, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("read %d = %v, want %v", id, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	for _, mode := range []Mode{TwoRound, OneRound} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{NumBlocks: 8, BlockSize: 4}
+			client, srv, _ := newDeployment(t, cfg, mode)
+			bootstrap(t, client, srv, initValues(8, 4))
+			want := []byte{0xCA, 0xFE, 0xBA, 0xBE}
+			if _, err := client.Access(core.OpWrite, 5, want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := client.Access(core.OpRead, 5, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("read after write = %v", got)
+			}
+		})
+	}
+}
+
+func TestRoundCounts(t *testing.T) {
+	// The paper's point: the fused protocol costs one RPC per access,
+	// classic PathORAM two.
+	for _, tc := range []struct {
+		mode Mode
+		want int64
+	}{{TwoRound, 2}, {OneRound, 1}} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			cfg := Config{NumBlocks: 8, BlockSize: 4}
+			client, srv, rpc := newDeployment(t, cfg, tc.mode)
+			bootstrap(t, client, srv, initValues(8, 4))
+			before := rpc.Stats().Calls
+			const accesses = 6
+			for i := 0; i < accesses; i++ {
+				if _, err := client.Access(core.OpRead, i%8, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := rpc.Stats().Calls - before
+			if got != tc.want*accesses {
+				t.Errorf("%d accesses made %d RPCs, want %d", accesses, got, tc.want*accesses)
+			}
+		})
+	}
+}
+
+// TestNoDataLossLongWorkload is the §8 invariant check: a long random
+// mixed workload against an in-memory model, with bounded stash.
+func TestNoDataLossLongWorkload(t *testing.T) {
+	for _, mode := range []Mode{TwoRound, OneRound} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const n = 32
+			const blockSize = 8
+			cfg := Config{NumBlocks: n, BlockSize: blockSize}
+			client, srv, _ := newDeployment(t, cfg, mode)
+			model := initValues(n, blockSize)
+			bootstrap(t, client, srv, model)
+
+			rng := rand.New(rand.NewPCG(99, uint64(mode)))
+			for i := 0; i < 400; i++ {
+				id := rng.IntN(n)
+				if rng.IntN(2) == 0 {
+					got, err := client.Access(core.OpRead, id, nil)
+					if err != nil {
+						t.Fatalf("op %d read %d: %v", i, id, err)
+					}
+					if !bytes.Equal(got, model[id]) {
+						t.Fatalf("op %d: read %d = %v, want %v", i, id, got, model[id])
+					}
+				} else {
+					v := make([]byte, blockSize)
+					for j := range v {
+						v[j] = byte(rng.Uint32())
+					}
+					if _, err := client.Access(core.OpWrite, id, v); err != nil {
+						t.Fatalf("op %d write %d: %v", i, id, err)
+					}
+					model[id] = v
+				}
+				if s := client.StashSize(); s > n {
+					t.Fatalf("op %d: stash grew to %d (> %d blocks)", i, s, n)
+				}
+			}
+			t.Logf("%s: final stash size %d / %d blocks", mode, client.StashSize(), n)
+		})
+	}
+}
+
+func TestUnwrittenBlockReadsZero(t *testing.T) {
+	cfg := Config{NumBlocks: 8, BlockSize: 4}
+	client, srv, _ := newDeployment(t, cfg, OneRound)
+	bootstrap(t, client, srv, map[int][]byte{}) // empty database
+	got, err := client.Access(core.OpRead, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 4)) {
+		t.Errorf("unwritten read = %v, want zeros", got)
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	cfg := Config{NumBlocks: 4, BlockSize: 4}
+	client, srv, _ := newDeployment(t, cfg, OneRound)
+	bootstrap(t, client, srv, initValues(4, 4))
+	if _, err := client.Access(core.OpRead, -1, nil); err == nil {
+		t.Error("accepted negative id")
+	}
+	if _, err := client.Access(core.OpRead, 4, nil); err == nil {
+		t.Error("accepted out-of-range id")
+	}
+	if _, err := client.Access(core.OpWrite, 0, []byte{1}); err == nil {
+		t.Error("accepted short value")
+	}
+}
+
+func TestServerSeesUniformPaths(t *testing.T) {
+	// Observability check: accessing the same block repeatedly must
+	// touch fresh random leaves (position remapping), not one leaf.
+	cfg := Config{NumBlocks: 64, BlockSize: 4}
+	client, srv, _ := newDeployment(t, cfg, OneRound)
+	bootstrap(t, client, srv, initValues(64, 4))
+	leaves := map[uint32]bool{}
+	for i := 0; i < 40; i++ {
+		leaves[client.positions.(memPositions)[7]] = true
+		if _, err := client.Access(core.OpRead, 7, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(leaves) < 10 {
+		t.Errorf("40 accesses used only %d distinct leaves", len(leaves))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NumBlocks: 0, BlockSize: 4},
+		{NumBlocks: 4, BlockSize: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBuildInitialBucketsValidation(t *testing.T) {
+	cfg := Config{NumBlocks: 4, BlockSize: 4}
+	client, _, _ := newDeployment(t, cfg, OneRound)
+	if _, err := client.BuildInitialBuckets(map[int][]byte{9: make([]byte, 4)}); err == nil {
+		t.Error("accepted out-of-range id")
+	}
+	if _, err := client.BuildInitialBuckets(map[int][]byte{0: {1}}); err == nil {
+		t.Error("accepted wrong-size block")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	srv, err := NewServer(Config{NumBlocks: 4, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Load(map[int][]byte{0: {1}}); err == nil {
+		t.Error("Load accepted index 0")
+	}
+	if err := srv.Load(map[int][]byte{1 << 20: {1}}); err == nil {
+		t.Error("Load accepted out-of-range index")
+	}
+}
+
+func TestManyBlocksSweep(t *testing.T) {
+	// Geometry check across sizes: every block readable after init.
+	for _, n := range []int{1, 2, 3, 5, 17, 33} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			cfg := Config{NumBlocks: n, BlockSize: 4}
+			client, srv, _ := newDeployment(t, cfg, TwoRound)
+			values := initValues(n, 4)
+			bootstrap(t, client, srv, values)
+			for id, want := range values {
+				got, err := client.Access(core.OpRead, id, nil)
+				if err != nil {
+					t.Fatalf("n=%d read %d: %v", n, id, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("n=%d read %d mismatch", n, id)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+package oram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ortoa/internal/core"
+)
+
+// Recursive position maps: the classic PathORAM construction that
+// shrinks the client's O(N) position map to O(1) by storing each
+// level's map as the data of a smaller ORAM. §5.3.1 frames the O(N)
+// proxy state as the price oblivious schemes pay for performance; this
+// file implements the other end of that trade-off.
+//
+// Level 0 is the data ORAM. Level i+1 stores level i's position map,
+// packed positionsPerBlock entries per block, down to a level small
+// enough to keep in memory. Each access consults its level's map
+// exactly once (blocks carry their leaf, so eviction needs no
+// lookups), and the consultation is a single read-modify-write access
+// at the next level — so a full access costs exactly one access per
+// level, each a single round trip in OneRound mode.
+
+// positionsPerBlock returns how many uint32 positions one block of
+// cfg holds.
+func positionsPerBlock(cfg Config) int { return cfg.BlockSize / 4 }
+
+// RecursiveChain computes the level configurations for a data ORAM of
+// dataCfg, with position-map ORAMs of mapBlockSize-byte blocks,
+// recursing until a level's map has at most minMapEntries entries
+// (which then stays in client memory). The result includes dataCfg as
+// element 0.
+func RecursiveChain(dataCfg Config, mapBlockSize, minMapEntries int) ([]Config, error) {
+	dataCfg = dataCfg.withDefaults()
+	if err := dataCfg.validate(); err != nil {
+		return nil, err
+	}
+	if mapBlockSize < 4 || mapBlockSize%4 != 0 {
+		return nil, fmt.Errorf("oram: map block size %d must be a positive multiple of 4", mapBlockSize)
+	}
+	if minMapEntries < 1 {
+		return nil, fmt.Errorf("oram: minMapEntries %d must be positive", minMapEntries)
+	}
+	chain := []Config{dataCfg}
+	entries := dataCfg.NumBlocks
+	per := mapBlockSize / 4
+	for entries > minMapEntries {
+		blocks := (entries + per - 1) / per
+		cfg := Config{
+			NumBlocks:  blocks,
+			BlockSize:  mapBlockSize,
+			BucketSize: dataCfg.BucketSize,
+			Key:        dataCfg.Key, // nil → each level generates its own
+		}.withDefaults()
+		chain = append(chain, cfg)
+		if blocks >= entries {
+			return nil, fmt.Errorf("oram: recursion does not shrink (%d → %d blocks); increase map block size", entries, blocks)
+		}
+		entries = blocks
+	}
+	return chain, nil
+}
+
+// remotePositions stores a level's position map in the next level's
+// ORAM.
+type remotePositions struct {
+	next     *Client
+	perBlock int
+}
+
+func (r *remotePositions) swap(id int, newLeaf uint32) (uint32, error) {
+	blockID := id / r.perBlock
+	slot := (id % r.perBlock) * 4
+	old, err := r.next.AccessModify(blockID, func(raw []byte) []byte {
+		binary.LittleEndian.PutUint32(raw[slot:], newLeaf)
+		return raw
+	})
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(old[slot:]), nil
+}
+
+// A RecursiveClient is a chain of ORAM clients whose position maps
+// recurse; only the smallest level's map lives in client memory.
+type RecursiveClient struct {
+	mu     sync.Mutex
+	levels []*Client
+}
+
+// NewRecursiveClient wires pre-built level clients (as returned by
+// RecursiveChain order: levels[0] = data ORAM, each level i+1 stores
+// level i's position map). Every level talks to its own Server.
+func NewRecursiveClient(levels []*Client) (*RecursiveClient, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("oram: recursive client needs at least one level")
+	}
+	for i := 0; i < len(levels)-1; i++ {
+		per := positionsPerBlock(levels[i+1].cfg)
+		need := (levels[i].cfg.NumBlocks + per - 1) / per
+		if levels[i+1].cfg.NumBlocks < need {
+			return nil, fmt.Errorf("oram: level %d has %d blocks, level %d's map needs %d",
+				i+1, levels[i+1].cfg.NumBlocks, i, need)
+		}
+		levels[i].positions = &remotePositions{next: levels[i+1], perBlock: per}
+	}
+	return &RecursiveClient{levels: levels}, nil
+}
+
+// Levels returns the recursion depth (1 = plain ORAM).
+func (rc *RecursiveClient) Levels() int { return len(rc.levels) }
+
+// ClientPositionEntries returns how many position-map entries remain
+// in client memory — the state the recursion exists to shrink.
+func (rc *RecursiveClient) ClientPositionEntries() int {
+	return rc.levels[len(rc.levels)-1].cfg.NumBlocks
+}
+
+// StashBlocks returns the total stash occupancy across levels.
+func (rc *RecursiveClient) StashBlocks() int {
+	total := 0
+	for _, l := range rc.levels {
+		total += l.StashSize()
+	}
+	return total
+}
+
+// Init assigns positions bottom-up and returns the per-level sealed
+// buckets for each level's Server.Load: level i's position assignment
+// becomes level i+1's initial data.
+func (rc *RecursiveClient) Init(values map[int][]byte) ([]map[int][]byte, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]map[int][]byte, len(rc.levels))
+	data := values
+	for i, level := range rc.levels {
+		buckets, positions, err := level.BuildInitialBucketsAssign(data)
+		if err != nil {
+			return nil, fmt.Errorf("oram: level %d init: %w", i, err)
+		}
+		out[i] = buckets
+		if i == len(rc.levels)-1 {
+			// Smallest level keeps its map in memory; install the
+			// fresh assignment.
+			if mem, ok := level.positions.(memPositions); ok {
+				copy(mem, positions)
+			}
+			break
+		}
+		// Pack this level's positions as the next level's data.
+		per := positionsPerBlock(rc.levels[i+1].cfg)
+		next := make(map[int][]byte)
+		for b := 0; b < rc.levels[i+1].cfg.NumBlocks; b++ {
+			blk := make([]byte, rc.levels[i+1].cfg.BlockSize)
+			for s := 0; s < per; s++ {
+				idx := b*per + s
+				if idx < len(positions) {
+					binary.LittleEndian.PutUint32(blk[s*4:], positions[idx])
+				}
+			}
+			next[b] = blk
+		}
+		data = next
+	}
+	return out, nil
+}
+
+// Access reads or writes one logical data block. Position resolution
+// recurses through the map levels: Levels single-round accesses total
+// in OneRound mode (each map level is one read-modify-write access).
+func (rc *RecursiveClient) Access(op core.Op, id int, newValue []byte) ([]byte, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.levels[0].Access(op, id, newValue)
+}

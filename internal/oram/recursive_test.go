@@ -1,0 +1,202 @@
+package oram
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"ortoa/internal/core"
+	"ortoa/internal/netsim"
+	"ortoa/internal/transport"
+)
+
+// newRecursiveDeployment builds a full recursive deployment: one
+// server per level, loaded via Init.
+func newRecursiveDeployment(t *testing.T, dataCfg Config, mode Mode, mapBlockSize, minMapEntries int) (*RecursiveClient, []*transport.Client) {
+	t.Helper()
+	chain, err := RecursiveChain(dataCfg, mapBlockSize, minMapEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	var rpcs []*transport.Client
+	var servers []*Server
+	for _, cfg := range chain {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := transport.NewServer()
+		srv.Register(ts)
+		l := netsim.Listen(netsim.Loopback)
+		go ts.Serve(l)
+		t.Cleanup(func() { ts.Close() })
+		rpc, err := transport.Dial(l.Dial, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rpc.Close() })
+		client, err := NewClient(cfg, mode, rpc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, client)
+		rpcs = append(rpcs, rpc)
+		servers = append(servers, srv)
+	}
+	rc, err := NewRecursiveClient(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := initValues(dataCfg.NumBlocks, dataCfg.BlockSize)
+	allBuckets, err := rc.Init(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, buckets := range allBuckets {
+		if err := servers[i].Load(buckets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rc, rpcs
+}
+
+func TestRecursiveChainShapes(t *testing.T) {
+	chain, err := RecursiveChain(Config{NumBlocks: 1024, BlockSize: 32}, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 → 128 → 16 → 2 (≤ 8 stops).
+	if len(chain) < 3 {
+		t.Fatalf("chain too shallow: %d levels", len(chain))
+	}
+	if chain[0].NumBlocks != 1024 {
+		t.Errorf("level 0 = %d blocks", chain[0].NumBlocks)
+	}
+	for i := 1; i < len(chain); i++ {
+		per := positionsPerBlock(chain[i])
+		need := (chain[i-1].NumBlocks + per - 1) / per
+		if chain[i].NumBlocks != need {
+			t.Errorf("level %d has %d blocks, want %d", i, chain[i].NumBlocks, need)
+		}
+	}
+	last := chain[len(chain)-1]
+	if last.NumBlocks > 8 {
+		t.Errorf("final level still has %d entries", last.NumBlocks)
+	}
+}
+
+func TestRecursiveChainValidation(t *testing.T) {
+	if _, err := RecursiveChain(Config{NumBlocks: 16, BlockSize: 8}, 7, 4); err == nil {
+		t.Error("accepted non-multiple-of-4 map block size")
+	}
+	if _, err := RecursiveChain(Config{NumBlocks: 16, BlockSize: 8}, 4, 0); err == nil {
+		t.Error("accepted zero minMapEntries")
+	}
+	if _, err := RecursiveChain(Config{NumBlocks: 16, BlockSize: 8}, 4, 2); err == nil {
+		t.Error("accepted non-shrinking recursion (1 entry/block)")
+	}
+}
+
+func TestRecursiveReadInitialValues(t *testing.T) {
+	for _, mode := range []Mode{TwoRound, OneRound} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dataCfg := Config{NumBlocks: 64, BlockSize: 8}
+			rc, _ := newRecursiveDeployment(t, dataCfg, mode, 16, 4)
+			if rc.Levels() < 3 {
+				t.Fatalf("expected ≥3 levels, got %d", rc.Levels())
+			}
+			values := initValues(64, 8)
+			for id, want := range values {
+				got, err := rc.Access(core.OpRead, id, nil)
+				if err != nil {
+					t.Fatalf("read %d: %v", id, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("read %d = %v, want %v", id, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRecursiveMixedWorkload(t *testing.T) {
+	const n = 48
+	const blockSize = 8
+	dataCfg := Config{NumBlocks: n, BlockSize: blockSize}
+	rc, _ := newRecursiveDeployment(t, dataCfg, OneRound, 16, 4)
+	model := initValues(n, blockSize)
+
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 250; i++ {
+		id := rng.IntN(n)
+		if rng.IntN(2) == 0 {
+			got, err := rc.Access(core.OpRead, id, nil)
+			if err != nil {
+				t.Fatalf("op %d read %d: %v", i, id, err)
+			}
+			if !bytes.Equal(got, model[id]) {
+				t.Fatalf("op %d: read %d = %v, want %v", i, id, got, model[id])
+			}
+		} else {
+			v := make([]byte, blockSize)
+			for j := range v {
+				v[j] = byte(rng.Uint32())
+			}
+			if _, err := rc.Access(core.OpWrite, id, v); err != nil {
+				t.Fatalf("op %d write %d: %v", i, id, err)
+			}
+			model[id] = v
+		}
+	}
+	t.Logf("levels=%d client-entries=%d total-stash=%d",
+		rc.Levels(), rc.ClientPositionEntries(), rc.StashBlocks())
+}
+
+func TestRecursiveShrinksClientState(t *testing.T) {
+	dataCfg := Config{NumBlocks: 256, BlockSize: 16}
+	rc, _ := newRecursiveDeployment(t, dataCfg, OneRound, 16, 4)
+	if got := rc.ClientPositionEntries(); got > 4 {
+		t.Errorf("client still holds %d position entries, want ≤ 4", got)
+	}
+}
+
+func TestRecursiveRoundCount(t *testing.T) {
+	// One RPC per level per access in OneRound mode: the map levels
+	// use read-modify-write accesses, so recursion costs are linear in
+	// depth, not exponential.
+	dataCfg := Config{NumBlocks: 64, BlockSize: 8}
+	rc, rpcs := newRecursiveDeployment(t, dataCfg, OneRound, 16, 4)
+	before := make([]int64, len(rpcs))
+	for i, rpc := range rpcs {
+		before[i] = rpc.Stats().Calls
+	}
+	const accesses = 5
+	for i := 0; i < accesses; i++ {
+		if _, err := rc.Access(core.OpRead, i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range rpcs {
+		if got := rpcs[i].Stats().Calls - before[i]; got != accesses {
+			t.Errorf("level %d made %d RPCs, want %d", i, got, accesses)
+		}
+	}
+}
+
+func TestNewRecursiveClientValidation(t *testing.T) {
+	if _, err := NewRecursiveClient(nil); err == nil {
+		t.Error("accepted empty level list")
+	}
+	// Mismatched chain: level 1 too small for level 0's map.
+	big, _, _ := newDeploymentQuiet(t, Config{NumBlocks: 64, BlockSize: 8}, OneRound)
+	small, _, _ := newDeploymentQuiet(t, Config{NumBlocks: 2, BlockSize: 8}, OneRound)
+	if _, err := NewRecursiveClient([]*Client{big, small}); err == nil {
+		t.Error("accepted undersized map level")
+	}
+}
+
+func newDeploymentQuiet(t *testing.T, cfg Config, mode Mode) (*Client, *Server, *transport.Client) {
+	t.Helper()
+	return newDeployment(t, cfg, mode)
+}

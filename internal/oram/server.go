@@ -1,0 +1,154 @@
+package oram
+
+import (
+	"fmt"
+	"sync"
+
+	"ortoa/internal/transport"
+	"ortoa/internal/wire"
+)
+
+// A Server stores the encrypted bucket tree. It sees only sealed
+// buckets and uniformly random paths; in the OneRound protocol it
+// cannot tell which installed buckets carry evictions (writes) versus
+// re-encrypted dummies, giving ORTOA-style operation obliviousness on
+// top of path obliviousness.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	buckets [][]byte // heap-indexed, entry 0 unused
+}
+
+// NewServer returns a server with an uninitialized tree; the client
+// bootstraps buckets via Load.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, buckets: make([][]byte, cfg.numNodes()+1)}, nil
+}
+
+// Register installs the ORAM handlers on ts.
+func (s *Server) Register(ts *transport.Server) {
+	ts.Handle(MsgReadPath, s.handleReadPath)
+	ts.Handle(MsgWritePath, s.handleWritePath)
+	ts.Handle(MsgAccessPath, s.handleAccessPath)
+}
+
+// Load installs initial sealed buckets (index → bucket).
+func (s *Server) Load(buckets map[int][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for idx, b := range buckets {
+		if idx < 1 || idx > s.cfg.numNodes() {
+			return fmt.Errorf("oram: bucket index %d out of range", idx)
+		}
+		s.buckets[idx] = b
+	}
+	return nil
+}
+
+func (s *Server) parseLeaf(r *wire.Reader) (uint32, error) {
+	leaf := r.Uint32()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if int(leaf) >= s.cfg.numLeaves() {
+		return 0, fmt.Errorf("oram: leaf %d out of range", leaf)
+	}
+	return leaf, nil
+}
+
+// readPathLocked serializes the buckets along the path to leaf.
+func (s *Server) readPathLocked(leaf uint32) []byte {
+	nodes := s.cfg.pathNodes(leaf)
+	w := wire.NewWriter(len(nodes) * (s.cfg.bucketPlainLen() + 64))
+	w.Uvarint(uint64(len(nodes)))
+	for _, n := range nodes {
+		w.BytesPfx(s.buckets[n]) // may be empty (never-written node)
+	}
+	return w.Bytes()
+}
+
+func (s *Server) handleReadPath(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	leaf, err := s.parseLeaf(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.readPathLocked(leaf), nil
+}
+
+// parseBuckets reads the per-level bucket list of a write/access
+// request.
+func (s *Server) parseBuckets(r *wire.Reader) ([][]byte, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n != s.cfg.levels() {
+		return nil, fmt.Errorf("oram: %d buckets, want %d", n, s.cfg.levels())
+	}
+	buckets := make([][]byte, n)
+	for i := range buckets {
+		buckets[i] = r.BytesCopy()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return buckets, nil
+}
+
+func (s *Server) installLocked(leaf uint32, buckets [][]byte) {
+	for level, n := range s.cfg.pathNodes(leaf) {
+		s.buckets[n] = buckets[level]
+	}
+}
+
+func (s *Server) handleWritePath(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	leaf, err := s.parseLeaf(r)
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := s.parseBuckets(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.installLocked(leaf, buckets)
+	return nil, nil
+}
+
+// handleAccessPath is the one-round fused operation (§8): return the
+// old path and install the new one atomically.
+func (s *Server) handleAccessPath(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	leaf, err := s.parseLeaf(r)
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := s.parseBuckets(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.readPathLocked(leaf)
+	s.installLocked(leaf, buckets)
+	return old, nil
+}

@@ -1,0 +1,119 @@
+// Package stats collects and summarizes latency samples for the
+// experiment harness. Every figure in the paper's evaluation reports
+// average latency and throughput; percentiles are kept too because
+// tail behaviour explains the concurrency knees of Fig 2b.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Recorder accumulates latency samples from concurrent workers.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder returns a Recorder with capacity pre-allocated for n
+// samples.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{samples: make([]time.Duration, 0, n)}
+}
+
+// Add records one sample. Safe for concurrent use.
+func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples recorded so far.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Summary describes a latency distribution.
+type Summary struct {
+	Count  int
+	Mean   time.Duration
+	Stddev time.Duration
+	Min    time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// Summarize computes a Summary and leaves the recorder intact.
+func (r *Recorder) Summarize() Summary {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	return Summarize(samples)
+}
+
+// Summarize computes distribution statistics over samples.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sorted))
+	var varSum float64
+	for _, s := range sorted {
+		d := float64(s) - mean
+		varSum += d * d
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   time.Duration(mean),
+		Stddev: time.Duration(math.Sqrt(varSum / float64(len(sorted)))),
+		Min:    sorted[0],
+		P50:    percentile(sorted, 0.50),
+		P95:    percentile(sorted, 0.95),
+		P99:    percentile(sorted, 0.99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// percentile returns the p-quantile of sorted samples using
+// nearest-rank interpolation.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// String renders the summary compactly for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Throughput returns operations per second.
+func Throughput(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	samples := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 5 * time.Millisecond,
+	}
+	s := Summarize(samples)
+	if s.Count != 5 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != 3*time.Millisecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 3*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.Min != 1*time.Millisecond || s.Max != 5*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{7 * time.Millisecond})
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond {
+		t.Errorf("single-sample percentiles = %v/%v", s.P50, s.P99)
+	}
+	if s.Stddev != 0 {
+		t.Errorf("single-sample stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{5, 1, 3}
+	Summarize(samples)
+	if samples[0] != 5 || samples[1] != 1 || samples[2] != 3 {
+		t.Error("Summarize reordered the caller's slice")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	samples := []time.Duration{0, 100}
+	s := Summarize(samples)
+	if s.P50 != 50 {
+		t.Errorf("P50 of {0,100} = %v, want 50", s.P50)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Errorf("Count = %d, want 800", r.Count())
+	}
+	s := r.Summarize()
+	if s.Count != 800 || s.Mean != time.Millisecond {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Errorf("Throughput = %f", got)
+	}
+	if got := Throughput(500, 2*time.Second); got != 250 {
+		t.Errorf("Throughput = %f", got)
+	}
+	if got := Throughput(1, 0); got != 0 {
+		t.Errorf("Throughput with zero elapsed = %f", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]time.Duration{time.Millisecond})
+	if str := s.String(); str == "" {
+		t.Error("empty String()")
+	}
+}

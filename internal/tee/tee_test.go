@@ -1,0 +1,157 @@
+package tee
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testProgramID = []byte("ortoa-tee-test-program-v1")
+
+func echoProgram(key, payload []byte) ([]byte, error) {
+	return append(append([]byte{}, key[0]), payload...), nil
+}
+
+func newTestEnclave(t *testing.T) *Enclave {
+	t.Helper()
+	e, err := Create(Config{Program: echoProgram, ProgramID: testProgramID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(Config{}); err == nil {
+		t.Error("Create accepted empty config")
+	}
+	if _, err := Create(Config{Program: echoProgram}); err == nil {
+		t.Error("Create accepted missing ProgramID")
+	}
+}
+
+func TestECallBeforeProvisionFails(t *testing.T) {
+	e := newTestEnclave(t)
+	if _, err := e.ECall([]byte("x")); !errors.Is(err, ErrNotProvisioned) {
+		t.Errorf("ECall = %v, want ErrNotProvisioned", err)
+	}
+}
+
+func TestAttestAndProvisionThenECall(t *testing.T) {
+	e := newTestEnclave(t)
+	v := NewVerifier(testProgramID)
+	key := []byte{0x42, 1, 2, 3}
+	if err := v.AttestAndProvision(e, key); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.ECall([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, append([]byte{0x42}, []byte("payload")...)) {
+		t.Errorf("ECall = %q", out)
+	}
+}
+
+func TestVerifierRejectsWrongProgram(t *testing.T) {
+	e := newTestEnclave(t)
+	v := NewVerifier([]byte("some-other-program"))
+	err := v.AttestAndProvision(e, []byte("k"))
+	if !errors.Is(err, ErrBadMeasurement) {
+		t.Errorf("err = %v, want ErrBadMeasurement", err)
+	}
+	// The enclave must remain unprovisioned.
+	if _, err := e.ECall(nil); !errors.Is(err, ErrNotProvisioned) {
+		t.Error("enclave was provisioned despite failed attestation")
+	}
+}
+
+func TestReportTamperDetected(t *testing.T) {
+	e := newTestEnclave(t)
+	var nonce [16]byte
+	nonce[0] = 7
+	report := e.Attest(nonce)
+	// Forge the measurement without fixing the MAC.
+	report.Measurement[0] ^= 1
+	want := reportMAC(report.Measurement, nonce)
+	if bytes.Equal(report.MAC[:], want[:]) {
+		t.Error("tampered report still verifies")
+	}
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	a := Measure([]byte("prog"))
+	b := Measure([]byte("prog"))
+	c := Measure([]byte("prog2"))
+	if a != b {
+		t.Error("Measure not deterministic")
+	}
+	if a == c {
+		t.Error("distinct programs share a measurement")
+	}
+}
+
+func TestTransitionCostApplied(t *testing.T) {
+	e, err := Create(Config{
+		Program:        echoProgram,
+		ProgramID:      testProgramID,
+		TransitionCost: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Provision([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := e.ECall(nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("ECall took %v, transition cost not applied", elapsed)
+	}
+}
+
+func TestECallCounter(t *testing.T) {
+	e := newTestEnclave(t)
+	e.Provision([]byte{1})
+	for i := 0; i < 5; i++ {
+		e.ECall(nil)
+	}
+	if got := e.ECalls(); got != 5 {
+		t.Errorf("ECalls = %d, want 5", got)
+	}
+}
+
+func TestConcurrentECalls(t *testing.T) {
+	e := newTestEnclave(t)
+	e.Provision([]byte{9})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := e.ECall([]byte{byte(i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(out) != 2 || out[1] != byte(i) {
+				t.Errorf("concurrent ECall %d corrupted: %v", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if e.ECalls() != 32 {
+		t.Errorf("ECalls = %d, want 32", e.ECalls())
+	}
+}
+
+func TestProvisionEmptyKey(t *testing.T) {
+	e := newTestEnclave(t)
+	if err := e.Provision(nil); err == nil {
+		t.Error("Provision accepted empty key")
+	}
+}

@@ -1,0 +1,357 @@
+// Package transport implements the framed, pipelined RPC protocol that
+// connects ORTOA clients, proxies, and storage servers.
+//
+// A frame is:
+//
+//	[4B little-endian frame length][8B request id][1B message type]
+//	[1B flags][payload]
+//
+// where the length covers everything after the length field itself.
+// Requests and responses share the format; FlagResponse distinguishes
+// them and FlagError marks a response whose payload is an error string.
+// Multiple requests may be in flight on one connection; responses are
+// matched by id, so a slow request does not stall the pipeline.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame flags.
+const (
+	flagResponse = 1 << 0
+	flagError    = 1 << 1
+)
+
+// MaxFrameSize caps a single frame; larger frames indicate corruption
+// or abuse. LBL tables for multi-kilobyte values fit comfortably.
+const MaxFrameSize = 64 << 20 // 64 MiB
+
+const headerSize = 4 + 8 + 1 + 1
+
+// ErrClosed reports use of a closed client or server.
+var ErrClosed = errors.New("transport: closed")
+
+// A RemoteError is an error string returned by the peer's handler.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+func writeFrame(w io.Writer, id uint64, msgType, flags byte, payload []byte) error {
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+1+1+len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = msgType
+	hdr[13] = flags
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (id uint64, msgType, flags byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length < 10 || length > MaxFrameSize {
+		return 0, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
+	}
+	id = binary.LittleEndian.Uint64(hdr[4:12])
+	msgType = hdr[12]
+	flags = hdr[13]
+	payload = make([]byte, length-10)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return id, msgType, flags, payload, nil
+}
+
+// A HandlerFunc serves one request payload and returns the response
+// payload. Returning an error sends a RemoteError to the caller.
+type HandlerFunc func(payload []byte) ([]byte, error)
+
+// An Observer sees exactly what a network adversary at the server
+// sees: the message type and the request/response payload sizes of
+// every exchange. Security tests use it to check that reads and writes
+// are indistinguishable at this boundary.
+type Observer func(msgType byte, requestLen, responseLen int)
+
+// A Server dispatches inbound frames to handlers registered by message
+// type. Handlers run concurrently, one goroutine per request.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[byte]HandlerFunc
+	observer Observer
+	closed   atomic.Bool
+	conns    sync.WaitGroup
+	lns      []net.Listener
+}
+
+// NewServer returns a Server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[byte]HandlerFunc)}
+}
+
+// Handle registers h for msgType, replacing any previous handler.
+func (s *Server) Handle(msgType byte, h HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[msgType] = h
+}
+
+func (s *Server) handler(msgType byte) (HandlerFunc, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[msgType]
+	return h, ok
+}
+
+// SetObserver installs an adversary's-eye traffic observer, invoked
+// once per served request with the exchanged payload sizes.
+func (s *Server) SetObserver(obs Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = obs
+}
+
+func (s *Server) observe(msgType byte, reqLen, respLen int) {
+	s.mu.RLock()
+	obs := s.observer
+	s.mu.RUnlock()
+	if obs != nil {
+		obs(msgType, reqLen, respLen)
+	}
+}
+
+// Serve accepts connections from l until l is closed or the server is
+// closed. It always returns a non-nil error; after Close it returns
+// ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.lns = append(s.lns, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return ErrClosed
+			}
+			return err
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var wmu sync.Mutex // serializes response frames
+	var pending sync.WaitGroup
+	defer pending.Wait()
+	for {
+		id, msgType, _, payload, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			h, ok := s.handler(msgType)
+			var resp []byte
+			flags := byte(flagResponse)
+			if !ok {
+				flags |= flagError
+				resp = []byte(fmt.Sprintf("no handler for message type %d", msgType))
+			} else if out, herr := h(payload); herr != nil {
+				flags |= flagError
+				resp = []byte(herr.Error())
+			} else {
+				resp = out
+			}
+			s.observe(msgType, len(payload), len(resp))
+			wmu.Lock()
+			defer wmu.Unlock()
+			writeFrame(conn, id, msgType, flags, resp) //nolint:errcheck // conn teardown is handled by the read loop
+		}()
+	}
+}
+
+// Close stops all listeners and waits for in-flight connections to
+// finish their current requests.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	lns := s.lns
+	s.lns = nil
+	s.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	return nil
+}
+
+// Stats counts traffic through a Client, for the communication-
+// overhead accounting of §6.3.2 / Fig 3c.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	Calls         int64
+}
+
+// A Client issues RPCs over a fixed-size pool of connections,
+// pipelining concurrent calls. It is safe for concurrent use.
+type Client struct {
+	conns  []*clientConn
+	next   atomic.Uint64
+	closed atomic.Bool
+
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	calls         atomic.Int64
+}
+
+type clientConn struct {
+	client *Client
+	conn   net.Conn
+	wmu    sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan result
+	dead    error
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// Dial connects a Client using dial to create poolSize connections.
+func Dial(dial func() (net.Conn, error), poolSize int) (*Client, error) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	c := &Client{}
+	for i := 0; i < poolSize; i++ {
+		nc, err := dial()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: dial conn %d: %w", i, err)
+		}
+		cc := &clientConn{client: c, conn: nc, pending: make(map[uint64]chan result)}
+		go cc.readLoop()
+		c.conns = append(c.conns, cc)
+	}
+	return c, nil
+}
+
+// Call sends payload as a msgType request and blocks for the response.
+func (c *Client) Call(msgType byte, payload []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	cc := c.conns[c.next.Add(1)%uint64(len(c.conns))]
+	return cc.call(msgType, payload)
+}
+
+// Stats returns cumulative traffic counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		BytesSent:     c.bytesSent.Load(),
+		BytesReceived: c.bytesReceived.Load(),
+		Calls:         c.calls.Load(),
+	}
+}
+
+// Close tears down all connections; outstanding calls fail.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cc := range c.conns {
+		if cc != nil {
+			cc.conn.Close()
+		}
+	}
+	return nil
+}
+
+func (cc *clientConn) call(msgType byte, payload []byte) ([]byte, error) {
+	ch := make(chan result, 1)
+	cc.mu.Lock()
+	if cc.dead != nil {
+		err := cc.dead
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.nextID++
+	id := cc.nextID
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	err := writeFrame(cc.conn, id, msgType, 0, payload)
+	cc.wmu.Unlock()
+	if err != nil {
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	cc.client.bytesSent.Add(int64(headerSize + len(payload)))
+	cc.client.calls.Add(1)
+
+	res := <-ch
+	return res.payload, res.err
+}
+
+func (cc *clientConn) readLoop() {
+	for {
+		id, _, flags, payload, err := readFrame(cc.conn)
+		if err != nil {
+			cc.fail(fmt.Errorf("transport: connection lost: %w", err))
+			return
+		}
+		cc.client.bytesReceived.Add(int64(headerSize + len(payload)))
+		cc.mu.Lock()
+		ch, ok := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		if !ok {
+			continue // response to an abandoned call
+		}
+		if flags&flagError != 0 {
+			ch <- result{err: &RemoteError{Msg: string(payload)}}
+		} else {
+			ch <- result{payload: payload}
+		}
+	}
+}
+
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead == nil {
+		cc.dead = err
+	}
+	for id, ch := range cc.pending {
+		ch <- result{err: err}
+		delete(cc.pending, id)
+	}
+}

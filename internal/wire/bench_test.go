@@ -1,0 +1,36 @@
+package wire
+
+import "testing"
+
+func BenchmarkWriterMixed(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(300)
+		w.Uint64(uint64(i))
+		w.Byte(7)
+		w.Uvarint(uint64(i))
+		w.BytesPfx(payload)
+	}
+}
+
+func BenchmarkReaderMixed(b *testing.B) {
+	w := NewWriter(300)
+	w.Uint64(42)
+	w.Byte(7)
+	w.Uvarint(300)
+	w.BytesPfx(make([]byte, 256))
+	buf := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		r.Uint64()
+		r.Byte()
+		r.Uvarint()
+		r.BytesPfx()
+		if err := r.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

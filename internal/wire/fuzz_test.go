@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through a representative decode
+// sequence; decoders handle untrusted network input and must fail
+// cleanly, never panic.
+func FuzzReader(f *testing.F) {
+	w := NewWriter(64)
+	w.Uint64(7)
+	w.String("seed")
+	w.BytesPfx([]byte{1, 2, 3})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.Uint64()
+		_ = r.String()
+		_ = r.BytesPfx()
+		_ = r.Uvarint()
+		_ = r.Byte()
+		_ = r.Raw(3)
+		_ = r.Err()
+		_ = r.Finish()
+	})
+}
+
+// FuzzRoundTrip checks encode→decode identity over arbitrary field
+// values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), "", []byte{})
+	f.Add(uint64(1<<63), "key", []byte{9, 9})
+	f.Fuzz(func(t *testing.T, u uint64, s string, b []byte) {
+		w := NewWriter(0)
+		w.Uvarint(u)
+		w.String(s)
+		w.BytesPfx(b)
+		r := NewReader(w.Bytes())
+		if got := r.Uvarint(); got != u {
+			t.Fatalf("uvarint %d != %d", got, u)
+		}
+		if got := r.String(); got != s {
+			t.Fatalf("string %q != %q", got, s)
+		}
+		if got := r.BytesPfx(); !bytes.Equal(got, b) {
+			t.Fatalf("bytes %v != %v", got, b)
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

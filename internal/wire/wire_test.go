@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter(64)
+	w.Byte(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(math.MaxUint64)
+	w.Uvarint(300)
+	w.BytesPfx([]byte("hello"))
+	w.String("world")
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("Byte = %#x, want 0xAB", got)
+	}
+	if !r.Bool() {
+		t.Error("first Bool = false, want true")
+	}
+	if r.Bool() {
+		t.Error("second Bool = true, want false")
+	}
+	if got := r.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.BytesPfx(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("BytesPfx = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Raw(3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	cases := []struct {
+		name string
+		read func(*Reader)
+	}{
+		{"byte", func(r *Reader) { r.Byte() }},
+		{"uint16", func(r *Reader) { r.Uint16() }},
+		{"uint32", func(r *Reader) { r.Uint32() }},
+		{"uint64", func(r *Reader) { r.Uint64() }},
+		{"uvarint", func(r *Reader) { r.Uvarint() }},
+		{"bytes", func(r *Reader) { r.BytesPfx() }},
+		{"raw", func(r *Reader) { r.Raw(5) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(nil)
+			tc.read(r)
+			if !errors.Is(r.Err(), ErrShortBuffer) {
+				t.Errorf("Err = %v, want ErrShortBuffer", r.Err())
+			}
+		})
+	}
+}
+
+func TestTruncatedBytesPfx(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(100) // declares 100 bytes
+	w.Raw([]byte("short"))
+	r := NewReader(w.Bytes())
+	if got := r.BytesPfx(); got != nil {
+		t.Errorf("BytesPfx = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+}
+
+func TestLengthLimit(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(MaxBytesLen + 1)
+	r := NewReader(w.Bytes())
+	r.BytesPfx()
+	if !errors.Is(r.Err(), ErrTooLarge) {
+		t.Errorf("Err = %v, want ErrTooLarge", r.Err())
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.Uint64() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.Byte() // would succeed on a fresh reader, must stay failed
+	if r.Err() != first {
+		t.Errorf("error not sticky: %v then %v", first, r.Err())
+	}
+}
+
+func TestFinishTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.Byte()
+	if err := r.Finish(); err == nil {
+		t.Error("Finish accepted trailing bytes")
+	}
+}
+
+func TestBytesCopyDoesNotAlias(t *testing.T) {
+	w := NewWriter(0)
+	w.BytesPfx([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.BytesCopy()
+	buf[len(buf)-1] = 0
+	if got[2] != 9 {
+		t.Error("BytesCopy aliases the input buffer")
+	}
+}
+
+func TestQuickUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		w.Uvarint(v)
+		if w.Len() != UvarintLen(v) {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(a, b []byte, s string) bool {
+		w := NewWriter(0)
+		w.BytesPfx(a)
+		w.String(s)
+		w.BytesPfx(b)
+		r := NewReader(w.Bytes())
+		ga := r.BytesPfx()
+		gs := r.String()
+		gb := r.BytesPfx()
+		return bytes.Equal(ga, a) && gs == s && bytes.Equal(gb, b) && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFixedWidthRoundTrip(t *testing.T) {
+	f := func(a uint16, b uint32, c uint64, d bool) bool {
+		w := NewWriter(0)
+		w.Uint16(a)
+		w.Uint32(b)
+		w.Uint64(c)
+		w.Bool(d)
+		r := NewReader(w.Bytes())
+		return r.Uint16() == a && r.Uint32() == b && r.Uint64() == c && r.Bool() == d && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

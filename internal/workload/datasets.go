@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// This file provides deterministic synthetic stand-ins for the three
+// real-world datasets of §6.4. The paper's own methodology already
+// replicates the small originals up to 1M records; what matters to the
+// protocols is the record count and the key/value sizes, which are
+// matched exactly:
+//
+//   - EHR heart-disease records [19]: UUID key, 10 B value
+//     (resting blood pressure attribute).
+//   - SmallBank [1]: UUID customer key, 50 B combined balances value
+//     (checking, savings, account numbers).
+//   - UCI e-commerce retail [60]: invoice-number key, 40 B value
+//     (customer_id ‖ productDescription, 5+35 characters).
+
+// A Record is one dataset row, already padded to the dataset's fixed
+// value size.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// A Dataset is a named collection of fixed-size records.
+type Dataset struct {
+	Name      string
+	ValueSize int
+	Records   []Record
+}
+
+// Data returns the dataset as the map form the protocol loaders use.
+func (d Dataset) Data() map[string][]byte {
+	m := make(map[string][]byte, len(d.Records))
+	for _, r := range d.Records {
+		m[r.Key] = r.Value
+	}
+	return m
+}
+
+// uuidLike renders a deterministic UUID-format string from rng.
+func uuidLike(rng *rand.Rand) string {
+	return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+		rng.Uint32(), rng.Uint32()&0xFFFF, rng.Uint32()&0xFFFF,
+		rng.Uint32()&0xFFFF, rng.Uint64()&0xFFFFFFFFFFFF)
+}
+
+// EHR synthesizes n electronic-health-record rows: UUID patient keys
+// with 10-byte resting-blood-pressure values (§6.4 dataset i).
+func EHR(n int) Dataset {
+	rng := rand.New(rand.NewPCG(0xE48, 1))
+	d := Dataset{Name: "EHR", ValueSize: 10, Records: make([]Record, n)}
+	for i := range d.Records {
+		// Blood pressure as ASCII mmHg reading padded to 10 bytes,
+		// e.g. "bp=124". Plausible range 90–180.
+		v := make([]byte, d.ValueSize)
+		copy(v, fmt.Sprintf("bp=%03d", 90+rng.IntN(91)))
+		d.Records[i] = Record{Key: uuidLike(rng), Value: v}
+	}
+	return d
+}
+
+// SmallBank synthesizes n banking rows: UUID customer keys with
+// 50-byte combined balance values (§6.4 dataset ii).
+func SmallBank(n int) Dataset {
+	rng := rand.New(rand.NewPCG(0x5BA4, 2))
+	d := Dataset{Name: "SmallBank", ValueSize: 50, Records: make([]Record, n)}
+	for i := range d.Records {
+		v := make([]byte, d.ValueSize)
+		copy(v, fmt.Sprintf("chk=%08d.%02d;sav=%08d.%02d;acct=%010d",
+			rng.IntN(100000000), rng.IntN(100),
+			rng.IntN(100000000), rng.IntN(100),
+			rng.Uint64()%10000000000))
+		d.Records[i] = Record{Key: uuidLike(rng), Value: v}
+	}
+	return d
+}
+
+// ECommerce synthesizes n retail rows: invoice-number keys with
+// 40-byte customer-id ‖ product-description values (§6.4 dataset iii).
+func ECommerce(n int) Dataset {
+	rng := rand.New(rand.NewPCG(0xEC03, 3))
+	products := []string{
+		"WHITE HANGING HEART T-LIGHT HOLDER",
+		"REGENCY CAKESTAND 3 TIER",
+		"JUMBO BAG RED RETROSPOT",
+		"ASSORTED COLOUR BIRD ORNAMENT",
+		"PARTY BUNTING",
+		"LUNCH BAG RED RETROSPOT",
+		"SET OF 3 CAKE TINS PANTRY DESIGN",
+		"PACK OF 72 RETROSPOT CAKE CASES",
+	}
+	d := Dataset{Name: "e-commerce", ValueSize: 40, Records: make([]Record, n)}
+	for i := range d.Records {
+		v := make([]byte, d.ValueSize)
+		desc := products[rng.IntN(len(products))]
+		if len(desc) > 35 {
+			desc = desc[:35]
+		}
+		copy(v, fmt.Sprintf("%05d%s", rng.IntN(100000), desc))
+		d.Records[i] = Record{Key: fmt.Sprintf("inv-%07d", i), Value: v}
+	}
+	return d
+}
+
+// Datasets returns all three §6.4 datasets at n records each, in the
+// order Fig 4 plots them.
+func Datasets(n int) []Dataset {
+	return []Dataset{EHR(n), SmallBank(n), ECommerce(n)}
+}

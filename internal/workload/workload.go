@@ -1,0 +1,192 @@
+// Package workload generates the client request streams of the
+// paper's evaluation (§6): synthetic uniform/Zipfian key-value
+// workloads with a configurable write fraction, and deterministic
+// stand-ins for the three real-world datasets of §6.4.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ortoa/internal/core"
+)
+
+// A Request is one client operation.
+type Request struct {
+	Op    core.Op
+	Key   string
+	Value []byte // nil for reads
+}
+
+// Distribution selects how keys are drawn.
+type Distribution uint8
+
+// Key distributions.
+const (
+	// Uniform draws keys uniformly at random — the paper's default
+	// ("each client thread picks an object to access uniformly at
+	// random", §6).
+	Uniform Distribution = iota
+	// Zipfian draws keys with a skewed distribution (s = 0.99,
+	// YCSB-style), for hot-key stress beyond the paper's setup.
+	Zipfian
+)
+
+// Config describes a synthetic workload.
+type Config struct {
+	// NumKeys is the database size N.
+	NumKeys int
+	// ValueSize is the fixed value length in bytes (ℓ/8).
+	ValueSize int
+	// WriteFraction is the probability an operation is a write; the
+	// paper's default is 0.5 ("it decides to read or write the data
+	// also uniformly at random", §6).
+	WriteFraction float64
+	// Distribution selects the key distribution.
+	Distribution Distribution
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+// Key returns the canonical synthetic key name for index i.
+func Key(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+// A Generator produces a deterministic request stream. It is not safe
+// for concurrent use; give each worker its own (same Config, different
+// Seed).
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *zipf
+}
+
+// NewGenerator returns a generator over cfg.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.NumKeys <= 0 {
+		return nil, fmt.Errorf("workload: NumKeys %d must be positive", cfg.NumKeys)
+	}
+	if cfg.ValueSize <= 0 {
+		return nil, fmt.Errorf("workload: ValueSize %d must be positive", cfg.ValueSize)
+	}
+	if cfg.WriteFraction < 0 || cfg.WriteFraction > 1 {
+		return nil, fmt.Errorf("workload: WriteFraction %f out of [0,1]", cfg.WriteFraction)
+	}
+	g := &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x0A7A0A7A)),
+	}
+	if cfg.Distribution == Zipfian {
+		g.zipf = newZipf(g.rng, 0.99, uint64(cfg.NumKeys))
+	}
+	return g, nil
+}
+
+// Next returns the next request in the stream.
+func (g *Generator) Next() Request {
+	var idx int
+	if g.zipf != nil {
+		idx = int(g.zipf.next())
+	} else {
+		idx = g.rng.IntN(g.cfg.NumKeys)
+	}
+	req := Request{Key: Key(idx)}
+	if g.rng.Float64() < g.cfg.WriteFraction {
+		req.Op = core.OpWrite
+		req.Value = make([]byte, g.cfg.ValueSize)
+		for i := range req.Value {
+			req.Value[i] = byte(g.rng.Uint32())
+		}
+	} else {
+		req.Op = core.OpRead
+	}
+	return req
+}
+
+// InitialData returns the deterministic initial database contents for
+// cfg: NumKeys records of ValueSize bytes.
+func InitialData(cfg Config) map[string][]byte {
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1717))
+	data := make(map[string][]byte, cfg.NumKeys)
+	for i := 0; i < cfg.NumKeys; i++ {
+		v := make([]byte, cfg.ValueSize)
+		for j := range v {
+			v[j] = byte(rng.Uint32())
+		}
+		data[Key(i)] = v
+	}
+	return data
+}
+
+// zipf is a bounded Zipf(s) sampler (rejection-inversion, following
+// W. Hörmann & G. Derflinger). math/rand/v2 dropped rand.Zipf, so the
+// sampler lives here.
+type zipf struct {
+	rng          *rand.Rand
+	n            uint64
+	s            float64
+	oneMinusS    float64
+	hIntegralX1  float64
+	hIntegralNum float64
+	sDiv         float64
+}
+
+func newZipf(rng *rand.Rand, s float64, n uint64) *zipf {
+	z := &zipf{rng: rng, n: n, s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(float64(n) + 0.5)
+	z.sDiv = 2 - z.hInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// hIntegral is the antiderivative of h(x) = x^{-s}.
+func (z *zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+func (z *zipf) hInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+func (z *zipf) next() uint64 {
+	for {
+		u := z.hIntegralNum + z.rng.Float64()*(z.hIntegralX1-z.hIntegralNum)
+		x := z.hInverse(u)
+		k := x + 0.5
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		ki := uint64(k)
+		if float64(ki)-x <= z.sDiv || u >= z.hIntegral(float64(ki)+0.5)-z.h(float64(ki)) {
+			return ki - 1
+		}
+	}
+}
+
+// helper1 computes math.Log1p(x)/x with a series near zero.
+func helper1(x float64) float64 {
+	if x > -0.5 && x < 0.5 {
+		return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+	}
+	return math.Log1p(x) / x
+}
+
+// helper2 computes math.Expm1(x)/x with a series near zero.
+func helper2(x float64) float64 {
+	if x > -0.5 && x < 0.5 {
+		return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+	}
+	return math.Expm1(x) / x
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ortoa/internal/core"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []Config{
+		{NumKeys: 0, ValueSize: 4},
+		{NumKeys: 10, ValueSize: 0},
+		{NumKeys: 10, ValueSize: 4, WriteFraction: 1.5},
+		{NumKeys: 10, ValueSize: 4, WriteFraction: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{NumKeys: 100, ValueSize: 8, WriteFraction: 0.5, Seed: 7}
+	g1, _ := NewGenerator(cfg)
+	g2, _ := NewGenerator(cfg)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Op != b.Op || a.Key != b.Key || string(a.Value) != string(b.Value) {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	g1, _ := NewGenerator(Config{NumKeys: 1000, ValueSize: 4, Seed: 1})
+	g2, _ := NewGenerator(Config{NumKeys: 1000, ValueSize: 4, Seed: 2})
+	same := 0
+	for i := 0; i < 50; i++ {
+		if g1.Next().Key == g2.Next().Key {
+			same++
+		}
+	}
+	if same > 25 {
+		t.Errorf("%d/50 identical keys across seeds", same)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 1} {
+		g, _ := NewGenerator(Config{NumKeys: 100, ValueSize: 4, WriteFraction: frac, Seed: 3})
+		writes := 0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			req := g.Next()
+			if req.Op == core.OpWrite {
+				writes++
+				if len(req.Value) != 4 {
+					t.Fatalf("write value has %d bytes", len(req.Value))
+				}
+			} else if req.Value != nil {
+				t.Fatal("read carries a value")
+			}
+		}
+		got := float64(writes) / n
+		if math.Abs(got-frac) > 0.05 {
+			t.Errorf("write fraction = %.3f, want %.2f", got, frac)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	const keys = 20
+	g, _ := NewGenerator(Config{NumKeys: keys, ValueSize: 2, WriteFraction: 0, Seed: 5})
+	seen := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		seen[g.Next().Key]++
+	}
+	if len(seen) != keys {
+		t.Errorf("uniform generator visited %d/%d keys", len(seen), keys)
+	}
+	for k, n := range seen {
+		if n < 40 || n > 200 { // expected 100 each
+			t.Errorf("key %s drawn %d times (expected ≈100)", k, n)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g, err := NewGenerator(Config{NumKeys: 1000, ValueSize: 2, Distribution: Zipfian, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		counts[req.Key]++
+		if req.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+	// The hottest key under Zipf(0.99) over 1000 keys should take a
+	// few percent of traffic; uniform would give 0.1%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / n; frac < 0.01 {
+		t.Errorf("hottest key has %.4f of traffic; distribution not skewed", frac)
+	}
+}
+
+func TestZipfianInRange(t *testing.T) {
+	const keys = 10
+	g, _ := NewGenerator(Config{NumKeys: keys, ValueSize: 2, Distribution: Zipfian, Seed: 13})
+	for i := 0; i < 5000; i++ {
+		k := g.Next().Key
+		found := false
+		for j := 0; j < keys; j++ {
+			if k == Key(j) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("generated out-of-range key %q", k)
+		}
+	}
+}
+
+func TestInitialData(t *testing.T) {
+	cfg := Config{NumKeys: 50, ValueSize: 16, Seed: 9}
+	data := InitialData(cfg)
+	if len(data) != 50 {
+		t.Fatalf("InitialData has %d keys", len(data))
+	}
+	for k, v := range data {
+		if len(v) != 16 {
+			t.Errorf("key %s value has %d bytes", k, len(v))
+		}
+	}
+	again := InitialData(cfg)
+	for k, v := range data {
+		if string(again[k]) != string(v) {
+			t.Error("InitialData not deterministic")
+			break
+		}
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	const n = 100
+	ds := Datasets(n)
+	if len(ds) != 3 {
+		t.Fatalf("Datasets returned %d entries", len(ds))
+	}
+	wantSizes := map[string]int{"EHR": 10, "SmallBank": 50, "e-commerce": 40}
+	for _, d := range ds {
+		want, ok := wantSizes[d.Name]
+		if !ok {
+			t.Errorf("unexpected dataset %q", d.Name)
+			continue
+		}
+		if d.ValueSize != want {
+			t.Errorf("%s value size = %d, want %d (paper §6.4)", d.Name, d.ValueSize, want)
+		}
+		if len(d.Records) != n {
+			t.Errorf("%s has %d records", d.Name, len(d.Records))
+		}
+		for _, r := range d.Records {
+			if len(r.Value) != d.ValueSize {
+				t.Errorf("%s record %q has %d-byte value", d.Name, r.Key, len(r.Value))
+				break
+			}
+		}
+		data := d.Data()
+		if len(data) != n {
+			t.Errorf("%s Data() lost records to duplicate keys: %d/%d", d.Name, len(data), n)
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := EHR(10), EHR(10)
+	for i := range a.Records {
+		if a.Records[i].Key != b.Records[i].Key || string(a.Records[i].Value) != string(b.Records[i].Value) {
+			t.Fatal("EHR not deterministic")
+		}
+	}
+}

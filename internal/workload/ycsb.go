@@ -1,0 +1,67 @@
+package workload
+
+import "fmt"
+
+// YCSB-style preset mixes. The paper's evaluation sweeps the write
+// ratio directly (Fig 2c); these presets name the standard points the
+// storage literature uses, so experiments and examples can say
+// "YCSB-A" instead of repeating ratios.
+//
+// Only the read/update mixes map onto ORTOA's single-object GET/PUT
+// model (workload E is a range scan — see Client.ReadRange for the
+// §8.2 direction; D's "latest" distribution needs insert tracking).
+
+// A Mix names a standard workload mix.
+type Mix string
+
+// Standard mixes.
+const (
+	// MixA is YCSB workload A: update heavy, 50% reads / 50% writes —
+	// also the paper's default mix.
+	MixA Mix = "A"
+	// MixB is YCSB workload B: read mostly, 95% reads.
+	MixB Mix = "B"
+	// MixC is YCSB workload C: read only.
+	MixC Mix = "C"
+	// MixWriteOnly is the 100%-write end of Fig 2c, the IoT-style
+	// profile the paper's introduction cites as write-heavy.
+	MixWriteOnly Mix = "write-only"
+)
+
+// WriteFraction returns the mix's write probability.
+func (m Mix) WriteFraction() (float64, error) {
+	switch m {
+	case MixA:
+		return 0.5, nil
+	case MixB:
+		return 0.05, nil
+	case MixC:
+		return 0, nil
+	case MixWriteOnly:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown mix %q", m)
+	}
+}
+
+// Preset returns a Config for the named mix over numKeys objects of
+// valueSize bytes, using the distribution the YCSB spec pairs with the
+// mix (Zipfian for A and B, uniform otherwise — the paper's own
+// experiments are uniform).
+func Preset(mix Mix, numKeys, valueSize int, seed uint64) (Config, error) {
+	frac, err := mix.WriteFraction()
+	if err != nil {
+		return Config{}, err
+	}
+	dist := Uniform
+	if mix == MixA || mix == MixB {
+		dist = Zipfian
+	}
+	return Config{
+		NumKeys:       numKeys,
+		ValueSize:     valueSize,
+		WriteFraction: frac,
+		Distribution:  dist,
+		Seed:          seed,
+	}, nil
+}

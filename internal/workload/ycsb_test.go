@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+
+	"ortoa/internal/core"
+)
+
+func TestMixWriteFractions(t *testing.T) {
+	cases := map[Mix]float64{MixA: 0.5, MixB: 0.05, MixC: 0, MixWriteOnly: 1}
+	for mix, want := range cases {
+		got, err := mix.WriteFraction()
+		if err != nil {
+			t.Errorf("%s: %v", mix, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s write fraction = %f, want %f", mix, got, want)
+		}
+	}
+	if _, err := Mix("Z").WriteFraction(); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestPresetDistributions(t *testing.T) {
+	a, err := Preset(MixA, 100, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Distribution != Zipfian {
+		t.Error("YCSB-A should be Zipfian")
+	}
+	c, err := Preset(MixC, 100, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Distribution != Uniform {
+		t.Error("YCSB-C should be uniform")
+	}
+	if _, err := Preset("bogus", 100, 16, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetGenerates(t *testing.T) {
+	cfg, err := Preset(MixB, 50, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if gen.Next().Op == core.OpWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("YCSB-B write fraction = %.3f, want ≈0.05", frac)
+	}
+}

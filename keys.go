@@ -1,0 +1,81 @@
+package ortoa
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/crypto/secretbox"
+)
+
+// Keys holds the trusted side's secrets. The PRF key encodes object
+// keys (and derives LBL labels); the data key encrypts values for the
+// TEE and baseline protocols. The untrusted server never sees either.
+type Keys struct {
+	// PRFKey is the 32-byte master PRF secret.
+	PRFKey []byte `json:"prf_key"`
+	// DataKey is the 16-byte AES key for value encryption.
+	DataKey []byte `json:"data_key"`
+	// FHESecretKey is the BFV secret key (ProtocolFHE only; generated
+	// on first use if empty).
+	FHESecretKey []byte `json:"fhe_secret_key,omitempty"`
+}
+
+// GenerateKeys returns fresh random keys.
+func GenerateKeys() Keys {
+	return Keys{
+		PRFKey:  prf.NewRandom().Key(),
+		DataKey: secretbox.NewRandomKey(),
+	}
+}
+
+func (k Keys) validate() error {
+	if len(k.PRFKey) != prf.KeySize {
+		return fmt.Errorf("ortoa: PRF key must be %d bytes, got %d", prf.KeySize, len(k.PRFKey))
+	}
+	switch len(k.DataKey) {
+	case 16, 24, 32:
+	default:
+		return fmt.Errorf("ortoa: data key must be 16, 24, or 32 bytes, got %d", len(k.DataKey))
+	}
+	return nil
+}
+
+// Save writes the keys to path as JSON with owner-only permissions.
+func (k Keys) Save(path string) error {
+	data, err := json.MarshalIndent(k, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadKeys reads keys saved with Save.
+func LoadKeys(path string) (Keys, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Keys{}, err
+	}
+	var k Keys
+	if err := json.Unmarshal(data, &k); err != nil {
+		return Keys{}, fmt.Errorf("ortoa: parsing %s: %w", path, err)
+	}
+	if err := k.validate(); err != nil {
+		return Keys{}, err
+	}
+	return k, nil
+}
+
+// LoadOrGenerateKeys loads keys from path, generating and saving a
+// fresh set if the file does not exist.
+func LoadOrGenerateKeys(path string) (Keys, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		k := GenerateKeys()
+		if err := k.Save(path); err != nil {
+			return Keys{}, err
+		}
+		return k, nil
+	}
+	return LoadKeys(path)
+}

@@ -1,0 +1,577 @@
+package ortoa
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ortoa/internal/core"
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/fhe"
+	"ortoa/internal/kvstore"
+	"ortoa/internal/transport"
+)
+
+// Protocol selects an ORTOA variant.
+type Protocol string
+
+// Protocols.
+const (
+	// ProtocolLBL is the label-based protocol (§5), the paper's main
+	// contribution. Default.
+	ProtocolLBL Protocol = "lbl"
+	// ProtocolTEE runs the selector in a simulated enclave (§4).
+	ProtocolTEE Protocol = "tee"
+	// ProtocolFHE evaluates the selector homomorphically (§3).
+	// Impractical beyond a handful of accesses per object, as the
+	// paper reports; see the fhe-noise experiment.
+	ProtocolFHE Protocol = "fhe"
+	// ProtocolBaseline2RTT is the two-round read-then-write baseline.
+	ProtocolBaseline2RTT Protocol = "2rtt"
+)
+
+// LBLVariant selects the label-protocol optimization level.
+type LBLVariant string
+
+// LBL variants (§5.2, §10).
+const (
+	// LBLPointPermute is y=2 with point-and-permute — the default and
+	// the configuration of the paper's cost analysis.
+	LBLPointPermute LBLVariant = "point-permute"
+	// LBLSpaceOpt is y=2 without decryption bits.
+	LBLSpaceOpt LBLVariant = "space-opt"
+	// LBLBasic is the unoptimized one-label-per-bit protocol.
+	LBLBasic LBLVariant = "basic"
+	// LBLWide packs four bits per label (appendix §10.1 generalized):
+	// half the server storage of y=2, double the request size.
+	LBLWide LBLVariant = "wide"
+	// LBLWidePointPermute is y=4 with point-and-permute.
+	LBLWidePointPermute LBLVariant = "wide-point-permute"
+)
+
+func (v LBLVariant) mode() (core.LBLMode, error) {
+	switch v {
+	case LBLPointPermute, "":
+		return core.LBLPointPermute, nil
+	case LBLSpaceOpt:
+		return core.LBLSpaceOpt, nil
+	case LBLBasic:
+		return core.LBLBasic, nil
+	case LBLWide:
+		return core.LBLWide, nil
+	case LBLWidePointPermute:
+		return core.LBLWidePointPermute, nil
+	default:
+		return 0, fmt.Errorf("ortoa: unknown LBL variant %q", v)
+	}
+}
+
+// FHEOptions tunes the BFV parameter set; client and server must
+// agree.
+type FHEOptions struct {
+	// RingDegree is N (power of two ≥ 16; default 512). Plaintext
+	// capacity is 2(N−1) bytes.
+	RingDegree int
+	// ModulusBits sizes the ciphertext modulus (default 370). More
+	// bits buy more accesses per object before noise failure.
+	ModulusBits int
+	// RelinBaseBits, when nonzero, enables relinearization: the client
+	// provisions an evaluation key at connect time and the server
+	// keeps stored ciphertexts at constant size. The per-object access
+	// budget is unchanged (noise, not size, is the binding §3.3
+	// constraint).
+	RelinBaseBits int
+}
+
+func (o FHEOptions) params() (fhe.Parameters, error) {
+	n := o.RingDegree
+	if n == 0 {
+		n = 512
+	}
+	bits := o.ModulusBits
+	if bits == 0 {
+		bits = 370
+	}
+	return fhe.NewParameters(n, bits)
+}
+
+// ServerConfig configures the untrusted storage server.
+type ServerConfig struct {
+	// Protocol selects which access handlers to serve. Empty serves
+	// LBL.
+	Protocol Protocol
+	// ValueSize is the store's fixed plaintext value length in bytes.
+	ValueSize int
+	// FHE tunes BFV parameters (ProtocolFHE only).
+	FHE FHEOptions
+	// EnclaveTransition simulates per-ecall enclave overhead
+	// (ProtocolTEE only).
+	EnclaveTransition time.Duration
+}
+
+// A Server is the untrusted side of a deployment: the record store
+// plus the selected protocol's handlers. It learns neither values nor
+// operation types.
+type Server struct {
+	store *kvstore.Store
+	ts    *transport.Server
+}
+
+// NewServer builds a server for cfg.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.ValueSize <= 0 {
+		return nil, fmt.Errorf("ortoa: ServerConfig.ValueSize must be positive")
+	}
+	s := &Server{store: kvstore.New(), ts: transport.NewServer()}
+	core.RegisterLoader(s.ts, s.store)
+	switch cfg.Protocol {
+	case ProtocolLBL, "":
+		core.NewLBLServer(s.store).Register(s.ts)
+	case ProtocolTEE:
+		teeSrv, err := core.NewTEEServer(s.store, cfg.EnclaveTransition)
+		if err != nil {
+			return nil, err
+		}
+		teeSrv.Register(s.ts)
+	case ProtocolFHE:
+		params, err := cfg.FHE.params()
+		if err != nil {
+			return nil, err
+		}
+		core.NewFHEServer(s.store, core.FHEConfig{Params: params, ValueSize: cfg.ValueSize}).Register(s.ts)
+	case ProtocolBaseline2RTT:
+		core.NewBaselineServer(s.store).Register(s.ts)
+	default:
+		return nil, fmt.Errorf("ortoa: unknown protocol %q", cfg.Protocol)
+	}
+	return s, nil
+}
+
+// Serve accepts connections from l until Close. It always returns a
+// non-nil error.
+func (s *Server) Serve(l net.Listener) error { return s.ts.Serve(l) }
+
+// Records returns the number of stored records.
+func (s *Server) Records() int { return s.store.Len() }
+
+// StorageBytes returns the server-side storage footprint (§5.3.1).
+func (s *Server) StorageBytes() int64 { return s.store.Bytes() }
+
+// SaveSnapshot persists the (encrypted) store to path.
+func (s *Server) SaveSnapshot(path string) error { return s.store.SaveFile(path) }
+
+// LoadSnapshot restores a SaveSnapshot file into the store.
+func (s *Server) LoadSnapshot(path string) error { return s.store.LoadFile(path) }
+
+// AttachWAL replays the write-ahead log at path into the store and
+// journals every subsequent record mutation, so a crashed server
+// restarts with its records intact. Call before Serve.
+func (s *Server) AttachWAL(path string) error { return s.store.AttachWAL(path) }
+
+// SyncWAL flushes and fsyncs the write-ahead log.
+func (s *Server) SyncWAL() error { return s.store.SyncWAL() }
+
+// CompactWAL rewrites the log to one record per live key. Every ORTOA
+// access rewrites a record, so logs grow linearly with traffic;
+// periodic compaction bounds restart time.
+func (s *Server) CompactWAL() error { return s.store.CompactWAL() }
+
+// DetachWAL flushes, fsyncs, and closes the log.
+func (s *Server) DetachWAL() error { return s.store.DetachWAL() }
+
+// Close stops serving.
+func (s *Server) Close() error { return s.ts.Close() }
+
+// ClientConfig configures the trusted side.
+type ClientConfig struct {
+	// Protocol must match the server's. Empty means LBL.
+	Protocol Protocol
+	// ValueSize is the fixed plaintext value length in bytes; shorter
+	// writes are zero-padded by Write.
+	ValueSize int
+	// Keys are the trusted side's secrets.
+	Keys Keys
+	// LBLVariant selects the label-protocol optimization (LBL only).
+	LBLVariant LBLVariant
+	// FHE must match the server's FHE options (FHE only).
+	FHE FHEOptions
+	// Conns sizes the connection pool to the server (default 4).
+	Conns int
+}
+
+// A Client is the trusted side of a deployment — the proxy (LBL,
+// baseline) or a key-holding client (TEE, FHE). It is safe for
+// concurrent use; LBL accesses to the same key serialize internally.
+type Client struct {
+	protocol  Protocol
+	valueSize int
+	accessor  core.Accessor
+	builder   interface {
+		BuildRecord(key string, value []byte) (string, []byte, error)
+	}
+	rpc       *transport.Client
+	teeClient *core.TEEClient
+	lblProxy  *core.LBLProxy
+	fheSecret []byte
+
+	// directory tracks loaded keys in sorted order, enabling the
+	// §8.2-style range reads over primary keys.
+	dirMu     sync.RWMutex
+	directory []string
+}
+
+// NewClient connects a client using dial (e.g. a net.Dialer bound to
+// the server address, or a netsim listener's Dial).
+func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error) {
+	if cfg.ValueSize <= 0 {
+		return nil, fmt.Errorf("ortoa: ClientConfig.ValueSize must be positive")
+	}
+	if err := cfg.Keys.validate(); err != nil {
+		return nil, err
+	}
+	conns := cfg.Conns
+	if conns <= 0 {
+		conns = 4
+	}
+	rpc, err := transport.Dial(dial, conns)
+	if err != nil {
+		return nil, err
+	}
+	f, err := prf.New(cfg.Keys.PRFKey)
+	if err != nil {
+		rpc.Close()
+		return nil, err
+	}
+	c := &Client{protocol: cfg.Protocol, valueSize: cfg.ValueSize, rpc: rpc}
+	switch cfg.Protocol {
+	case ProtocolLBL, "":
+		mode, err := cfg.LBLVariant.mode()
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode}, f, rpc)
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		c.accessor, c.builder, c.lblProxy = proxy, proxy, proxy
+	case ProtocolTEE:
+		teeClient, err := core.NewTEEClient(core.TEEConfig{ValueSize: cfg.ValueSize}, f, cfg.Keys.DataKey, rpc)
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		c.accessor, c.builder, c.teeClient = teeClient, teeClient, teeClient
+	case ProtocolFHE:
+		params, err := cfg.FHE.params()
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		var sk *fhe.SecretKey
+		if len(cfg.Keys.FHESecretKey) > 0 {
+			sk, err = params.UnmarshalSecretKey(cfg.Keys.FHESecretKey)
+		} else {
+			sk, err = params.KeyGen()
+		}
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		fheClient, err := core.NewFHEClientWithKey(core.FHEConfig{
+			Params: params, ValueSize: cfg.ValueSize, RelinBaseBits: cfg.FHE.RelinBaseBits,
+		}, f, sk, rpc)
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		if cfg.FHE.RelinBaseBits > 0 {
+			if err := fheClient.ProvisionRelinKey(); err != nil {
+				rpc.Close()
+				return nil, fmt.Errorf("ortoa: provisioning relinearization key: %w", err)
+			}
+		}
+		c.accessor, c.builder = fheClient, fheClient
+		c.fheSecret = sk.Marshal()
+	case ProtocolBaseline2RTT:
+		proxy, err := core.NewBaselineProxy(core.BaselineConfig{ValueSize: cfg.ValueSize}, f, cfg.Keys.DataKey, rpc)
+		if err != nil {
+			rpc.Close()
+			return nil, err
+		}
+		c.accessor, c.builder = proxy, proxy
+	default:
+		rpc.Close()
+		return nil, fmt.Errorf("ortoa: unknown protocol %q", cfg.Protocol)
+	}
+	return c, nil
+}
+
+// FHESecretKey returns the serialized BFV secret key in use
+// (ProtocolFHE only), so it can be stored in Keys for later sessions.
+func (c *Client) FHESecretKey() []byte { return c.fheSecret }
+
+// Provision attests the server's enclave and provisions the data key
+// (ProtocolTEE only). Call once before accesses.
+func (c *Client) Provision() error {
+	if c.teeClient == nil {
+		return fmt.Errorf("ortoa: Provision applies only to ProtocolTEE")
+	}
+	return c.teeClient.AttestAndProvisionRemote()
+}
+
+// Load encodes initial records and bulk-loads them into the server —
+// the Init procedure of Figure 1. Values shorter than ValueSize are
+// zero-padded.
+func (c *Client) Load(data map[string][]byte) error {
+	records := make([]core.KV, 0, len(data))
+	for k, v := range data {
+		padded, err := core.PadValue(v, c.valueSize)
+		if err != nil {
+			return fmt.Errorf("ortoa: value for %q: %w", k, err)
+		}
+		ek, rec, err := c.builder.BuildRecord(k, padded)
+		if err != nil {
+			return fmt.Errorf("ortoa: encoding %q: %w", k, err)
+		}
+		records = append(records, core.KV{Key: ek, Record: rec})
+	}
+	if err := core.BulkLoad(c.rpc, records); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	c.addToDirectory(keys)
+	return nil
+}
+
+func (c *Client) addToDirectory(keys []string) {
+	c.dirMu.Lock()
+	defer c.dirMu.Unlock()
+	merged := append(c.directory, keys...)
+	sort.Strings(merged)
+	// Deduplicate in place.
+	out := merged[:0]
+	for i, k := range merged {
+		if i == 0 || merged[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	c.directory = out
+}
+
+// Keys returns the loaded keys in sorted order.
+func (c *Client) Keys() []string {
+	c.dirMu.RLock()
+	defer c.dirMu.RUnlock()
+	return append([]string(nil), c.directory...)
+}
+
+// Read obliviously fetches the value stored under key. The server
+// cannot distinguish this from a Write.
+func (c *Client) Read(key string) ([]byte, error) {
+	v, _, err := c.accessor.Access(core.OpRead, key, nil)
+	return v, err
+}
+
+// Write obliviously replaces the value stored under key, zero-padding
+// to the store's fixed value size. The server cannot distinguish this
+// from a Read.
+func (c *Client) Write(key string, value []byte) error {
+	padded, err := core.PadValue(value, c.valueSize)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.accessor.Access(core.OpWrite, key, padded)
+	return err
+}
+
+// ValueSize returns the store's fixed value length.
+func (c *Client) ValueSize() int { return c.valueSize }
+
+// TrafficStats reports cumulative proxy→server traffic: the
+// communication quantities §5.3.2 and §6.3.3 analyze.
+func (c *Client) TrafficStats() (bytesSent, bytesReceived, calls int64) {
+	st := c.rpc.Stats()
+	return st.BytesSent, st.BytesReceived, st.Calls
+}
+
+// batchParallelism bounds concurrent requests issued by the batch and
+// range helpers.
+const batchParallelism = 16
+
+// A KVPair is one key/value result of a batch or range read.
+type KVPair struct {
+	Key   string
+	Value []byte
+}
+
+// ReadBatch obliviously reads many keys concurrently and returns the
+// values in input order. Each key still costs one (indistinguishable)
+// access; batching pipelines them over the connection pool.
+func (c *Client) ReadBatch(keys []string) ([]KVPair, error) {
+	out := make([]KVPair, len(keys))
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	sem := make(chan struct{}, batchParallelism)
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := c.Read(key)
+			if err != nil {
+				select {
+				case errc <- fmt.Errorf("ortoa: batch read %q: %w", key, err):
+				default:
+				}
+				return
+			}
+			out[i] = KVPair{Key: key, Value: v}
+		}(i, key)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+		return out, nil
+	}
+}
+
+// WriteBatch obliviously writes many entries concurrently.
+func (c *Client) WriteBatch(entries map[string][]byte) error {
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	sem := make(chan struct{}, batchParallelism)
+	for key, value := range entries {
+		wg.Add(1)
+		go func(key string, value []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := c.Write(key, value); err != nil {
+				select {
+				case errc <- fmt.Errorf("ortoa: batch write %q: %w", key, err):
+				default:
+				}
+			}
+		}(key, value)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// ReadRange reads up to limit consecutive keys starting at start
+// (inclusive), in primary-key order — the §8.2 direction: range
+// queries layered over single-object oblivious accesses using the
+// trusted side's key directory. The accesses themselves remain
+// individually oblivious; the adversary learns only that `limit`
+// objects were accessed, as with any multi-get.
+func (c *Client) ReadRange(start string, limit int) ([]KVPair, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	c.dirMu.RLock()
+	idx := sort.SearchStrings(c.directory, start)
+	end := idx + limit
+	if end > len(c.directory) {
+		end = len(c.directory)
+	}
+	keys := append([]string(nil), c.directory[idx:end]...)
+	c.dirMu.RUnlock()
+	return c.ReadBatch(keys)
+}
+
+// SaveState persists trusted-side protocol state that cannot be
+// regenerated from the keys: the LBL access counters (§5.3.1). For the
+// stateless protocols it writes an empty counter table, so callers can
+// save/restore unconditionally. Quiesce accesses before saving.
+func (c *Client) SaveState(path string) error {
+	if c.lblProxy == nil {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := c.lblProxy.SaveCounters(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadState restores a SaveState file. Call before issuing accesses
+// when resuming an LBL deployment against an existing server store.
+func (c *Client) LoadState(path string) error {
+	if c.lblProxy == nil {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.lblProxy.LoadCounters(f)
+}
+
+// ServeProxy exposes this trusted client as a network proxy: end
+// users connect to l and route oblivious accesses through it (the
+// deployment model of §2.1). It blocks until Close.
+func (c *Client) ServeProxy(l net.Listener) error {
+	ts := transport.NewServer()
+	core.RegisterProxyService(ts, c.accessor)
+	return ts.Serve(l)
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// A ProxyClient is an end-user handle that routes requests through a
+// trusted proxy started with ServeProxy. It holds no secrets.
+type ProxyClient struct {
+	remote *core.RemoteAccessor
+	rpc    *transport.Client
+}
+
+// DialProxy connects to a proxy.
+func DialProxy(dial func() (net.Conn, error), conns int) (*ProxyClient, error) {
+	if conns <= 0 {
+		conns = 2
+	}
+	rpc, err := transport.Dial(dial, conns)
+	if err != nil {
+		return nil, err
+	}
+	return &ProxyClient{remote: core.NewRemoteAccessor(rpc), rpc: rpc}, nil
+}
+
+// Read fetches the value stored under key via the proxy.
+func (p *ProxyClient) Read(key string) ([]byte, error) {
+	v, _, err := p.remote.Access(core.OpRead, key, nil)
+	return v, err
+}
+
+// Write replaces the value stored under key via the proxy. The value
+// must already match the store's fixed size (the proxy rejects
+// mismatches).
+func (p *ProxyClient) Write(key string, value []byte) error {
+	_, _, err := p.remote.Access(core.OpWrite, key, value)
+	return err
+}
+
+// Close releases the proxy connections.
+func (p *ProxyClient) Close() error { return p.rpc.Close() }

@@ -1,0 +1,84 @@
+package ortoa
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecommendTEEWhenAvailable(t *testing.T) {
+	rec, err := Recommend(Deployment{RTT: 20 * time.Millisecond, ValueSize: 160, TEEAvailable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Protocol != ProtocolTEE {
+		t.Errorf("Protocol = %s, want tee", rec.Protocol)
+	}
+}
+
+func TestRecommendLBLSmallValuesLongLink(t *testing.T) {
+	// The Fig 3d scenario: EU server (147.7ms), 300B values → LBL.
+	rec, err := Recommend(Deployment{
+		RTT: 147730 * time.Microsecond, Bandwidth: 12 << 20, ValueSize: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Protocol != ProtocolLBL {
+		t.Errorf("EU/300B: Protocol = %s (c=%v p=%v o=%v), want lbl", rec.Protocol, rec.C, rec.P, rec.O)
+	}
+}
+
+func TestRecommendBaselineLargeValuesShortLink(t *testing.T) {
+	// §6.3.2's closing observation: low RTT + large values (images,
+	// videos) → the 2RTT baseline wins.
+	rec, err := Recommend(Deployment{
+		RTT: 5 * time.Millisecond, Bandwidth: 12 << 20, ValueSize: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Protocol != ProtocolBaseline2RTT {
+		t.Errorf("short/4KB: Protocol = %s (c=%v p=%v o=%v), want 2rtt", rec.Protocol, rec.C, rec.P, rec.O)
+	}
+}
+
+func TestRecommendCrossoverNearPaperPoint(t *testing.T) {
+	// Fig 3b: at the Oregon link the crossover sits near 300B. The
+	// rule should pick LBL well below and the baseline well above.
+	small, err := Recommend(Deployment{RTT: 21840 * time.Microsecond, Bandwidth: 12 << 20, ValueSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Protocol != ProtocolLBL {
+		t.Errorf("Oregon/50B = %s, want lbl", small.Protocol)
+	}
+	large, err := Recommend(Deployment{RTT: 21840 * time.Microsecond, Bandwidth: 12 << 20, ValueSize: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Protocol != ProtocolBaseline2RTT {
+		t.Errorf("Oregon/1200B = %s, want 2rtt", large.Protocol)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, err := Recommend(Deployment{}); err == nil {
+		t.Error("accepted zero ValueSize")
+	}
+}
+
+func TestRecommendTermsPopulated(t *testing.T) {
+	rec, err := Recommend(Deployment{RTT: 20 * time.Millisecond, Bandwidth: 1 << 20, ValueSize: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.C != 20*time.Millisecond {
+		t.Errorf("C = %v", rec.C)
+	}
+	if rec.P <= 0 || rec.O <= 0 {
+		t.Errorf("terms not populated: p=%v o=%v", rec.P, rec.O)
+	}
+	if rec.Reason == "" {
+		t.Error("empty Reason")
+	}
+}

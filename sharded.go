@@ -1,0 +1,104 @@
+package ortoa
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// A ShardedClient hash-partitions keys across multiple independent
+// deployments (proxy/server pairs), the scaling strategy of §6.2.4:
+// "the system can scale the number of proxies without compromising
+// security", since ORTOA hides operation types, not which shard a key
+// lives on.
+type ShardedClient struct {
+	shards []*Client
+}
+
+// NewShardedClient combines clients into one sharded deployment. All
+// clients must share a value size. The shard order defines the
+// partition: reconnect with the same order to reach the same data.
+func NewShardedClient(clients []*Client) (*ShardedClient, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("ortoa: NewShardedClient requires at least one client")
+	}
+	size := clients[0].ValueSize()
+	for i, c := range clients {
+		if c.ValueSize() != size {
+			return nil, fmt.Errorf("ortoa: shard %d has value size %d, shard 0 has %d", i, c.ValueSize(), size)
+		}
+	}
+	return &ShardedClient{shards: clients}, nil
+}
+
+// Shards returns the number of partitions.
+func (s *ShardedClient) Shards() int { return len(s.shards) }
+
+func (s *ShardedClient) shardFor(key string) *Client {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Load partitions data across shards and bulk-loads each.
+func (s *ShardedClient) Load(data map[string][]byte) error {
+	parts := make([]map[string][]byte, len(s.shards))
+	for i := range parts {
+		parts[i] = make(map[string][]byte)
+	}
+	for k, v := range data {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		parts[h.Sum32()%uint32(len(s.shards))][k] = v
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		if err := s.shards[i].Load(part); err != nil {
+			return fmt.Errorf("ortoa: loading shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Read obliviously reads key from its owning shard.
+func (s *ShardedClient) Read(key string) ([]byte, error) {
+	return s.shardFor(key).Read(key)
+}
+
+// Write obliviously writes key on its owning shard.
+func (s *ShardedClient) Write(key string, value []byte) error {
+	return s.shardFor(key).Write(key, value)
+}
+
+// SaveState persists every shard's protocol state, suffixing the path
+// with the shard index.
+func (s *ShardedClient) SaveState(pathPrefix string) error {
+	for i, c := range s.shards {
+		if err := c.SaveState(fmt.Sprintf("%s.%d", pathPrefix, i)); err != nil {
+			return fmt.Errorf("ortoa: saving shard %d state: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadState restores SaveState files.
+func (s *ShardedClient) LoadState(pathPrefix string) error {
+	for i, c := range s.shards {
+		if err := c.LoadState(fmt.Sprintf("%s.%d", pathPrefix, i)); err != nil {
+			return fmt.Errorf("ortoa: loading shard %d state: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every shard client.
+func (s *ShardedClient) Close() error {
+	var first error
+	for _, c := range s.shards {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,142 @@
+package ortoa
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"ortoa/internal/netsim"
+)
+
+func newShardedDeployment(t *testing.T, shards int) *ShardedClient {
+	t.Helper()
+	var clients []*Client
+	for i := 0; i < shards; i++ {
+		server, err := NewServer(ServerConfig{Protocol: ProtocolLBL, ValueSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { server.Close() })
+		link := netsim.Listen(netsim.Loopback)
+		go server.Serve(link)
+		client, err := NewClient(ClientConfig{Protocol: ProtocolLBL, ValueSize: 8, Keys: GenerateKeys()},
+			func() (net.Conn, error) { return link.Dial() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, client)
+	}
+	sc, err := NewShardedClient(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc
+}
+
+func TestShardedReadWrite(t *testing.T) {
+	sc := newShardedDeployment(t, 3)
+	data := map[string][]byte{}
+	for i := 0; i < 60; i++ {
+		data[fmt.Sprintf("key-%03d", i)] = []byte{byte(i)}
+	}
+	if err := sc.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range data {
+		got, err := sc.Read(k)
+		if err != nil {
+			t.Fatalf("read %q: %v", k, err)
+		}
+		if got[0] != want[0] {
+			t.Fatalf("read %q = %v, want %v", k, got, want)
+		}
+	}
+	if err := sc.Write("key-007", []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sc.Read("key-007")
+	if got[0] != 99 {
+		t.Errorf("after write = %v", got)
+	}
+	// Other keys unaffected.
+	got, _ = sc.Read("key-008")
+	if got[0] != 8 {
+		t.Errorf("neighbour key = %v", got)
+	}
+}
+
+func TestShardedDistribution(t *testing.T) {
+	// Keys must actually spread across shards (no shard left empty
+	// with enough keys).
+	sc := newShardedDeployment(t, 4)
+	counts := make(map[*Client]int)
+	for i := 0; i < 400; i++ {
+		counts[sc.shardFor(fmt.Sprintf("key-%04d", i))]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("keys landed on %d/4 shards", len(counts))
+	}
+	for c, n := range counts {
+		if n < 40 {
+			t.Errorf("shard %p received only %d/400 keys", c, n)
+		}
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	sc := newShardedDeployment(t, 2)
+	data := map[string][]byte{}
+	for i := 0; i < 16; i++ {
+		data[fmt.Sprintf("k%02d", i)] = []byte{byte(i)}
+	}
+	if err := sc.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := fmt.Sprintf("k%02d", i)
+			got, err := sc.Read(k)
+			if err != nil || got[0] != byte(i) {
+				t.Errorf("read %q = %v, %v", k, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestShardedStateRoundTrip(t *testing.T) {
+	sc := newShardedDeployment(t, 2)
+	if err := sc.Load(map[string][]byte{"a": {1}, "b": {2}, "c": {3}}); err != nil {
+		t.Fatal(err)
+	}
+	sc.Read("a")
+	sc.Read("b")
+	prefix := t.TempDir() + "/shards"
+	if err := sc.SaveState(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.LoadState(prefix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Read("a")
+	if err != nil || !bytes.Equal(got[:1], []byte{1}) {
+		t.Errorf("read after state roundtrip = %v, %v", got, err)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewShardedClient(nil); err == nil {
+		t.Error("accepted empty shard list")
+	}
+	a := deploy(t, ProtocolLBL, 8, nil)
+	b := deploy(t, ProtocolLBL, 16, nil)
+	if _, err := NewShardedClient([]*Client{a, b}); err == nil {
+		t.Error("accepted mismatched value sizes")
+	}
+}
