@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-batch experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full test suite under the race detector; the batched
+# pipeline tests exercise concurrent AccessBatch/Access interleavings,
+# parallel per-shard batch fan-out, and server shutdown draining.
+race:
+	$(GO) test -race ./...
+
+# verify is the CI gate: static checks plus the race-checked suite.
+verify: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-batch compares the one-frame batch pipeline against the
+# concurrent single-access fallback over a simulated WAN link.
+bench-batch:
+	$(GO) test -run XXX -bench 'Batch64' -benchtime 10x .
+
+experiments:
+	$(GO) run ./cmd/ortoa-bench -quick

@@ -1,0 +1,157 @@
+package ortoa
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func batchTestData(n, valueSize int) (map[string][]byte, []string) {
+	data := map[string][]byte{}
+	var keys []string
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := make([]byte, valueSize)
+		v[0] = byte(i)
+		data[k] = v
+		keys = append(keys, k)
+	}
+	return data, keys
+}
+
+func TestReadBatchSingleRPC(t *testing.T) {
+	// The headline batching property at the public API: 64 reads, one
+	// RPC. The concurrent fallback would cost 64.
+	client := deploy(t, ProtocolLBL, 8, nil)
+	data, keys := batchTestData(64, 8)
+	if err := client.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	_, _, callsBefore := client.TrafficStats()
+	pairs, err := client.ReadBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, callsAfter := client.TrafficStats()
+	if got := callsAfter - callsBefore; got != 1 {
+		t.Errorf("ReadBatch(64 keys) made %d RPCs, want 1", got)
+	}
+	for i, p := range pairs {
+		if p.Key != keys[i] {
+			t.Errorf("pair %d key = %q, want %q", i, p.Key, keys[i])
+		}
+		if !bytes.Equal(p.Value, data[p.Key]) {
+			t.Errorf("pair %d value = %v, want %v", i, p.Value, data[p.Key])
+		}
+	}
+}
+
+func TestWriteBatchSingleRPC(t *testing.T) {
+	client := deploy(t, ProtocolLBL, 8, nil)
+	data, keys := batchTestData(32, 8)
+	if err := client.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	updates := map[string][]byte{}
+	for i, k := range keys {
+		updates[k] = []byte{byte(i + 100)} // short on purpose: padded
+	}
+	_, _, callsBefore := client.TrafficStats()
+	if err := client.WriteBatch(updates); err != nil {
+		t.Fatal(err)
+	}
+	_, _, callsAfter := client.TrafficStats()
+	if got := callsAfter - callsBefore; got != 1 {
+		t.Errorf("WriteBatch(32 entries) made %d RPCs, want 1", got)
+	}
+	pairs, err := client.ReadBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if p.Value[0] != byte(i+100) {
+			t.Errorf("key %q = %v after batch write, want first byte %d", p.Key, p.Value, i+100)
+		}
+	}
+}
+
+func TestReadBatchFallbackProtocols(t *testing.T) {
+	// Protocols without a batch RPC must still serve batches correctly
+	// via the concurrent fallback.
+	for _, p := range []Protocol{ProtocolTEE, ProtocolBaseline2RTT} {
+		t.Run(string(p), func(t *testing.T) {
+			client := deploy(t, p, 8, nil)
+			data, keys := batchTestData(12, 8)
+			if err := client.Load(data); err != nil {
+				t.Fatal(err)
+			}
+			pairs, err := client.ReadBatch(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pairs {
+				if p.Key != keys[i] || !bytes.Equal(p.Value, data[p.Key]) {
+					t.Errorf("pair %d = %+v", i, p)
+				}
+			}
+			updates := map[string][]byte{keys[0]: {0xEE}}
+			if err := client.WriteBatch(updates); err != nil {
+				t.Fatal(err)
+			}
+			got, err := client.Read(keys[0])
+			if err != nil || got[0] != 0xEE {
+				t.Errorf("read after fallback batch write = %v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestReadRangeSingleRPC(t *testing.T) {
+	client := deploy(t, ProtocolLBL, 8, nil)
+	data, _ := batchTestData(40, 8)
+	if err := client.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	_, _, callsBefore := client.TrafficStats()
+	pairs, err := client.ReadRange("key-010", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, callsAfter := client.TrafficStats()
+	if got := callsAfter - callsBefore; got != 1 {
+		t.Errorf("ReadRange of 10 keys made %d RPCs, want 1", got)
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("range returned %d pairs, want 10", len(pairs))
+	}
+	for i, p := range pairs {
+		want := fmt.Sprintf("key-%03d", 10+i)
+		if p.Key != want {
+			t.Errorf("range pair %d = %q, want %q", i, p.Key, want)
+		}
+		if p.Value[0] != byte(10+i) {
+			t.Errorf("range pair %d value = %v", i, p.Value)
+		}
+	}
+}
+
+func TestReadBatchDuplicateKeysAtAPI(t *testing.T) {
+	client := deploy(t, ProtocolLBL, 8, nil)
+	data, _ := batchTestData(4, 8)
+	if err := client.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"key-001", "key-002", "key-001", "key-001"}
+	pairs, err := client.ReadBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if p.Key != keys[i] {
+			t.Errorf("pair %d key = %q, want %q", i, p.Key, keys[i])
+		}
+		if !bytes.Equal(p.Value, data[p.Key]) {
+			t.Errorf("pair %d value = %v, want %v", i, p.Value, data[p.Key])
+		}
+	}
+}

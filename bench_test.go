@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
 	"ortoa/internal/harness"
 	"ortoa/internal/netsim"
@@ -167,6 +168,114 @@ func BenchmarkFHEAccessWrite(b *testing.B) {
 		// Spread accesses over keys so no single ciphertext exceeds
 		// its degree cap mid-benchmark.
 		if err := client.Write(workload.Key(i%64), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- batched access pipeline ---
+
+// benchDeployLink is benchDeploy over an arbitrary link, for the batch
+// benchmarks where the round-trip count is the quantity under test.
+func benchDeployLink(b *testing.B, link netsim.Link, valueSize, keys int) *Client {
+	b.Helper()
+	server, err := NewServer(ServerConfig{Protocol: ProtocolLBL, ValueSize: valueSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { server.Close() })
+	l := netsim.Listen(link)
+	go server.Serve(l)
+	client, err := NewClient(
+		ClientConfig{Protocol: ProtocolLBL, ValueSize: valueSize, Keys: GenerateKeys()},
+		func() (net.Conn, error) { return l.Dial() })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() })
+	data := make(map[string][]byte, keys)
+	for i := 0; i < keys; i++ {
+		data[workload.Key(i)] = make([]byte, valueSize)
+	}
+	if err := client.Load(data); err != nil {
+		b.Fatal(err)
+	}
+	return client
+}
+
+// batchBenchLink models the paper's cross-country hop (Table 2's
+// N.Virginia propagation delay, bandwidth left unlimited so the
+// comparison isolates round trips). Batching's payoff is round trips,
+// not CPU: on loopback the SHA-256 sealing work dominates and both
+// paths measure the same, so the benchmark runs where the paper's
+// deployments do — behind real latency. The concurrent fallback is
+// windowed at batchParallelism in-flight calls, so a batch of 64 costs
+// it ⌈64/16⌉ = 4 sequential round trips; the batch RPC costs 1.
+var batchBenchLink = netsim.Link{RTT: 62 * time.Millisecond}
+
+const batchBenchSize = 64
+
+func benchBatchKeys() []string {
+	keys := make([]string, batchBenchSize)
+	for i := range keys {
+		keys[i] = workload.Key(i)
+	}
+	return keys
+}
+
+// BenchmarkReadBatch64WAN measures the batched pipeline end to end:
+// one MsgLBLAccessBatch round trip for 64 keys.
+func BenchmarkReadBatch64WAN(b *testing.B) {
+	client := benchDeployLink(b, batchBenchLink, 160, batchBenchSize)
+	keys := benchBatchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ReadBatch(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBatch64WANConcurrent measures the seed's fallback path
+// on the same link and batch: one RPC per key, batchParallelism at a
+// time. The ratio against BenchmarkReadBatch64WAN is the batching win.
+func BenchmarkReadBatch64WANConcurrent(b *testing.B) {
+	client := benchDeployLink(b, batchBenchLink, 160, batchBenchSize)
+	keys := benchBatchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.readBatchConcurrent(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBatch64Loopback isolates the CPU side of the batch
+// path (table building, batch framing, server fan-out) with no
+// latency to hide behind.
+func BenchmarkReadBatch64Loopback(b *testing.B) {
+	client := benchDeployLink(b, netsim.Loopback, 160, batchBenchSize)
+	keys := benchBatchKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ReadBatch(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteBatch64WAN is the write-side twin of
+// BenchmarkReadBatch64WAN — identical traffic shape by design.
+func BenchmarkWriteBatch64WAN(b *testing.B) {
+	client := benchDeployLink(b, batchBenchLink, 160, batchBenchSize)
+	entries := make(map[string][]byte, batchBenchSize)
+	value := make([]byte, 160)
+	for i := 0; i < batchBenchSize; i++ {
+		entries[workload.Key(i)] = value
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.WriteBatch(entries); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -61,6 +61,14 @@ const (
 	// MsgFHESetRelin ships a relinearization (evaluation) key to the
 	// FHE server, which then keeps stored ciphertexts at degree 1.
 	MsgFHESetRelin byte = 0x0A
+	// MsgLBLAccessBatch packs many LBL-ORTOA accesses into a single
+	// frame: one shared table geometry header followed by one
+	// (encoded key, encryption table) pair per access, answered by one
+	// frame carrying every access's response labels. Batching amortizes
+	// the per-frame and per-round-trip overhead ORTOA's one-round-trip
+	// design targets (§5.2, §6.3) without changing what the adversary
+	// learns per access.
+	MsgLBLAccessBatch byte = 0x0B
 )
 
 // Protocol errors.

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
-	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
@@ -111,13 +114,29 @@ func (c LBLConfig) ServerBytesPerValue() int {
 	return n
 }
 
+// TableBytes returns the size of one access's encryption table
+// (2^y · E_len · ℓ/y).
+func (c LBLConfig) TableBytes() int {
+	return c.Groups() * c.Mode.entries() * c.Mode.entryLen()
+}
+
 // RequestBytesPerAccess returns the exact access payload size
 // (§5.3.2: 2^y · E_len · ℓ/y table entries plus framing).
 func (c LBLConfig) RequestBytesPerAccess() int {
 	return prf.Size + 1 +
 		wire.UvarintLen(uint64(c.Groups())) +
 		wire.UvarintLen(uint64(c.Mode.entryLen())) +
-		c.Groups()*c.Mode.entries()*c.Mode.entryLen()
+		c.TableBytes()
+}
+
+// BatchRequestBytes returns the exact MsgLBLAccessBatch payload size
+// for n accesses: one shared geometry header plus n (key, table) pairs.
+func (c LBLConfig) BatchRequestBytes(n int) int {
+	return 1 +
+		wire.UvarintLen(uint64(c.Groups())) +
+		wire.UvarintLen(uint64(c.Mode.entryLen())) +
+		wire.UvarintLen(uint64(n)) +
+		n*(prf.Size+c.TableBytes())
 }
 
 func (c LBLConfig) validate() error {
@@ -253,18 +272,29 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 // (steps 1.1–1.5 of §5.2).
 func (p *LBLProxy) buildRequest(op Op, key string, newValue []byte, ct uint64) ([]byte, error) {
 	cfg := p.cfg
-	y := cfg.Mode.Y()
-	groups := cfg.Groups()
-	nEntries := cfg.Mode.entries()
-	entryLen := cfg.Mode.entryLen()
-
-	gen := p.prf.LabelGen(key)
 	w := wire.NewWriter(cfg.RequestBytesPerAccess())
 	ek := p.prf.EncodeKey(key)
 	w.Raw(ek[:])
 	w.Byte(byte(cfg.Mode))
-	w.Uvarint(uint64(groups))
-	w.Uvarint(uint64(entryLen))
+	w.Uvarint(uint64(cfg.Groups()))
+	w.Uvarint(uint64(cfg.Mode.entryLen()))
+	if err := p.appendAccessTable(w, key, op, newValue, ct, newCryptoShuffler()); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// appendAccessTable appends key's encryption table for counter ct to w
+// (steps 1.1–1.5 of §5.2). shuf supplies the step-1.5 shuffle
+// randomness; it must be crypto-strength (see shuffle.go), because a
+// predictable entry order would link table positions to plaintext bits.
+func (p *LBLProxy) appendAccessTable(w *wire.Writer, key string, op Op, newValue []byte, ct uint64, shuf *cryptoShuffler) error {
+	cfg := p.cfg
+	y := cfg.Mode.Y()
+	groups := cfg.Groups()
+	nEntries := cfg.Mode.entries()
+	entryLen := cfg.Mode.entryLen()
+	gen := p.prf.LabelGen(key)
 
 	var olds, news [16]prf.Output
 	var plain [prf.Size + 1]byte
@@ -310,14 +340,17 @@ func (p *LBLProxy) buildRequest(op Op, key string, newValue []byte, ct uint64) (
 				sealKey = olds[b][:]
 				w.Append(appendEntry)
 				if sealErr != nil {
-					return nil, sealErr
+					return sealErr
 				}
 			}
 			continue
 		}
 
-		// Basic / space-optimized: seal per bit value, then shuffle
-		// pairwise so position leaks nothing (step 1.5).
+		// Basic / space-optimized: seal per bit value, then shuffle so
+		// position leaks nothing (step 1.5). The permutation must be
+		// cryptographically unpredictable — entries are generated in
+		// bit-value order, so a guessable shuffle would leak plaintext
+		// bits by position.
 		for b := 0; b < nEntries; b++ {
 			target := uint8(b)
 			if op == OpWrite {
@@ -325,17 +358,17 @@ func (p *LBLProxy) buildRequest(op Op, key string, newValue []byte, ct uint64) (
 			}
 			scratch[b], sealErr = secretbox.AppendSealLabel(scratch[b][:0], olds[b][:], news[target][:])
 			if sealErr != nil {
-				return nil, sealErr
+				return sealErr
 			}
 		}
-		rand.Shuffle(nEntries, func(i, j int) {
+		shuf.shuffle(nEntries, func(i, j int) {
 			scratch[i], scratch[j] = scratch[j], scratch[i]
 		})
 		for _, ctext := range scratch[:nEntries] {
 			w.Raw(ctext)
 		}
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // recover maps the server's returned labels back to plaintext bits
@@ -375,4 +408,245 @@ func (p *LBLProxy) recover(op Op, key string, newValue []byte, ctNew uint64, res
 		}
 	}
 	return value, nil
+}
+
+// A BatchOp is one operation of an AccessBatch. For OpWrite, Value must
+// be exactly ValueSize bytes; for OpRead it is ignored.
+type BatchOp struct {
+	Op    Op
+	Key   string
+	Value []byte
+}
+
+// maxBatchFrameBytes caps one MsgLBLAccessBatch payload, leaving ample
+// headroom under transport.MaxFrameSize; larger batches are split into
+// several RPCs transparently.
+const maxBatchFrameBytes = 48 << 20
+
+// AccessBatch performs many oblivious accesses in (normally) one round
+// trip: it acquires every key's counter, builds all encryption tables,
+// sends them in a single MsgLBLAccessBatch frame, and recovers every
+// value from the single response (§5.2 amortized; see DESIGN.md).
+//
+// Results are returned in input order; reads yield the stored value,
+// writes echo the written value. Two cases need more than one RPC:
+// batches whose tables exceed the frame cap are split, and accesses to
+// a key that appears more than once are issued in occurrence-order
+// waves, because a key's label schedule is counter-indexed and its
+// accesses must not share a counter value.
+//
+// On a per-key server error (e.g. an unloaded key), the remaining
+// accesses still complete — their values are set and their counters
+// committed — and AccessBatch returns the first error alongside the
+// partial results.
+func (p *LBLProxy) AccessBatch(ops []BatchOp) ([][]byte, AccessStats, error) {
+	var stats AccessStats
+	if p.client == nil {
+		return nil, stats, fmt.Errorf("core: LBL proxy has no server connection")
+	}
+	for i := range ops {
+		switch ops[i].Op {
+		case OpRead:
+		case OpWrite:
+			if len(ops[i].Value) != p.cfg.ValueSize {
+				return nil, stats, fmt.Errorf("batch op %d (%q): %w", i, ops[i].Key, ErrValueSize)
+			}
+		default:
+			return nil, stats, fmt.Errorf("core: batch op %d: unknown op %d", i, ops[i].Op)
+		}
+	}
+
+	// Wave w holds the w-th occurrence of each key, so duplicate keys
+	// never share a frame (their counters must advance between them).
+	occurrence := make(map[string]int, len(ops))
+	var waves [][]int
+	for i := range ops {
+		w := occurrence[ops[i].Key]
+		occurrence[ops[i].Key] = w + 1
+		if w == len(waves) {
+			waves = append(waves, nil)
+		}
+		waves[w] = append(waves[w], i)
+	}
+
+	maxPerCall := (maxBatchFrameBytes - 32) / (prf.Size + p.cfg.TableBytes())
+	if maxPerCall < 1 {
+		maxPerCall = 1
+	}
+
+	values := make([][]byte, len(ops))
+	var firstErr error
+	for _, wave := range waves {
+		// Deterministic lock order: counters are acquired in sorted key
+		// order, so concurrent AccessBatch calls cannot deadlock.
+		sort.Slice(wave, func(a, b int) bool { return ops[wave[a]].Key < ops[wave[b]].Key })
+		for start := 0; start < len(wave); start += maxPerCall {
+			end := start + maxPerCall
+			if end > len(wave) {
+				end = len(wave)
+			}
+			st, err := p.accessBatchChunk(ops, wave[start:end], values)
+			stats.PrepBytes += st.PrepBytes
+			stats.RespBytes += st.RespBytes
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return values, stats, firstErr
+}
+
+// batchWorkers returns the worker count for the CPU-bound stages of a
+// batch of n accesses: table construction and label recovery both fan
+// out across cores, mirroring the server's handler, so the one-frame
+// pipeline never loses to the concurrent fallback on compute.
+func batchWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachBatched runs fn(i) for i in [0, n) across batchWorkers(n)
+// goroutines and returns after all complete.
+func forEachBatched(n int, fn func(i int)) {
+	workers := batchWorkers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// accessBatchChunk performs one MsgLBLAccessBatch RPC for the accesses
+// ops[idxs...], whose keys are unique and sorted. It fills values at
+// the original indices and commits the counter of every access the
+// server completed.
+func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) (AccessStats, error) {
+	var stats AccessStats
+	cfg := p.cfg
+	groups := cfg.Groups()
+
+	entries := make([]*counterEntry, len(idxs))
+	for i, idx := range idxs {
+		entries[i] = p.counters.acquire(ops[idx].Key)
+	}
+	defer func() {
+		for _, e := range entries {
+			e.mu.Unlock()
+		}
+	}()
+
+	// Build every key's ek‖table segment in parallel — each builder has
+	// its own writer and shuffler — then splice the segments into the
+	// frame. Table construction is the proxy's dominant CPU cost (2·ℓ
+	// PRFs plus 2^y·ℓ/y seals per key, §6.3.3), so it must not serialize
+	// behind a single core when the concurrent fallback would not.
+	segments := make([][]byte, len(idxs))
+	buildErrs := make([]error, len(idxs))
+	forEachBatched(len(idxs), func(i int) {
+		op := ops[idxs[i]]
+		sw := wire.NewWriter(prf.Size + cfg.TableBytes())
+		ek := p.prf.EncodeKey(op.Key)
+		sw.Raw(ek[:])
+		buildErrs[i] = p.appendAccessTable(sw, op.Key, op.Op, op.Value, entries[i].ct, newCryptoShuffler())
+		segments[i] = sw.Bytes()
+	})
+	for _, err := range buildErrs {
+		if err != nil {
+			return stats, err
+		}
+	}
+
+	w := wire.NewWriter(cfg.BatchRequestBytes(len(idxs)))
+	w.Byte(byte(cfg.Mode))
+	w.Uvarint(uint64(groups))
+	w.Uvarint(uint64(cfg.Mode.entryLen()))
+	w.Uvarint(uint64(len(idxs)))
+	for _, seg := range segments {
+		w.Raw(seg)
+	}
+	stats.PrepBytes = w.Len()
+
+	resp, err := p.client.Call(MsgLBLAccessBatch, w.Bytes())
+	if err != nil {
+		return stats, err
+	}
+	stats.RespBytes = len(resp)
+
+	// First pass, sequential: walk the variable-length response to
+	// slice out each access's labels or error.
+	r := wire.NewReader(resp)
+	labelSlices := make([][]byte, len(idxs))
+	remoteMsgs := make([]string, len(idxs))
+	failed := make([]bool, len(idxs))
+	for i := range idxs {
+		if status := r.Byte(); status != 0 {
+			failed[i] = true
+			remoteMsgs[i] = r.String()
+			continue
+		}
+		labelSlices[i] = r.Raw(groups * prf.Size)
+		if r.Err() != nil {
+			break // truncated response; reported via Finish below
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return stats, fmt.Errorf("%w: malformed batch response: %v", ErrTampered, err)
+	}
+
+	// Second pass, parallel: recover each value from its labels (2^y·ℓ/y
+	// PRF comparisons per key in the worst case).
+	recovered := make([][]byte, len(idxs))
+	recoverErrs := make([]error, len(idxs))
+	forEachBatched(len(idxs), func(i int) {
+		if failed[i] {
+			return
+		}
+		op := ops[idxs[i]]
+		recovered[i], recoverErrs[i] = p.recover(op.Op, op.Key, op.Value, entries[i].ct+1, labelSlices[i])
+	})
+
+	var firstErr error
+	for i, idx := range idxs {
+		op := ops[idx]
+		if failed[i] {
+			// Per-key failure: the server left this record untouched,
+			// so the counter must not advance.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: batch access %q: %w", op.Key, &transport.RemoteError{Msg: remoteMsgs[i]})
+			}
+			continue
+		}
+		if recoverErrs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: batch access %q: %w", op.Key, recoverErrs[i])
+			}
+			continue
+		}
+		entries[i].ct++ // commit only after a successful round
+		values[idx] = recovered[i]
+	}
+	return stats, firstErr
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"ortoa/internal/crypto/prf"
@@ -30,9 +32,10 @@ func NewLBLServer(store *kvstore.Store) *LBLServer {
 	return &LBLServer{store: store}
 }
 
-// Register installs the LBL access handler on ts.
+// Register installs the LBL access handlers on ts.
 func (s *LBLServer) Register(ts *transport.Server) {
 	ts.Handle(MsgLBLAccess, s.handleAccess)
+	ts.Handle(MsgLBLAccessBatch, s.handleAccessBatch)
 }
 
 // Ops returns the number of accesses served.
@@ -73,35 +76,47 @@ func parseLBLRecord(raw []byte, wantMode LBLMode, wantGroups int) (*lblRecord, e
 	return rec, nil
 }
 
-func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
-	r := wire.NewReader(payload)
-	encKey := r.Raw(prf.Size)
-	mode := LBLMode(r.Byte())
-	groups := int(r.Uvarint())
-	entryLen := int(r.Uvarint())
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	if mode > LBLWidePointPermute {
-		return nil, fmt.Errorf("core: unknown LBL mode %d", mode)
-	}
-	if groups <= 0 || groups > 1<<22 {
-		return nil, fmt.Errorf("core: implausible group count %d", groups)
-	}
-	if entryLen != mode.entryLen() {
-		return nil, fmt.Errorf("core: entry length %d, want %d", entryLen, mode.entryLen())
-	}
-	nEntries := mode.entries()
-	table := r.Raw(groups * nEntries * entryLen)
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	if err := r.Finish(); err != nil {
-		return nil, err
-	}
+// tableGeometry is the shared shape of the encryption tables in one
+// request: the variant plus the derived per-table sizes.
+type tableGeometry struct {
+	mode     LBLMode
+	groups   int
+	entryLen int
+	nEntries int
+}
 
+func (g tableGeometry) tableBytes() int { return g.groups * g.nEntries * g.entryLen }
+
+// readGeometry consumes and validates the (mode, groups, entryLen)
+// header shared by MsgLBLAccess and MsgLBLAccessBatch.
+func readGeometry(r *wire.Reader) (tableGeometry, error) {
+	var g tableGeometry
+	g.mode = LBLMode(r.Byte())
+	g.groups = int(r.Uvarint())
+	g.entryLen = int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return g, err
+	}
+	if g.mode > LBLWidePointPermute {
+		return g, fmt.Errorf("core: unknown LBL mode %d", g.mode)
+	}
+	if g.groups <= 0 || g.groups > 1<<22 {
+		return g, fmt.Errorf("core: implausible group count %d", g.groups)
+	}
+	if g.entryLen != g.mode.entryLen() {
+		return g, fmt.Errorf("core: entry length %d, want %d", g.entryLen, g.mode.entryLen())
+	}
+	g.nEntries = g.mode.entries()
+	return g, nil
+}
+
+// accessOne executes steps 2.1–2.2 of §5.2 for one key: atomically
+// decrypt the table entries the stored labels open and install the
+// recovered new labels, returning them as the response.
+func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table []byte) ([]byte, error) {
+	mode, groups, entryLen, nEntries := geo.mode, geo.groups, geo.entryLen, geo.nEntries
 	resp := make([]byte, 0, groups*prf.Size)
-	err := s.store.Update(string(encKey), func(old []byte) ([]byte, error) {
+	err := s.store.Update(encKey, func(old []byte) ([]byte, error) {
 		rec, err := parseLBLRecord(old, mode, groups)
 		if err != nil {
 			return nil, err
@@ -157,4 +172,101 @@ func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
 	}
 	s.ops.Add(1)
 	return resp, nil
+}
+
+func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	encKey := r.Raw(prf.Size)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	geo, err := readGeometry(r)
+	if err != nil {
+		return nil, err
+	}
+	table := r.Raw(geo.tableBytes())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s.accessOne(string(encKey), geo, table)
+}
+
+// maxBatchAccesses bounds one batch frame's key count, limiting the
+// memory a single request can pin.
+const maxBatchAccesses = 1 << 16
+
+// handleAccessBatch serves MsgLBLAccessBatch: one geometry header, then
+// n (encoded key, table) pairs. Accesses fan out across the kvstore's
+// shards in parallel and every access is answered in the one response
+// frame — a status byte per key, then the response labels (or an error
+// string). Work and response shape depend only on the table geometry
+// and key count, never on operation types, so a batch leaks exactly as
+// much as n single accesses: nothing beyond "n objects were accessed".
+func (s *LBLServer) handleAccessBatch(payload []byte) ([]byte, error) {
+	r := wire.NewReader(payload)
+	geo, err := readGeometry(r)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > maxBatchAccesses {
+		return nil, fmt.Errorf("core: implausible batch size %d", n)
+	}
+	keys := make([]string, n)
+	tables := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = string(r.Raw(prf.Size))
+		tables[i] = r.Raw(geo.tableBytes())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+
+	type result struct {
+		labels []byte
+		err    error
+	}
+	results := make([]result, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				labels, err := s.accessOne(keys[i], geo, tables[i])
+				results[i] = result{labels: labels, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := wire.NewWriter(n * (1 + geo.groups*prf.Size))
+	for i := range results {
+		if results[i].err != nil {
+			out.Byte(1)
+			out.String(results[i].err.Error())
+			continue
+		}
+		out.Byte(0)
+		out.Raw(results[i].labels)
+	}
+	return out.Bytes(), nil
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// This file provides the randomness for the §5.2 step-1.5 table
+// shuffle. The shuffle is security-critical: the encryption-table
+// entries of the basic and space-optimized LBL variants are ordered by
+// bit value before shuffling, so a predictable permutation would let
+// the server correlate entry positions with plaintext bits across
+// accesses. The permutation must therefore be drawn from a
+// cryptographically strong source — math/rand's default generators are
+// seedable and predictable and MUST NOT be used here.
+
+// A cryptoShuffler produces uniform random integers and Fisher–Yates
+// permutations driven by crypto/rand. It buffers randomness so a
+// request that shuffles hundreds of groups costs a handful of
+// crypto/rand reads rather than one per swap. Not safe for concurrent
+// use; callers create one per request.
+type cryptoShuffler struct {
+	buf [512]byte
+	off int
+}
+
+// newCryptoShuffler returns a shuffler with an empty buffer; the first
+// draw fills it from crypto/rand.
+func newCryptoShuffler() *cryptoShuffler {
+	s := &cryptoShuffler{}
+	s.off = len(s.buf)
+	return s
+}
+
+func (s *cryptoShuffler) uint64() uint64 {
+	if s.off+8 > len(s.buf) {
+		if _, err := rand.Read(s.buf[:]); err != nil {
+			// crypto/rand never fails on supported platforms; a silent
+			// fallback to weak randomness would break obliviousness.
+			panic("core: crypto/rand failed: " + err.Error())
+		}
+		s.off = 0
+	}
+	v := binary.LittleEndian.Uint64(s.buf[s.off:])
+	s.off += 8
+	return v
+}
+
+// intN returns a uniform integer in [0, n) via rejection sampling, so
+// the permutation is unbiased as well as unpredictable.
+func (s *cryptoShuffler) intN(n int) int {
+	if n <= 0 {
+		panic("core: intN with non-positive n")
+	}
+	max := uint64(n)
+	// Reject draws from the tail that would bias v % max.
+	limit := (^uint64(0)) - (^uint64(0))%max
+	for {
+		if v := s.uint64(); v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// shuffle performs a crypto/rand-driven Fisher–Yates shuffle of n
+// elements.
+func (s *cryptoShuffler) shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.intN(i+1))
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"crypto/rand"
 	"fmt"
-	mrand "math/rand/v2"
 
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
@@ -80,6 +79,7 @@ func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
 	w.Uvarint(uint64(groups))
 	w.Uvarint(uint64(entryLen))
 
+	shuf := newCryptoShuffler()
 	for g := 0; g < groups; g++ {
 		nl, err := randomLabel()
 		if err != nil {
@@ -107,7 +107,11 @@ func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
 			}
 			entries = append(entries, junk)
 		}
-		mrand.Shuffle(len(entries), func(i, j int) {
+		// Like the real proxy's step 1.5, the simulator's entry order
+		// must be cryptographically unpredictable — the single openable
+		// entry sits at index 0 before this shuffle, so a guessable
+		// permutation would distinguish simulated transcripts.
+		shuf.shuffle(len(entries), func(i, j int) {
 			entries[i], entries[j] = entries[j], entries[i]
 		})
 		for _, e := range entries {

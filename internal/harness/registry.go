@@ -32,6 +32,7 @@ var Experiments = []Experiment{
 	{"ablation-tee", "TEE transition-cost sensitivity (§6.2.1, extension)", EnclaveCostAblation},
 	{"ablation-fhe-relin", "FHE-ORTOA with vs without relinearization (extension)", FHERelinAblation},
 	{"ablation-zipf", "LBL-ORTOA under Zipfian key skew (extension)", ZipfAblation},
+	{"batch", "batched access pipeline vs concurrent singles (extension)", BatchPipeline},
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},
 }

@@ -103,12 +103,17 @@ type chunk struct {
 	data      []byte
 }
 
-// A queue is one direction of a pipe.
+// A queue is one direction of a pipe. Exactly one conn reads from a
+// queue, so the reader's deadline lives here: pop re-reads it on every
+// wakeup, which is what lets SetReadDeadline interrupt a Read already
+// in progress — the net.Conn contract graceful server shutdown relies
+// on.
 type queue struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	chunks    []chunk
 	busyUntil time.Time // link serialization horizon
+	deadline  time.Time // reader's deadline; zero means none
 	closed    bool
 }
 
@@ -143,11 +148,14 @@ func (q *queue) push(link Link, p []byte) error {
 }
 
 // pop blocks until data is available (and its delivery time has
-// passed), the queue is closed, or the deadline expires.
-func (q *queue) pop(p []byte, deadline time.Time) (int, error) {
+// passed), the queue is closed, or the reader's deadline expires. The
+// deadline is re-read each iteration so a concurrent SetReadDeadline
+// takes effect immediately.
+func (q *queue) pop(p []byte) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
+		deadline := q.deadline
 		if len(q.chunks) > 0 {
 			head := &q.chunks[0]
 			now := time.Now()
@@ -213,19 +221,15 @@ type conn struct {
 	local  addr
 	remote addr
 
-	mu           sync.Mutex
-	readDeadline time.Time
-	closed       bool
+	mu     sync.Mutex
+	closed bool
 }
 
 func (c *conn) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	c.mu.Lock()
-	deadline := c.readDeadline
-	c.mu.Unlock()
-	return c.rd.pop(p, deadline)
+	return c.rd.pop(p)
 }
 
 func (c *conn) Write(p []byte) (int, error) {
@@ -262,11 +266,10 @@ func (c *conn) SetDeadline(t time.Time) error {
 }
 
 func (c *conn) SetReadDeadline(t time.Time) error {
-	c.mu.Lock()
-	c.readDeadline = t
-	c.mu.Unlock()
-	// Wake a blocked reader so it re-evaluates the deadline.
+	// Store on the read queue and wake any blocked reader so it
+	// re-evaluates the deadline — including a Read already in progress.
 	c.rd.mu.Lock()
+	c.rd.deadline = t
 	c.rd.cond.Broadcast()
 	c.rd.mu.Unlock()
 	return nil

@@ -174,6 +174,112 @@ func TestServerCloseFailsInflight(t *testing.T) {
 	}
 }
 
+func TestServerCloseDrainsInflight(t *testing.T) {
+	// A request already accepted when Close begins must complete: its
+	// handler finishes, its response reaches the caller, and only then
+	// does Close return.
+	s := NewServer()
+	started := make(chan struct{})
+	s.Handle(msgSlow, func(p []byte) ([]byte, error) {
+		close(started)
+		time.Sleep(50 * time.Millisecond)
+		return []byte("done"), nil
+	})
+	l := netsim.Listen(netsim.Loopback)
+	go s.Serve(l)
+	c, err := Dial(l.Dial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type callResult struct {
+		resp []byte
+		err  error
+	}
+	callc := make(chan callResult, 1)
+	go func() {
+		resp, err := c.Call(msgSlow, nil)
+		callc <- callResult{resp, err}
+	}()
+	<-started // the handler is running; now shut down under it
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+
+	select {
+	case res := <-callc:
+		if res.err != nil {
+			t.Errorf("in-flight call failed during Close: %v", res.err)
+		} else if !bytes.Equal(res.resp, []byte("done")) {
+			t.Errorf("in-flight call response = %q", res.resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call never completed during Close")
+	}
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close never returned after the in-flight handler finished")
+	}
+}
+
+func TestServerCloseUnblocksIdleConns(t *testing.T) {
+	// Close must not hang on connections that are open but idle — their
+	// read loops sit blocked in readFrame with nothing in flight.
+	s, l := startTestServer(t, netsim.Loopback)
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c := dialTest(t, l, 2)
+		if _, err := c.Call(msgEcho, []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung with idle open connections")
+	}
+	// The drained conns are really gone: further calls fail.
+	for _, c := range clients {
+		if _, err := c.Call(msgEcho, nil); err == nil {
+			t.Error("call succeeded on a connection the server closed")
+		}
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, l := startTestServer(t, netsim.Loopback)
+	c := dialTest(t, l, 1)
+	if _, err := c.Call(msgEcho, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.Close(); err != nil {
+			t.Errorf("first Close: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("repeated Close hung")
+	}
+}
+
 func TestConnectionLossFailsPending(t *testing.T) {
 	s := NewServer()
 	block := make(chan struct{})

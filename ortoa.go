@@ -402,8 +402,8 @@ func (c *Client) TrafficStats() (bytesSent, bytesReceived, calls int64) {
 	return st.BytesSent, st.BytesReceived, st.Calls
 }
 
-// batchParallelism bounds concurrent requests issued by the batch and
-// range helpers.
+// batchParallelism bounds concurrent requests issued by the
+// concurrent-fallback batch and range helpers.
 const batchParallelism = 16
 
 // A KVPair is one key/value result of a batch or range read.
@@ -412,10 +412,38 @@ type KVPair struct {
 	Value []byte
 }
 
-// ReadBatch obliviously reads many keys concurrently and returns the
-// values in input order. Each key still costs one (indistinguishable)
-// access; batching pipelines them over the connection pool.
+// ReadBatch obliviously reads many keys and returns the values in
+// input order. Under ProtocolLBL the whole batch is packed into a
+// single MsgLBLAccessBatch round trip — one frame out, one frame back —
+// amortizing the per-access framing and round-trip overhead (§5.2,
+// §6.3); the adversary learns only how many objects were accessed,
+// exactly as with the equivalent sequence of single accesses. Other
+// protocols fall back to pipelining concurrent single accesses over the
+// connection pool.
 func (c *Client) ReadBatch(keys []string) ([]KVPair, error) {
+	if c.lblProxy != nil {
+		ops := make([]core.BatchOp, len(keys))
+		for i, key := range keys {
+			ops[i] = core.BatchOp{Op: core.OpRead, Key: key}
+		}
+		values, _, err := c.lblProxy.AccessBatch(ops)
+		if err != nil {
+			return nil, fmt.Errorf("ortoa: batch read: %w", err)
+		}
+		out := make([]KVPair, len(keys))
+		for i, key := range keys {
+			out[i] = KVPair{Key: key, Value: values[i]}
+		}
+		return out, nil
+	}
+	return c.readBatchConcurrent(keys)
+}
+
+// readBatchConcurrent is the pre-batch-RPC path: one RPC per key,
+// pipelined over the connection pool. It remains for the protocols
+// without a batch handler and as the baseline the batch benchmarks
+// compare against.
+func (c *Client) readBatchConcurrent(keys []string) ([]KVPair, error) {
 	out := make([]KVPair, len(keys))
 	var wg sync.WaitGroup
 	errc := make(chan error, 1)
@@ -446,8 +474,25 @@ func (c *Client) ReadBatch(keys []string) ([]KVPair, error) {
 	}
 }
 
-// WriteBatch obliviously writes many entries concurrently.
+// WriteBatch obliviously writes many entries. Under ProtocolLBL the
+// batch is one MsgLBLAccessBatch round trip, indistinguishable at the
+// server from a ReadBatch of the same size; other protocols write
+// concurrently, one access per entry.
 func (c *Client) WriteBatch(entries map[string][]byte) error {
+	if c.lblProxy != nil {
+		ops := make([]core.BatchOp, 0, len(entries))
+		for key, value := range entries {
+			padded, err := core.PadValue(value, c.valueSize)
+			if err != nil {
+				return fmt.Errorf("ortoa: value for %q: %w", key, err)
+			}
+			ops = append(ops, core.BatchOp{Op: core.OpWrite, Key: key, Value: padded})
+		}
+		if _, _, err := c.lblProxy.AccessBatch(ops); err != nil {
+			return fmt.Errorf("ortoa: batch write: %w", err)
+		}
+		return nil
+	}
 	var wg sync.WaitGroup
 	errc := make(chan error, 1)
 	sem := make(chan struct{}, batchParallelism)
@@ -477,9 +522,10 @@ func (c *Client) WriteBatch(entries map[string][]byte) error {
 // ReadRange reads up to limit consecutive keys starting at start
 // (inclusive), in primary-key order — the §8.2 direction: range
 // queries layered over single-object oblivious accesses using the
-// trusted side's key directory. The accesses themselves remain
-// individually oblivious; the adversary learns only that `limit`
-// objects were accessed, as with any multi-get.
+// trusted side's key directory. It rides ReadBatch, so under
+// ProtocolLBL the whole range costs one round trip. The accesses
+// themselves remain individually oblivious; the adversary learns only
+// that `limit` objects were accessed, as with any multi-get.
 func (c *Client) ReadRange(start string, limit int) ([]KVPair, error) {
 	if limit <= 0 {
 		return nil, nil

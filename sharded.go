@@ -3,6 +3,7 @@ package ortoa
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 )
 
 // A ShardedClient hash-partitions keys across multiple independent
@@ -33,10 +34,18 @@ func NewShardedClient(clients []*Client) (*ShardedClient, error) {
 // Shards returns the number of partitions.
 func (s *ShardedClient) Shards() int { return len(s.shards) }
 
-func (s *ShardedClient) shardFor(key string) *Client {
+// shardIndex is the partition function: FNV-1a over the key, modulo
+// the shard count. It is the single source of truth for placement —
+// Load, the access paths, and the batch paths all route through it, so
+// the mapping cannot silently diverge between loading and accessing.
+func (s *ShardedClient) shardIndex(key string) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func (s *ShardedClient) shardFor(key string) *Client {
+	return s.shards[s.shardIndex(key)]
 }
 
 // Load partitions data across shards and bulk-loads each.
@@ -46,9 +55,7 @@ func (s *ShardedClient) Load(data map[string][]byte) error {
 		parts[i] = make(map[string][]byte)
 	}
 	for k, v := range data {
-		h := fnv.New32a()
-		h.Write([]byte(k))
-		parts[h.Sum32()%uint32(len(s.shards))][k] = v
+		parts[s.shardIndex(k)][k] = v
 	}
 	for i, part := range parts {
 		if len(part) == 0 {
@@ -69,6 +76,87 @@ func (s *ShardedClient) Read(key string) ([]byte, error) {
 // Write obliviously writes key on its owning shard.
 func (s *ShardedClient) Write(key string, value []byte) error {
 	return s.shardFor(key).Write(key, value)
+}
+
+// ReadBatch obliviously reads many keys, returning values in input
+// order. Keys are grouped by owning shard and each shard's group is
+// issued as one batched call, all shards in parallel — so a batch
+// costs one round trip per touched shard rather than one per key.
+func (s *ShardedClient) ReadBatch(keys []string) ([]KVPair, error) {
+	perShard := make([][]string, len(s.shards))
+	positions := make([][]int, len(s.shards))
+	for i, key := range keys {
+		si := s.shardIndex(key)
+		perShard[si] = append(perShard[si], key)
+		positions[si] = append(positions[si], i)
+	}
+	out := make([]KVPair, len(keys))
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	for si := range s.shards {
+		if len(perShard[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			pairs, err := s.shards[si].ReadBatch(perShard[si])
+			if err != nil {
+				select {
+				case errc <- fmt.Errorf("ortoa: shard %d batch read: %w", si, err):
+				default:
+				}
+				return
+			}
+			for j, p := range pairs {
+				out[positions[si][j]] = p
+			}
+		}(si)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+		return out, nil
+	}
+}
+
+// WriteBatch obliviously writes many entries, one batched call per
+// touched shard, all shards in parallel.
+func (s *ShardedClient) WriteBatch(entries map[string][]byte) error {
+	perShard := make([]map[string][]byte, len(s.shards))
+	for key, value := range entries {
+		si := s.shardIndex(key)
+		if perShard[si] == nil {
+			perShard[si] = make(map[string][]byte)
+		}
+		perShard[si][key] = value
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	for si := range s.shards {
+		if len(perShard[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			if err := s.shards[si].WriteBatch(perShard[si]); err != nil {
+				select {
+				case errc <- fmt.Errorf("ortoa: shard %d batch write: %w", si, err):
+				default:
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
 }
 
 // SaveState persists every shard's protocol state, suffixing the path

@@ -110,6 +110,110 @@ func TestShardedConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+func TestShardedPlacementAgreement(t *testing.T) {
+	// Load and the access paths must agree on which shard owns a key,
+	// including keys chosen to stress the hash: empty, NUL bytes,
+	// non-ASCII, and very long. If placement diverged, the access would
+	// land on a shard that never loaded the key and fail.
+	sc := newShardedDeployment(t, 5)
+	adversarial := []string{
+		"",
+		"\x00",
+		"\x00\x00\x00\x00",
+		"a\x00b",
+		"\xff\xfe\xfd",
+		"key-with-ünïcödé-✓",
+		string(bytes.Repeat([]byte("x"), 4096)),
+	}
+	data := map[string][]byte{}
+	for i, k := range adversarial {
+		data[k] = []byte{byte(i + 1)}
+	}
+	if err := sc.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range adversarial {
+		got, err := sc.Read(k)
+		if err != nil {
+			t.Fatalf("read adversarial key %d (%q): %v", i, k, err)
+		}
+		if got[0] != byte(i+1) {
+			t.Errorf("adversarial key %d read %v, want %d", i, got, i+1)
+		}
+		if err := sc.Write(k, []byte{byte(i + 100)}); err != nil {
+			t.Fatalf("write adversarial key %d: %v", i, err)
+		}
+	}
+	// shardIndex must be deterministic across calls.
+	for _, k := range adversarial {
+		a, b := sc.shardIndex(k), sc.shardIndex(k)
+		if a != b {
+			t.Fatalf("shardIndex(%q) unstable: %d then %d", k, a, b)
+		}
+	}
+}
+
+func TestShardedReadBatchOrder(t *testing.T) {
+	// Batch results must come back in input order even though keys
+	// scatter across shards and shards run in parallel.
+	sc := newShardedDeployment(t, 3)
+	data := map[string][]byte{}
+	var keys []string
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		data[k] = []byte{byte(i)}
+		keys = append(keys, k)
+	}
+	if err := sc.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := sc.ReadBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(keys) {
+		t.Fatalf("got %d pairs, want %d", len(pairs), len(keys))
+	}
+	for i, p := range pairs {
+		if p.Key != keys[i] {
+			t.Errorf("pair %d key = %q, want %q", i, p.Key, keys[i])
+		}
+		if p.Value[0] != byte(i) {
+			t.Errorf("pair %d value = %v, want %d", i, p.Value, i)
+		}
+	}
+}
+
+func TestShardedWriteBatchThenReadBatch(t *testing.T) {
+	sc := newShardedDeployment(t, 2)
+	data := map[string][]byte{}
+	var keys []string
+	for i := 0; i < 12; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		data[k] = []byte{0}
+		keys = append(keys, k)
+	}
+	if err := sc.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	updates := map[string][]byte{}
+	for i, k := range keys {
+		updates[k] = []byte{byte(i + 50)}
+	}
+	if err := sc.WriteBatch(updates); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := sc.ReadBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if p.Value[0] != byte(i+50) {
+			t.Errorf("key %q = %v after batch write, want %d", p.Key, p.Value, i+50)
+		}
+	}
+}
+
 func TestShardedStateRoundTrip(t *testing.T) {
 	sc := newShardedDeployment(t, 2)
 	if err := sc.Load(map[string][]byte{"a": {1}, "b": {2}, "c": {3}}); err != nil {
