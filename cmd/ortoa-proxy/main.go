@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"ortoa"
+	"ortoa/internal/obs"
 	"ortoa/internal/workload"
 )
 
@@ -39,11 +40,23 @@ func main() {
 	statePath := flag.String("state", "", "LBL access-counter state file (restored at startup, saved on SIGINT)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, and /debug/pprof on this address (e.g. :7092)")
 	flag.Parse()
 
 	keys, err := ortoa.LoadOrGenerateKeys(*keysPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		admin, err := obs.ServeAdmin(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+		log.Printf("metrics on http://%s/metrics", admin.Addr)
 	}
 
 	client, err := ortoa.NewClient(ortoa.ClientConfig{
@@ -53,6 +66,7 @@ func main() {
 		LBLVariant: ortoa.LBLVariant(*variant),
 		Conns:      *conns,
 		FHE:        ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
+		Metrics:    reg,
 	}, func() (net.Conn, error) { return net.Dial("tcp", *serverAddr) })
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ortoa"
+	"ortoa/internal/obs"
 )
 
 func main() {
@@ -36,13 +37,26 @@ func main() {
 	enclaveCost := flag.Duration("enclave-cost", 0, "simulated per-ecall enclave transition cost (tee)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, and /debug/pprof on this address (e.g. :7091)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		admin, err := obs.ServeAdmin(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer admin.Close()
+		log.Printf("metrics on http://%s/metrics", admin.Addr)
+	}
 
 	server, err := ortoa.NewServer(ortoa.ServerConfig{
 		Protocol:          ortoa.Protocol(*protocol),
 		ValueSize:         *valueSize,
 		EnclaveTransition: *enclaveCost,
 		FHE:               ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
+		Metrics:           reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/kvstore"
 	"ortoa/internal/netsim"
+	"ortoa/internal/obs"
 	"ortoa/internal/transport"
 )
 
@@ -51,6 +52,34 @@ func BenchmarkLBLServerDecrypt(b *testing.B) {
 				}
 			}
 			_ = r
+		})
+	}
+}
+
+// BenchmarkLBLAccess160B measures a full in-process LBL access
+// (loopback link) with instrumentation off vs on — the observability
+// overhead budget is ≤2%.
+func BenchmarkLBLAccess160B(b *testing.B) {
+	for _, instrumented := range []bool{false, true} {
+		name := "bare"
+		if instrumented {
+			name = "instrumented"
+		}
+		b.Run(name, func(b *testing.B) {
+			r, proxy, srv := newBenchLBL(b, LBLPointPermute, 160)
+			if instrumented {
+				reg := obs.NewRegistry()
+				proxy.Instrument(reg)
+				srv.Instrument(reg)
+				r.client.Instrument(reg)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := proxy.Access(OpRead, "bench", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/fhe"
 	"ortoa/internal/kvstore"
+	"ortoa/internal/obs"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
 )
@@ -58,6 +60,7 @@ type FHEServer struct {
 	params    fhe.Parameters
 	maxDegree int
 	store     *kvstore.Store
+	mx        fheServerObs
 
 	mu  sync.RWMutex
 	rlk *fhe.RelinKey
@@ -96,6 +99,9 @@ func (s *FHEServer) relinKey() *fhe.RelinKey {
 }
 
 func (s *FHEServer) handleAccess(payload []byte) ([]byte, error) {
+	if s.mx.enabled {
+		defer s.mx.eval.Since(time.Now())
+	}
 	r := wire.NewReader(payload)
 	encKey := r.Raw(prf.Size)
 	rawR := r.BytesPfx()
@@ -165,6 +171,7 @@ type FHEClient struct {
 	prf    *prf.PRF
 	sk     *fhe.SecretKey
 	client *transport.Client
+	mx     fheClientObs
 }
 
 // ProvisionRelinKey generates a relinearization key (using
@@ -259,17 +266,21 @@ func (c *FHEClient) Access(op Op, key string, newValue []byte) ([]byte, AccessSt
 		crBit, cwBit = 1, 0
 		vNew = make([]byte, c.cfg.ValueSize) // 'empty' value (§3.1)
 	}
+	sw := obs.StartWatch(c.mx.enabled)
 	params := c.cfg.Params
 	ctR, err := params.Encrypt(c.sk, params.EncodeBit(crBit))
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
 	ctW, err := params.Encrypt(c.sk, params.EncodeBit(cwBit))
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
 	ctNew, err := c.encryptValue(vNew)
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
 
@@ -280,27 +291,36 @@ func (c *FHEClient) Access(op Op, key string, newValue []byte) ([]byte, AccessSt
 	w.BytesPfx(ctW.Marshal(params))
 	w.BytesPfx(ctNew.Marshal(params))
 	stats.PrepBytes = w.Len()
+	dEncrypt := sw.Lap(c.mx.encrypt)
 
 	resp, err := c.client.Call(MsgFHEAccess, w.Bytes())
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
+	dRPC := sw.Lap(c.mx.rpc)
 	stats.RespBytes = len(resp)
 
 	res, err := fhe.UnmarshalCiphertext(params, resp)
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
 	coeffs, err := params.Decrypt(c.sk, res)
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
 	value, err := params.DecodeBytes(coeffs)
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
 	if len(value) != c.cfg.ValueSize {
+		c.mx.errors.Inc()
 		return nil, stats, fmt.Errorf("core: decrypted %d bytes, want %d: %w", len(value), c.cfg.ValueSize, fhe.ErrNoiseOverflow)
 	}
+	dDecrypt := sw.Lap(c.mx.decrypt)
+	c.mx.e2e.Observe(dEncrypt + dRPC + dDecrypt)
 	return value, stats, nil
 }

@@ -7,9 +7,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
+	"ortoa/internal/obs"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
 )
@@ -173,6 +175,7 @@ type LBLProxy struct {
 	prf      *prf.PRF
 	counters *counterTable
 	client   *transport.Client
+	mx       lblProxyObs
 }
 
 // NewLBLProxy returns a proxy using f as its PRF and client to reach
@@ -245,26 +248,52 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 
 	// Per-key serialization: the label schedule is counter-indexed,
 	// so a key's accesses must not interleave (see counterTable).
+	sw := obs.StartWatch(p.mx.enabled)
 	entry := p.counters.acquire(key)
 	defer entry.mu.Unlock()
+	dAcquire := sw.Lap(p.mx.acquire)
 
 	req, err := p.buildRequest(op, key, newValue, entry.ct)
 	if err != nil {
+		p.mx.errors.Inc()
 		return nil, stats, err
 	}
+	dBuild := sw.Lap(p.mx.build)
 	stats.PrepBytes = len(req)
 
 	resp, err := p.client.Call(MsgLBLAccess, req)
 	if err != nil {
+		p.mx.errors.Inc()
 		return nil, stats, err
 	}
+	dRPC := sw.Lap(p.mx.rpc)
 	stats.RespBytes = len(resp)
 
 	value, err := p.recover(op, key, newValue, entry.ct+1, resp)
 	if err != nil {
+		p.mx.errors.Inc()
 		return nil, stats, err
 	}
+	dRecover := sw.Lap(p.mx.recover)
 	entry.ct++ // commit the counter only after a successful round
+	if p.mx.enabled {
+		total := dAcquire + dBuild + dRPC + dRecover
+		p.mx.e2e.Observe(total)
+		if p.mx.slow.Worthy(total) {
+			ek := p.prf.EncodeKey(key)
+			p.mx.slow.Record(obs.Trace{
+				At:    time.Now(),
+				Label: traceLabel(ek[:]),
+				Total: total,
+				Stages: []obs.Stage{
+					{Name: "counter_acquire", D: dAcquire},
+					{Name: "table_build", D: dBuild},
+					{Name: "rpc", D: dRPC},
+					{Name: "label_recover", D: dRecover},
+				},
+			})
+		}
+	}
 	return value, stats, nil
 }
 
@@ -548,6 +577,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 	cfg := p.cfg
 	groups := cfg.Groups()
 
+	sw := obs.StartWatch(p.mx.enabled)
 	entries := make([]*counterEntry, len(idxs))
 	for i, idx := range idxs {
 		entries[i] = p.counters.acquire(ops[idx].Key)
@@ -557,6 +587,8 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 			e.mu.Unlock()
 		}
 	}()
+	sw.Lap(p.mx.batchAcquire)
+	p.mx.batchKeys.Add(int64(len(idxs)))
 
 	// Build every key's ek‖table segment in parallel — each builder has
 	// its own writer and shuffler — then splice the segments into the
@@ -578,6 +610,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 			return stats, err
 		}
 	}
+	sw.Lap(p.mx.batchBuild)
 
 	w := wire.NewWriter(cfg.BatchRequestBytes(len(idxs)))
 	w.Byte(byte(cfg.Mode))
@@ -593,6 +626,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 	if err != nil {
 		return stats, err
 	}
+	sw.Lap(p.mx.batchRPC)
 	stats.RespBytes = len(resp)
 
 	// First pass, sequential: walk the variable-length response to
@@ -627,6 +661,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 		op := ops[idxs[i]]
 		recovered[i], recoverErrs[i] = p.recover(op.Op, op.Key, op.Value, entries[i].ct+1, labelSlices[i])
 	})
+	sw.Lap(p.mx.batchRecover)
 
 	var firstErr error
 	for i, idx := range idxs {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
@@ -22,6 +23,7 @@ import (
 // reads and writes present identical work.
 type LBLServer struct {
 	store *kvstore.Store
+	mx    lblServerObs
 
 	ops             atomic.Int64
 	decryptAttempts atomic.Int64
@@ -114,6 +116,9 @@ func readGeometry(r *wire.Reader) (tableGeometry, error) {
 // decrypt the table entries the stored labels open and install the
 // recovered new labels, returning them as the response.
 func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table []byte) ([]byte, error) {
+	if s.mx.enabled {
+		defer s.mx.access.Since(time.Now())
+	}
 	mode, groups, entryLen, nEntries := geo.mode, geo.groups, geo.entryLen, geo.nEntries
 	resp := make([]byte, 0, groups*prf.Size)
 	err := s.store.Update(encKey, func(old []byte) ([]byte, error) {

@@ -9,6 +9,7 @@ import (
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
 	"ortoa/internal/kvstore"
+	"ortoa/internal/obs"
 	"ortoa/internal/tee"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
@@ -69,6 +70,7 @@ func teeSelector(key, payload []byte) ([]byte, error) {
 type TEEServer struct {
 	store   *kvstore.Store
 	enclave *tee.Enclave
+	mx      teeServerObs
 }
 
 // NewTEEServer creates the host and loads the selector enclave.
@@ -126,6 +128,9 @@ func (s *TEEServer) handleProvision(payload []byte) ([]byte, error) {
 }
 
 func (s *TEEServer) handleAccess(payload []byte) ([]byte, error) {
+	if s.mx.enabled {
+		defer s.mx.access.Since(time.Now())
+	}
 	r := wire.NewReader(payload)
 	encKey := r.Raw(prf.Size)
 	sealedCr := r.BytesPfx()
@@ -142,7 +147,9 @@ func (s *TEEServer) handleAccess(payload []byte) ([]byte, error) {
 		w.BytesPfx(sealedCr)
 		w.BytesPfx(old)
 		w.BytesPfx(sealedNew)
+		sw := obs.StartWatch(s.mx.enabled)
 		out, err := s.enclave.ECall(w.Bytes())
+		sw.Lap(s.mx.ecall)
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +180,7 @@ type TEEClient struct {
 	box    *secretbox.Box
 	key    []byte
 	client *transport.Client
+	mx     teeClientObs
 }
 
 // NewTEEClient returns a trusted client keyed with dataKey.
@@ -257,24 +265,32 @@ func (c *TEEClient) Access(op Op, key string, newValue []byte) ([]byte, AccessSt
 			return nil, stats, err
 		}
 	}
+	sw := obs.StartWatch(c.mx.enabled)
 	ek := c.prf.EncodeKey(key)
 	w := wire.NewWriter(prf.Size + 2*c.cfg.ValueSize)
 	w.Raw(ek[:])
 	w.BytesPfx(c.box.Seal([]byte{cr}))
 	w.BytesPfx(c.box.Seal(vNew))
 	stats.PrepBytes = w.Len()
+	dSeal := sw.Lap(c.mx.seal)
 
 	resp, err := c.client.Call(MsgTEEAccess, w.Bytes())
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, err
 	}
+	dRPC := sw.Lap(c.mx.rpc)
 	stats.RespBytes = len(resp)
 	value, err := c.box.Open(resp)
 	if err != nil {
+		c.mx.errors.Inc()
 		return nil, stats, fmt.Errorf("%w: %v", ErrTampered, err)
 	}
 	if len(value) != c.cfg.ValueSize {
+		c.mx.errors.Inc()
 		return nil, stats, fmt.Errorf("%w: result has %d bytes", ErrTampered, len(value))
 	}
+	dOpen := sw.Lap(c.mx.open)
+	c.mx.e2e.Observe(dSeal + dRPC + dOpen)
 	return value, stats, nil
 }

@@ -17,6 +17,7 @@ import (
 	"ortoa/internal/crypto/secretbox"
 	"ortoa/internal/kvstore"
 	"ortoa/internal/netsim"
+	"ortoa/internal/obs"
 	"ortoa/internal/transport"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	// ConnsPerShard sizes the proxy→server connection pool. Zero
 	// means one per expected concurrent client (set by Run).
 	ConnsPerShard int
+	// Metrics, when non-nil, instruments every shard's store,
+	// transport, and protocol sides against one shared registry (series
+	// aggregate across shards). The stages experiment uses it to read
+	// per-stage latency breakdowns.
+	Metrics *obs.Registry
 }
 
 // A Cluster is a running deployment: servers, proxies, and the routing
@@ -100,7 +106,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 func newShard(cfg Config) (*shard, *transport.Server, error) {
 	store := kvstore.New()
+	store.Instrument(cfg.Metrics)
 	srv := transport.NewServer()
+	srv.Instrument(cfg.Metrics)
 	listener := netsim.Listen(cfg.Link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close
 
@@ -108,16 +116,19 @@ func newShard(cfg Config) (*shard, *transport.Server, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	client.Instrument(cfg.Metrics)
 	sh := &shard{store: store, rpc: client}
 
 	switch cfg.System {
 	case SystemLBL:
 		lblSrv := core.NewLBLServer(store)
+		lblSrv.Instrument(cfg.Metrics)
 		lblSrv.Register(srv)
 		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: cfg.LBLMode}, prf.NewRandom(), client)
 		if err != nil {
 			return nil, nil, err
 		}
+		proxy.Instrument(cfg.Metrics)
 		sh.accessor = proxy
 		sh.lblSrv = lblSrv
 	case SystemTEE:
@@ -125,6 +136,7 @@ func newShard(cfg Config) (*shard, *transport.Server, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		teeSrv.Instrument(cfg.Metrics)
 		teeSrv.Register(srv)
 		teeClient, err := core.NewTEEClient(core.TEEConfig{ValueSize: cfg.ValueSize}, prf.NewRandom(), secretbox.NewRandomKey(), client)
 		if err != nil {
@@ -133,6 +145,7 @@ func newShard(cfg Config) (*shard, *transport.Server, error) {
 		if err := teeClient.AttestAndProvision(teeSrv.Enclave()); err != nil {
 			return nil, nil, err
 		}
+		teeClient.Instrument(cfg.Metrics)
 		sh.accessor = teeClient
 	case SystemBaseline:
 		core.NewBaselineServer(store).Register(srv)

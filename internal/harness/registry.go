@@ -35,6 +35,7 @@ var Experiments = []Experiment{
 	{"batch", "batched access pipeline vs concurrent singles (extension)", BatchPipeline},
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},
+	{"stages", "measured LBL per-stage latency breakdown (Fig 3c companion)", Stages},
 }
 
 // Lookup returns the experiment with the given id.

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNotFound reports a Get or Update of a key that is not present.
@@ -22,8 +23,9 @@ const numShards = 256
 // A Store is a sharded in-memory byte-string map, safe for concurrent
 // use. AttachWAL adds crash-durable journaling (wal.go).
 type Store struct {
-	seed   maphash.Seed
-	shards [numShards]shard
+	seed    maphash.Seed
+	shards  [numShards]shard
+	metrics atomic.Pointer[storeMetrics]
 
 	walMu sync.Mutex
 	wal   *wal
@@ -117,7 +119,13 @@ func (s *Store) journal(op byte, key string, value []byte) {
 	if w == nil {
 		return
 	}
-	w.append(op, key, value) //nolint:errcheck // surfaced on Sync/Detach via file state
+	err := w.append(op, key, value) // surfaced on Sync/Detach via file state
+	if m := s.metrics.Load(); m != nil {
+		m.walAppends.Inc()
+		if err != nil {
+			m.walAppendErrors.Inc()
+		}
+	}
 }
 
 // Update applies fn to the value stored under key while holding the

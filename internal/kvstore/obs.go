@@ -1,0 +1,48 @@
+package kvstore
+
+import "ortoa/internal/obs"
+
+// storeMetrics is the store's durability instrumentation: WAL write
+// volume and error state, fsync latency, and snapshot timings.
+type storeMetrics struct {
+	walAppends      *obs.Counter
+	walAppendErrors *obs.Counter
+	walFsync        *obs.Histogram
+	snapshotWrite   *obs.Histogram
+	snapshotLoad    *obs.Histogram
+}
+
+// Instrument registers the store's metrics (ortoa_kvstore_*) with reg:
+// live record count and byte footprint (the quantity §5.3.1 prices),
+// WAL queue depth and append/fsync activity, and snapshot timings.
+// A nil registry leaves the store uninstrumented at zero cost.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("ortoa_kvstore_records", "live keys in the store",
+		func() int64 { return int64(s.Len()) })
+	reg.GaugeFunc("ortoa_kvstore_bytes", "total key+value bytes resident", s.Bytes)
+	reg.GaugeFunc("ortoa_kvstore_wal_buffered_bytes", "journal bytes buffered but not yet flushed to the WAL file", s.walBuffered)
+	s.metrics.Store(&storeMetrics{
+		walAppends:      reg.Counter("ortoa_kvstore_wal_appends_total", "mutations journaled to the WAL"),
+		walAppendErrors: reg.Counter("ortoa_kvstore_wal_append_errors_total", "journal writes that failed (surfaced on Sync/Detach)"),
+		walFsync:        reg.Histogram("ortoa_kvstore_wal_fsync_seconds", "WAL flush+fsync latency"),
+		snapshotWrite:   reg.Histogram("ortoa_kvstore_snapshot_write_seconds", "full-store snapshot serialization time"),
+		snapshotLoad:    reg.Histogram("ortoa_kvstore_snapshot_load_seconds", "snapshot load time"),
+	})
+}
+
+// walBuffered reports journal bytes sitting in the bufio layer — the
+// WAL queue depth an operator watches to size fsync cadence.
+func (s *Store) walBuffered() int64 {
+	s.walMu.Lock()
+	w := s.wal
+	s.walMu.Unlock()
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(w.w.Buffered())
+}

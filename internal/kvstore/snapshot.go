@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Snapshot format: magic, version, entry count, then count entries of
@@ -17,6 +18,9 @@ var snapshotMagic = [8]byte{'O', 'R', 'T', 'O', 'A', 'K', 'V', '1'}
 // writers may interleave with the snapshot; per-shard consistency is
 // guaranteed, cross-shard is not (same contract as Range).
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	if m := s.metrics.Load(); m != nil {
+		defer m.snapshotWrite.Since(time.Now())
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
@@ -61,6 +65,9 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 // ReadSnapshot loads entries from r into the store, overwriting
 // duplicates.
 func (s *Store) ReadSnapshot(r io.Reader) error {
+	if m := s.metrics.Load(); m != nil {
+		defer m.snapshotLoad.Since(time.Now())
+	}
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

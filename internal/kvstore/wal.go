@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // WAL support: a Store can journal every mutation to an append-only
@@ -237,6 +238,9 @@ func (s *Store) SyncWAL() error {
 	s.walMu.Unlock()
 	if w == nil {
 		return nil
+	}
+	if m := s.metrics.Load(); m != nil {
+		defer m.walFsync.Since(time.Now())
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminMux returns the operator endpoint for a deployment:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       liveness probe (200 "ok")
+//	/slowlog       slowest retained requests, stage by stage
+//	/debug/pprof/  the standard Go profiling handlers
+//
+// ortoa-proxy and ortoa-server serve it on -metrics-addr; tests and
+// embedded deployments can mount it on any server.
+func AdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client disconnects only
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, l := range reg.slowLogs() {
+			fmt.Fprintf(w, "== %s (%d retained) ==\n", l.Name(), l.Len())
+			l.WriteText(w) //nolint:errcheck // client disconnects only
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin listens on addr and serves AdminMux(reg) until the
+// returned server is Closed. It returns once the listener is bound
+// (the server's Addr field carries the resolved address), so callers
+// know scrapes will succeed before taking traffic.
+func ServeAdmin(addr string, reg *Registry) (*http.Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Addr:              l.Addr().String(),
+		Handler:           AdminMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(l) //nolint:errcheck // returns ErrServerClosed on Close
+	return srv, nil
+}

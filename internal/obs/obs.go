@@ -1,0 +1,515 @@
+// Package obs is the runtime observability layer for long-running
+// ORTOA deployments: a metrics registry of lock-free counters, gauges,
+// and log-bucketed latency histograms, exported in the Prometheus text
+// exposition format, plus a slow-request trace log and an HTTP admin
+// endpoint (admin.go).
+//
+// The paper's evaluation (§6, Figs 2–5) is entirely about where access
+// latency goes — proxy compute vs. network round trip vs. server work —
+// so the protocol hot paths record one histogram sample per stage (see
+// DESIGN.md §8 for the metric ↔ paper-stage map). Metrics are opt-in:
+// every instrumented component accepts a nil *Registry, and all metric
+// methods are nil-receiver no-ops, so the disabled path costs one
+// branch and allocates nothing.
+//
+// The package is stdlib-only and safe for concurrent use. Hot-path
+// operations (Counter.Add, Gauge.Set, Histogram.Observe) take no locks:
+// they are single atomic RMW operations on pre-allocated cells, so
+// many goroutines can hammer one metric without contention beyond
+// cache-line traffic.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing atomic counter. The zero
+// value is ready to use; a nil Counter discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n and returns the new value (0 for a
+// nil receiver).
+func (c *Counter) Add(n int64) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an atomic instantaneous value. The zero value is ready to
+// use; a nil Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease) and returns the
+// new value (0 for a nil receiver).
+func (g *Gauge) Add(n int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(n)
+}
+
+// Inc increments the gauge by one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of log2 duration buckets. Bucket i counts
+// samples whose nanosecond duration has bit-length i, i.e. durations
+// in (2^(i-1), 2^i − 1] ns; bucket 0 counts zero/negative samples.
+// 2^46 ns ≈ 19.5 h, far beyond any per-request latency.
+const histBuckets = 47
+
+// A Histogram accumulates a latency distribution in logarithmic
+// buckets. Observe is a fixed sequence of atomic adds — no locks, no
+// allocation — so it can sit on protocol hot paths. The exact sum and
+// count are kept alongside the buckets, so Mean is exact while
+// quantiles are bucket-interpolated (≤2× relative error, plenty for
+// the per-stage breakdowns of Fig 3c). A nil Histogram discards
+// samples.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Since records the elapsed time from start. It is shorthand for
+// Observe(time.Since(start)); a nil receiver skips the clock read.
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact total of all observed samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the exact mean sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.Sum()) / n)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i in
+// nanoseconds.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns the bucket-interpolated p-quantile (p in [0, 1]),
+// or 0 with no samples. Within the target bucket it interpolates
+// linearly between the bucket bounds.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(n)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(bucketUpper(i-1)) + 1
+			}
+			hi := float64(bucketUpper(i))
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / c
+			}
+			return time.Duration(lo + frac*(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(bucketUpper(histBuckets - 1))
+}
+
+// A Stopwatch times the consecutive stages of one request. Created
+// disabled it costs one branch per Lap and never reads the clock, so
+// uninstrumented hot paths stay free of timing overhead.
+type Stopwatch struct {
+	t  time.Time
+	on bool
+}
+
+// StartWatch starts a stopwatch; pass enabled=false to get an inert
+// one.
+func StartWatch(enabled bool) Stopwatch {
+	if !enabled {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: time.Now(), on: true}
+}
+
+// Lap records the time since the previous lap (or start) into h and
+// restarts the lap clock, returning the lap duration. Disabled
+// stopwatches return 0 without touching the clock or h.
+func (s *Stopwatch) Lap(h *Histogram) time.Duration {
+	if !s.on {
+		return 0
+	}
+	now := time.Now()
+	d := now.Sub(s.t)
+	s.t = now
+	h.Observe(d)
+	return d
+}
+
+// Enabled reports whether the stopwatch is live.
+func (s *Stopwatch) Enabled() bool { return s.on }
+
+// metricKind drives Prometheus TYPE lines.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered entry: exactly one of the value fields is
+// set. fn-backed entries are evaluated at scrape time (for values a
+// component already tracks, like kvstore record counts).
+type metric struct {
+	name string // full name including any {label="..."} suffix
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() int64
+}
+
+// A Registry names and exports a set of metrics. Metrics are created
+// with get-or-create semantics, so components instrumented against the
+// same registry share series (e.g. every shard's proxy feeds one stage
+// histogram). A nil *Registry is a valid "observability off" registry:
+// every constructor returns nil, and nil metrics discard updates.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	slowMu  sync.Mutex
+	slow    map[string]*SlowLog
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric), slow: make(map[string]*SlowLog)}
+}
+
+// register returns the existing metric for name or installs m.
+func (r *Registry) register(name, help string, kind metricKind, mk func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	m.name, m.help, m.kind = name, help, kind
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. name may carry a Prometheus label suffix, e.g.
+// `frames_total{dir="in"}`. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, func() *metric {
+		return &metric{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the gauge registered under name, creating it if
+// needed. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	}).gauge
+}
+
+// Histogram returns the histogram registered under name, creating it
+// if needed. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, func() *metric {
+		return &metric{hist: &Histogram{}}
+	}).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — for totals a component already tracks in its own
+// atomics (e.g. transport.Client.Stats). Registering the same name
+// again sums the callbacks, so per-shard components naturally
+// aggregate into one series. No-op on a nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.registerFunc(name, help, kindCounter, fn)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time; same
+// name-collision summing as CounterFunc. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.registerFunc(name, help, kindGauge, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.fn != nil {
+			prev := m.fn
+			m.fn = func() int64 { return prev() + fn() }
+		}
+		return
+	}
+	r.metrics[name] = &metric{name: name, help: help, kind: kind, fn: fn}
+}
+
+// SlowLog returns the slow-request trace log registered under name,
+// creating it with the given capacity if needed. Returns nil on a nil
+// registry.
+func (r *Registry) SlowLog(name string, capacity int) *SlowLog {
+	if r == nil {
+		return nil
+	}
+	r.slowMu.Lock()
+	defer r.slowMu.Unlock()
+	if l, ok := r.slow[name]; ok {
+		return l
+	}
+	l := newSlowLog(name, capacity)
+	r.slow[name] = l
+	return l
+}
+
+// slowLogs returns all registered slow logs sorted by name.
+func (r *Registry) slowLogs() []*SlowLog {
+	if r == nil {
+		return nil
+	}
+	r.slowMu.Lock()
+	defer r.slowMu.Unlock()
+	out := make([]*SlowLog, 0, len(r.slow))
+	for _, l := range r.slow {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// baseName strips a {label="..."} suffix, returning the metric family
+// name Prometheus TYPE/HELP lines use.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelInsert splits name into the pieces needed to splice extra
+// labels (histogram le) into an already-labelled name:
+// `x{a="b"}` → (`x{a="b",`, `}`); `x` → (`x{`, `}`).
+func labelInsert(name string) (prefix, suffix string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name, "}") + ",", "}"
+	}
+	return name + "{", "}"
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (text/plain; version 0.0.4). Metric families are
+// sorted by name; HELP/TYPE lines are emitted once per family.
+// Durations are exported in seconds, per Prometheus convention.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot metric structs under the lock: registerFunc may still be
+	// chaining fn callbacks while a scrape is in flight.
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		cp := *m
+		ms = append(ms, &cp)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	seenFamily := ""
+	for _, m := range ms {
+		fam := baseName(m.name)
+		if fam != seenFamily {
+			seenFamily = fam
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
+					return err
+				}
+			}
+			kind := "counter"
+			switch m.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.fn())
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		case m.hist != nil:
+			err = writeHistogram(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count series for
+// one histogram, with le bounds in seconds. Empty buckets are elided
+// (the series stays cumulative, so this loses nothing).
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.hist
+	base := baseName(m.name)
+	labels := strings.TrimPrefix(m.name, base) // "" or `{k="v"}`
+	pre, suf := labelInsert(m.name)
+	bucketLabels := pre[len(base):] // `{` or `{k="v",`
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(bucketUpper(i)) / float64(time.Second)
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q%s %d\n", base, bucketLabels, fmtFloat(le), suf, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", base, bucketLabels, suf, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, fmtFloat(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count())
+	return err
+}

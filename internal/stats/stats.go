@@ -87,11 +87,18 @@ func Summarize(samples []time.Duration) Summary {
 	}
 }
 
-// percentile returns the p-quantile of sorted samples using
-// nearest-rank interpolation.
+// percentile returns the p-quantile of sorted samples, linearly
+// interpolating between the two closest ranks. p is clamped to [0, 1];
+// empty input yields 0 and a single sample is every quantile.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
 	}
 	rank := p * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))

@@ -59,6 +59,65 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+// seq returns 1..n as durations, shuffled deterministically so the
+// tests also exercise Summarize's sort.
+func seq(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration((i*7919)%n + 1)
+	}
+	return out
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	cases := []struct {
+		name          string
+		samples       []time.Duration
+		p50, p95, p99 time.Duration
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", []time.Duration{42}, 42, 42, 42},
+		{"two", []time.Duration{100, 0}, 50, 95, 99},
+		{"uniform-1..100", seq(100), 50, 95, 99}, // rank p*(n-1) interpolates: 50.5→50.5 truncated per-bucket
+		{"uniform-1..1000", seq(1000), 500, 950, 990},
+		{"constant", []time.Duration{7, 7, 7, 7}, 7, 7, 7},
+		{"heavy-tail", []time.Duration{1, 1, 1, 1, 1, 1, 1, 1, 1, 1000}, 1, 550, 910},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Summarize(tc.samples)
+			// Interpolated ranks land between integers; allow 1ns per
+			// truncation but lock the values otherwise.
+			within := func(got, want time.Duration) bool {
+				d := got - want
+				return d >= -1 && d <= 1
+			}
+			if !within(s.P50, tc.p50) {
+				t.Errorf("P50 = %v, want %v", s.P50, tc.p50)
+			}
+			if !within(s.P95, tc.p95) {
+				t.Errorf("P95 = %v, want %v", s.P95, tc.p95)
+			}
+			if !within(s.P99, tc.p99) {
+				t.Errorf("P99 = %v, want %v", s.P99, tc.p99)
+			}
+			if s.Count != len(tc.samples) {
+				t.Errorf("Count = %d, want %d", s.Count, len(tc.samples))
+			}
+		})
+	}
+}
+
+func TestPercentileClamped(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3}
+	if got := percentile(sorted, -0.5); got != 1 {
+		t.Errorf("percentile(-0.5) = %v, want min", got)
+	}
+	if got := percentile(sorted, 1.5); got != 3 {
+		t.Errorf("percentile(1.5) = %v, want max", got)
+	}
+}
+
 func TestRecorderConcurrent(t *testing.T) {
 	r := NewRecorder(1000)
 	var wg sync.WaitGroup

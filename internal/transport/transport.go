@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ortoa/internal/obs"
 )
 
 // Frame flags.
@@ -105,6 +107,18 @@ type HandlerFunc func(payload []byte) ([]byte, error)
 // are indistinguishable at this boundary.
 type Observer func(msgType byte, requestLen, responseLen int)
 
+// serverMetrics is the server's wire-level instrumentation: what an
+// operator needs to see load and saturation on a storage server or
+// proxy front end.
+type serverMetrics struct {
+	framesIn, framesOut *obs.Counter
+	bytesIn, bytesOut   *obs.Counter
+	inflight            *obs.Gauge
+	handlerLatency      *obs.Histogram
+	handlerErrors       *obs.Counter
+	connsOpen           *obs.Gauge
+}
+
 // A Server dispatches inbound frames to handlers registered by message
 // type. Handlers run concurrently, one goroutine per request.
 type Server struct {
@@ -114,6 +128,7 @@ type Server struct {
 	closed   atomic.Bool
 	conns    sync.WaitGroup
 	lns      []net.Listener
+	metrics  atomic.Pointer[serverMetrics]
 
 	connMu sync.Mutex
 	open   map[net.Conn]struct{}
@@ -136,6 +151,27 @@ func (s *Server) handler(msgType byte) (HandlerFunc, bool) {
 	defer s.mu.RUnlock()
 	h, ok := s.handlers[msgType]
 	return h, ok
+}
+
+// Instrument registers the server's wire metrics
+// (ortoa_transport_server_*) with reg: frames and bytes in each
+// direction, open connections, in-flight handlers, and handler
+// latency. Call before Serve; a nil registry leaves the server
+// uninstrumented at zero cost.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics.Store(&serverMetrics{
+		framesIn:       reg.Counter(`ortoa_transport_server_frames_total{dir="in"}`, "frames by direction"),
+		framesOut:      reg.Counter(`ortoa_transport_server_frames_total{dir="out"}`, "frames by direction"),
+		bytesIn:        reg.Counter(`ortoa_transport_server_bytes_total{dir="in"}`, "wire bytes (incl. headers) by direction"),
+		bytesOut:       reg.Counter(`ortoa_transport_server_bytes_total{dir="out"}`, "wire bytes (incl. headers) by direction"),
+		inflight:       reg.Gauge("ortoa_transport_server_inflight_requests", "requests currently being handled"),
+		handlerLatency: reg.Histogram("ortoa_transport_server_handler_seconds", "request handler latency"),
+		handlerErrors:  reg.Counter("ortoa_transport_server_handler_errors_total", "handler invocations that returned an error"),
+		connsOpen:      reg.Gauge("ortoa_transport_server_open_connections", "currently open client connections"),
+	})
 }
 
 // SetObserver installs an adversary's-eye traffic observer, invoked
@@ -192,6 +228,9 @@ func (s *Server) track(conn net.Conn) bool {
 		return false
 	}
 	s.open[conn] = struct{}{}
+	if m := s.metrics.Load(); m != nil {
+		m.connsOpen.Inc()
+	}
 	return true
 }
 
@@ -199,6 +238,9 @@ func (s *Server) untrack(conn net.Conn) {
 	s.connMu.Lock()
 	delete(s.open, conn)
 	s.connMu.Unlock()
+	if m := s.metrics.Load(); m != nil {
+		m.connsOpen.Dec()
+	}
 }
 
 // serveConn reads request frames until the connection fails or Close
@@ -215,9 +257,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // closed, draining, or corrupt; stop reading
 		}
+		m := s.metrics.Load()
+		if m != nil {
+			m.framesIn.Inc()
+			m.bytesIn.Add(int64(headerSize + len(payload)))
+		}
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
+			if m != nil {
+				m.inflight.Inc()
+			}
+			sw := obs.StartWatch(m != nil)
 			h, ok := s.handler(msgType)
 			var resp []byte
 			flags := byte(flagResponse)
@@ -229,6 +280,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp = []byte(herr.Error())
 			} else {
 				resp = out
+			}
+			if m != nil {
+				sw.Lap(m.handlerLatency)
+				m.inflight.Dec()
+				if flags&flagError != 0 {
+					m.handlerErrors.Inc()
+				}
+				m.framesOut.Inc()
+				m.bytesOut.Add(int64(headerSize + len(resp)))
 			}
 			s.observe(msgType, len(payload), len(resp))
 			wmu.Lock()
@@ -284,12 +344,23 @@ type Stats struct {
 	Calls         int64
 }
 
+// clientMetrics is the client's wire-level instrumentation: call
+// latency, pool pressure, and connection health.
+type clientMetrics struct {
+	inflight      *obs.Gauge
+	poolSaturated *obs.Counter
+	callLatency   *obs.Histogram
+	callErrors    *obs.Counter
+	connFailures  *obs.Counter
+}
+
 // A Client issues RPCs over a fixed-size pool of connections,
 // pipelining concurrent calls. It is safe for concurrent use.
 type Client struct {
-	conns  []*clientConn
-	next   atomic.Uint64
-	closed atomic.Bool
+	conns   []*clientConn
+	next    atomic.Uint64
+	closed  atomic.Bool
+	metrics atomic.Pointer[clientMetrics]
 
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
@@ -331,13 +402,48 @@ func Dial(dial func() (net.Conn, error), poolSize int) (*Client, error) {
 	return c, nil
 }
 
+// Instrument registers the client's wire metrics
+// (ortoa_transport_client_*) with reg: the cumulative Stats counters,
+// in-flight calls, pool saturation, call latency, and connection
+// failures. Call before issuing RPCs; a nil registry leaves the
+// client uninstrumented at zero cost.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("ortoa_transport_client_bytes_sent_total", "wire bytes (incl. headers) written", c.bytesSent.Load)
+	reg.CounterFunc("ortoa_transport_client_bytes_received_total", "wire bytes (incl. headers) read", c.bytesReceived.Load)
+	reg.CounterFunc("ortoa_transport_client_calls_total", "RPC calls issued", c.calls.Load)
+	c.metrics.Store(&clientMetrics{
+		inflight:      reg.Gauge("ortoa_transport_client_inflight_calls", "calls awaiting a response"),
+		poolSaturated: reg.Counter("ortoa_transport_client_pool_saturated_total", "calls issued while every pooled connection already carried one in flight"),
+		callLatency:   reg.Histogram("ortoa_transport_client_call_seconds", "RPC round-trip latency, send to response"),
+		callErrors:    reg.Counter("ortoa_transport_client_call_errors_total", "calls that returned an error"),
+		connFailures:  reg.Counter("ortoa_transport_client_conn_failures_total", "pooled connections lost to read errors"),
+	})
+}
+
 // Call sends payload as a msgType request and blocks for the response.
 func (c *Client) Call(msgType byte, payload []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	cc := c.conns[c.next.Add(1)%uint64(len(c.conns))]
-	return cc.call(msgType, payload)
+	m := c.metrics.Load()
+	if m == nil {
+		return cc.call(msgType, payload)
+	}
+	if m.inflight.Inc() > int64(len(c.conns)) {
+		m.poolSaturated.Inc()
+	}
+	start := time.Now()
+	resp, err := cc.call(msgType, payload)
+	m.callLatency.Since(start)
+	m.inflight.Dec()
+	if err != nil {
+		m.callErrors.Inc()
+	}
+	return resp, err
 }
 
 // Stats returns cumulative traffic counters.
@@ -395,6 +501,9 @@ func (cc *clientConn) readLoop() {
 	for {
 		id, _, flags, payload, err := readFrame(cc.conn)
 		if err != nil {
+			if m := cc.client.metrics.Load(); m != nil && !cc.client.closed.Load() {
+				m.connFailures.Inc()
+			}
 			cc.fail(fmt.Errorf("transport: connection lost: %w", err))
 			return
 		}

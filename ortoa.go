@@ -3,6 +3,7 @@ package ortoa
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/fhe"
 	"ortoa/internal/kvstore"
+	"ortoa/internal/obs"
 	"ortoa/internal/transport"
 )
 
@@ -110,6 +112,23 @@ type ServerConfig struct {
 	// EnclaveTransition simulates per-ecall enclave overhead
 	// (ProtocolTEE only).
 	EnclaveTransition time.Duration
+	// Metrics, when non-nil, instruments the server: transport, store,
+	// and protocol handler metrics are registered with it (serve them
+	// with ServeMetrics). Nil runs without observability overhead.
+	Metrics *obs.Registry
+}
+
+// NewMetricsRegistry returns an empty metrics registry to set as
+// ServerConfig.Metrics or ClientConfig.Metrics. One registry may be
+// shared by several components; same-named series aggregate.
+func NewMetricsRegistry() *obs.Registry { return obs.NewRegistry() }
+
+// ServeMetrics serves reg's observability endpoints on addr in the
+// background: Prometheus-format /metrics, /healthz, /slowlog, and
+// net/http/pprof under /debug/pprof/. The returned server's Addr
+// field holds the resolved listen address; Close it to stop serving.
+func ServeMetrics(addr string, reg *obs.Registry) (*http.Server, error) {
+	return obs.ServeAdmin(addr, reg)
 }
 
 // A Server is the untrusted side of a deployment: the record store
@@ -126,22 +145,29 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("ortoa: ServerConfig.ValueSize must be positive")
 	}
 	s := &Server{store: kvstore.New(), ts: transport.NewServer()}
+	s.store.Instrument(cfg.Metrics)
+	s.ts.Instrument(cfg.Metrics)
 	core.RegisterLoader(s.ts, s.store)
 	switch cfg.Protocol {
 	case ProtocolLBL, "":
-		core.NewLBLServer(s.store).Register(s.ts)
+		lblSrv := core.NewLBLServer(s.store)
+		lblSrv.Instrument(cfg.Metrics)
+		lblSrv.Register(s.ts)
 	case ProtocolTEE:
 		teeSrv, err := core.NewTEEServer(s.store, cfg.EnclaveTransition)
 		if err != nil {
 			return nil, err
 		}
+		teeSrv.Instrument(cfg.Metrics)
 		teeSrv.Register(s.ts)
 	case ProtocolFHE:
 		params, err := cfg.FHE.params()
 		if err != nil {
 			return nil, err
 		}
-		core.NewFHEServer(s.store, core.FHEConfig{Params: params, ValueSize: cfg.ValueSize}).Register(s.ts)
+		fheSrv := core.NewFHEServer(s.store, core.FHEConfig{Params: params, ValueSize: cfg.ValueSize})
+		fheSrv.Instrument(cfg.Metrics)
+		fheSrv.Register(s.ts)
 	case ProtocolBaseline2RTT:
 		core.NewBaselineServer(s.store).Register(s.ts)
 	default:
@@ -200,6 +226,10 @@ type ClientConfig struct {
 	FHE FHEOptions
 	// Conns sizes the connection pool to the server (default 4).
 	Conns int
+	// Metrics, when non-nil, instruments the trusted side: transport
+	// and per-stage access metrics are registered with it (serve them
+	// with ServeMetrics). Nil runs without observability overhead.
+	Metrics *obs.Registry
 }
 
 // A Client is the trusted side of a deployment — the proxy (LBL,
@@ -216,6 +246,7 @@ type Client struct {
 	teeClient *core.TEEClient
 	lblProxy  *core.LBLProxy
 	fheSecret []byte
+	metrics   *obs.Registry
 
 	// directory tracks loaded keys in sorted order, enabling the
 	// §8.2-style range reads over primary keys.
@@ -245,7 +276,8 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 		rpc.Close()
 		return nil, err
 	}
-	c := &Client{protocol: cfg.Protocol, valueSize: cfg.ValueSize, rpc: rpc}
+	c := &Client{protocol: cfg.Protocol, valueSize: cfg.ValueSize, rpc: rpc, metrics: cfg.Metrics}
+	rpc.Instrument(cfg.Metrics)
 	switch cfg.Protocol {
 	case ProtocolLBL, "":
 		mode, err := cfg.LBLVariant.mode()
@@ -258,6 +290,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 			rpc.Close()
 			return nil, err
 		}
+		proxy.Instrument(cfg.Metrics)
 		c.accessor, c.builder, c.lblProxy = proxy, proxy, proxy
 	case ProtocolTEE:
 		teeClient, err := core.NewTEEClient(core.TEEConfig{ValueSize: cfg.ValueSize}, f, cfg.Keys.DataKey, rpc)
@@ -265,6 +298,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 			rpc.Close()
 			return nil, err
 		}
+		teeClient.Instrument(cfg.Metrics)
 		c.accessor, c.builder, c.teeClient = teeClient, teeClient, teeClient
 	case ProtocolFHE:
 		params, err := cfg.FHE.params()
@@ -295,6 +329,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 				return nil, fmt.Errorf("ortoa: provisioning relinearization key: %w", err)
 			}
 		}
+		fheClient.Instrument(cfg.Metrics)
 		c.accessor, c.builder = fheClient, fheClient
 		c.fheSecret = sk.Marshal()
 	case ProtocolBaseline2RTT:
@@ -579,6 +614,7 @@ func (c *Client) LoadState(path string) error {
 // deployment model of §2.1). It blocks until Close.
 func (c *Client) ServeProxy(l net.Listener) error {
 	ts := transport.NewServer()
+	ts.Instrument(c.metrics)
 	core.RegisterProxyService(ts, c.accessor)
 	return ts.Serve(l)
 }
