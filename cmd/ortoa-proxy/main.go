@@ -36,6 +36,8 @@ func main() {
 	keysPath := flag.String("keys", "ortoa-keys.json", "keys file (created if missing)")
 	variant := flag.String("lbl-variant", "point-permute", "LBL variant: basic, space-opt, point-permute")
 	conns := flag.Int("conns", 32, "connection pool size to the server")
+	callTimeout := flag.Duration("call-timeout", 0, "per-attempt deadline for server RPCs, e.g. 500ms (0 disables)")
+	retries := flag.Int("retries", 0, "total attempts per server RPC; at-most-once retries (<2 disables)")
 	loadSynthetic := flag.Int("load-synthetic", 0, "bulk-load N synthetic records at startup")
 	statePath := flag.String("state", "", "LBL access-counter state file (restored at startup, saved on SIGINT)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
@@ -60,13 +62,15 @@ func main() {
 	}
 
 	client, err := ortoa.NewClient(ortoa.ClientConfig{
-		Protocol:   ortoa.Protocol(*protocol),
-		ValueSize:  *valueSize,
-		Keys:       keys,
-		LBLVariant: ortoa.LBLVariant(*variant),
-		Conns:      *conns,
-		FHE:        ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
-		Metrics:    reg,
+		Protocol:      ortoa.Protocol(*protocol),
+		ValueSize:     *valueSize,
+		Keys:          keys,
+		LBLVariant:    ortoa.LBLVariant(*variant),
+		Conns:         *conns,
+		CallTimeout:   *callTimeout,
+		RetryAttempts: *retries,
+		FHE:           ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
+		Metrics:       reg,
 	}, func() (net.Conn, error) { return net.Dial("tcp", *serverAddr) })
 	if err != nil {
 		log.Fatal(err)

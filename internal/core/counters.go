@@ -26,6 +26,12 @@ type counterShard struct {
 type counterEntry struct {
 	mu sync.Mutex
 	ct uint64
+	// pending, when non-nil, records a round at counter ct whose
+	// outcome is unknown (the transport failed ambiguously). The next
+	// access to the key must settle it — by replaying the same request
+	// id, which the server answers at-most-once — before ct can be
+	// trusted again. Guarded by mu.
+	pending *pendingRound
 }
 
 func newCounterTable() *counterTable {
@@ -127,8 +133,20 @@ func (t *counterTable) save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxCounterEntries bounds the entry count a snapshot may claim. A
+// count above it (≈268M keys, a multi-gigabyte snapshot) means the
+// header is corrupt, not that the deployment is large; rejecting it
+// up front keeps a flipped bit in the count field from turning load
+// into an unbounded allocation loop.
+const maxCounterEntries = 1 << 28
+
 // load restores counters saved with save, replacing current entries
-// for the same keys.
+// for the same keys. The snapshot is parsed and validated in full
+// before any counter is applied: counters the server has moved past
+// are the one piece of proxy state that cannot be regenerated
+// (§5.3.1), so a truncated or corrupt snapshot must reject cleanly
+// rather than leave the table half-updated with no way to tell which
+// keys were touched.
 func (t *counterTable) load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic [8]byte
@@ -140,16 +158,28 @@ func (t *counterTable) load(r io.Reader) error {
 	}
 	var buf [8]byte
 	if _, err := io.ReadFull(br, buf[:]); err != nil {
-		return err
+		return fmt.Errorf("core: reading counter count: %w", err)
 	}
 	n := binary.LittleEndian.Uint64(buf[:])
+	if n > maxCounterEntries {
+		return fmt.Errorf("core: counter snapshot claims %d entries (cap %d); header corrupt", n, maxCounterEntries)
+	}
+	type kv struct {
+		key string
+		ct  uint64
+	}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096 // trust the data, not the claimed count
+	}
+	parsed := make([]kv, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		klen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("core: counter entry %d: %w", i, err)
 		}
 		if klen > 1<<20 {
-			return fmt.Errorf("core: counter key length %d implausible", klen)
+			return fmt.Errorf("core: counter entry %d key length %d implausible", i, klen)
 		}
 		key := make([]byte, klen)
 		if _, err := io.ReadFull(br, key); err != nil {
@@ -158,9 +188,16 @@ func (t *counterTable) load(r io.Reader) error {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return fmt.Errorf("core: counter entry %d value: %w", i, err)
 		}
-		e := t.acquire(string(key))
-		e.ct = binary.LittleEndian.Uint64(buf[:])
-		e.mu.Unlock()
+		parsed = append(parsed, kv{string(key), binary.LittleEndian.Uint64(buf[:])})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("core: trailing data after %d counter entries", n)
+	}
+	for _, e := range parsed {
+		ent := t.acquire(e.key)
+		ent.ct = e.ct
+		ent.pending = nil // a restored counter supersedes any ambiguous round
+		ent.mu.Unlock()
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"testing"
@@ -141,5 +142,104 @@ func TestLBLCountersSurviveProxySwap(t *testing.T) {
 	}
 	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
 		t.Errorf("read after counter transfer = %v", got)
+	}
+}
+
+// TestCounterLoadCorruptSnapshots drives load through the corruption
+// classes a real snapshot file can exhibit: wrong or short magic, a
+// count field the data cannot back, implausible key lengths, truncation
+// at every field boundary, and trailing garbage. Counters are the
+// proxy's only unrecoverable state, so every corrupt input must be
+// rejected — never half-applied.
+func TestCounterLoadCorruptSnapshots(t *testing.T) {
+	// A valid two-entry snapshot to mutate: keys "alpha"→3, "beta"→9.
+	valid := func() []byte {
+		tbl := newCounterTable()
+		for k, ct := range map[string]uint64{"alpha": 3, "beta": 9} {
+			e := tbl.acquire(k)
+			e.ct = ct
+			e.mu.Unlock()
+		}
+		var buf bytes.Buffer
+		if err := tbl.save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", valid[:5]},
+		{"bad magic", append([]byte("NOTORTOA"), valid[8:]...)},
+		{"missing count", valid[:8]},
+		{"short count", valid[:12]},
+		{"absurd count", func() []byte {
+			d := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(d[8:16], maxCounterEntries+1)
+			return d
+		}()},
+		{"count exceeds data", func() []byte {
+			d := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(d[8:16], 50)
+			return d
+		}()},
+		{"implausible key length", func() []byte {
+			d := append([]byte(nil), valid[:16]...)
+			return binary.AppendUvarint(d, 1<<21)
+		}()},
+		{"truncated mid-key", valid[:16+1+2]},
+		{"truncated mid-value", valid[:len(valid)-8-3]},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xde, 0xad)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := newCounterTable()
+			if err := tbl.load(bytes.NewReader(tc.data)); err == nil {
+				t.Fatal("load accepted corrupt snapshot")
+			}
+			if n := tbl.Len(); n != 0 {
+				t.Errorf("corrupt load left %d entries behind (partial application)", n)
+			}
+		})
+	}
+}
+
+// TestCounterLoadRejectsWithoutClobbering is the partial-application
+// guarantee on a live table: a failed load must leave existing
+// counters exactly as they were, even when the snapshot's early
+// entries parsed cleanly before the corruption.
+func TestCounterLoadRejectsWithoutClobbering(t *testing.T) {
+	snap := func() []byte {
+		tbl := newCounterTable()
+		for i := 0; i < 50; i++ {
+			e := tbl.acquire(fmt.Sprintf("key-%02d", i))
+			e.ct = 1000 + uint64(i)
+			e.mu.Unlock()
+		}
+		var buf bytes.Buffer
+		if err := tbl.save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	live := newCounterTable()
+	e := live.acquire("key-00")
+	e.ct = 7
+	e.mu.Unlock()
+
+	if err := live.load(bytes.NewReader(snap[:len(snap)-4])); err == nil {
+		t.Fatal("load accepted truncated snapshot")
+	}
+	if n := live.Len(); n != 1 {
+		t.Errorf("failed load grew the table to %d entries", n)
+	}
+	e = live.acquire("key-00")
+	defer e.mu.Unlock()
+	if e.ct != 7 {
+		t.Errorf("failed load overwrote live counter: %d, want 7", e.ct)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -251,6 +252,15 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	sw := obs.StartWatch(p.mx.enabled)
 	entry := p.counters.acquire(key)
 	defer entry.mu.Unlock()
+	if entry.pending != nil {
+		// A previous round for this key failed ambiguously; settle it
+		// (at-most-once replay, see pending.go) before building a table
+		// at a counter value that may already be stale.
+		if err := p.resolvePending(key, entry); err != nil {
+			p.mx.errors.Inc()
+			return nil, stats, err
+		}
+	}
 	dAcquire := sw.Lap(p.mx.acquire)
 
 	req, err := p.buildRequest(op, key, newValue, entry.ct)
@@ -261,8 +271,16 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	dBuild := sw.Lap(p.mx.build)
 	stats.PrepBytes = len(req)
 
-	resp, err := p.client.Call(MsgLBLAccess, req)
+	id := p.client.NextID()
+	resp, err := p.client.CallContextID(context.Background(), id, MsgLBLAccess, req)
 	if err != nil {
+		if transport.Ambiguous(err) {
+			// The round may have executed; park it so the key's next
+			// access settles the outcome before trusting the counter.
+			entry.pending = &pendingRound{id: id, msgType: MsgLBLAccess, req: req,
+				op: op, value: pendingValue(op, newValue)}
+			p.mx.pendingSaved.Inc()
+		}
 		p.mx.errors.Inc()
 		return nil, stats, err
 	}
@@ -587,6 +605,17 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 			e.mu.Unlock()
 		}
 	}()
+	// Settle any ambiguous earlier rounds before building tables: a
+	// resolution can advance a key's counter, and the tables below must
+	// be built at the settled values. An unresolvable round fails the
+	// whole chunk — no frame was sent, so no counter state changed.
+	for i, idx := range idxs {
+		if entries[i].pending != nil {
+			if err := p.resolvePending(ops[idx].Key, entries[i]); err != nil {
+				return stats, err
+			}
+		}
+	}
 	sw.Lap(p.mx.batchAcquire)
 	p.mx.batchKeys.Add(int64(len(idxs)))
 
@@ -622,8 +651,22 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 	}
 	stats.PrepBytes = w.Len()
 
-	resp, err := p.client.Call(MsgLBLAccessBatch, w.Bytes())
+	id := p.client.NextID()
+	req := w.Bytes()
+	resp, err := p.client.CallContextID(context.Background(), id, MsgLBLAccessBatch, req)
 	if err != nil {
+		if transport.Ambiguous(err) {
+			// The whole chunk is ambiguous. Park the same round on every
+			// key, sharing the request bytes; each key settles its own
+			// slice of the outcome on its next access (replays of one id
+			// dedup to a single execution server-side).
+			for i, e := range entries {
+				op := ops[idxs[i]]
+				e.pending = &pendingRound{id: id, msgType: MsgLBLAccessBatch, req: req,
+					batch: true, pos: i, op: op.Op, value: pendingValue(op.Op, op.Value)}
+			}
+			p.mx.pendingSaved.Add(int64(len(entries)))
+		}
 		return stats, err
 	}
 	sw.Lap(p.mx.batchRPC)

@@ -112,6 +112,14 @@ func readGeometry(r *wire.Reader) (tableGeometry, error) {
 	return g, nil
 }
 
+// staleTableMarker tags the server's fencing rejections: an access
+// table keyed at a counter whose labels this record has already moved
+// past. The proxy's ambiguous-round resolution (pending.go) relies on
+// the marker — a stale rejection proves some round at that counter
+// executed — so both the point-and-permute and try-all decrypt
+// failures below must carry it.
+const staleTableMarker = "stale access table"
+
 // accessOne executes steps 2.1–2.2 of §5.2 for one key: atomically
 // decrypt the table entries the stored labels open and install the
 // recovered new labels, returning them as the response.
@@ -145,7 +153,7 @@ func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table []byte) ([
 				s.decryptAttempts.Add(1)
 				plain, err = secretbox.AppendOpenLabel(scratch[:0], stored, entries[d*entryLen:(d+1)*entryLen])
 				if err != nil {
-					return nil, fmt.Errorf("core: group %d entry %d undecryptable (proxy/server divergence?)", g, d)
+					return nil, fmt.Errorf("core: %s: group %d entry %d undecryptable", staleTableMarker, g, d)
 				}
 				newDbits[g] = plain[prf.Size]
 			} else {
@@ -161,7 +169,7 @@ func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table []byte) ([
 					}
 				}
 				if plain == nil {
-					return nil, fmt.Errorf("core: group %d: no table entry decryptable", g)
+					return nil, fmt.Errorf("core: %s: group %d: no table entry decryptable", staleTableMarker, g)
 				}
 			}
 			copy(newLabels[g*prf.Size:], plain[:prf.Size])

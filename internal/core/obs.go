@@ -51,6 +51,9 @@ type lblProxyObs struct {
 	batchRecover *obs.Histogram // parallel label recovery, per chunk
 	batchKeys    *obs.Counter   // accesses carried in batch chunks
 
+	pendingSaved    *obs.Counter // rounds parked after ambiguous transport failures
+	pendingResolved *obs.Counter // parked rounds settled by at-most-once replay
+
 	slow *obs.SlowLog
 }
 
@@ -83,6 +86,9 @@ func (p *LBLProxy) Instrument(reg *obs.Registry) {
 		batchRPC:     batchStage("rpc"),
 		batchRecover: batchStage("label_recover"),
 		batchKeys:    reg.Counter("ortoa_lbl_batch_accesses_total", "accesses carried in batch chunks"),
+
+		pendingSaved:    reg.Counter("ortoa_lbl_pending_rounds_total", "LBL rounds parked after an ambiguous transport failure"),
+		pendingResolved: reg.Counter("ortoa_lbl_pending_resolved_total", "parked LBL rounds settled by at-most-once replay"),
 
 		slow: reg.SlowLog("lbl_access", 32),
 	}

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosQuick runs the chaos experiment end to end at unit-test
+// scale. The experiment self-audits (lost/duplicated writes, label-
+// schedule consistency after recovery), so a nil error is the
+// assertion; the table checks here only guard the reporting shape.
+func TestChaosQuick(t *testing.T) {
+	tbl, err := Chaos(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("chaos table has %d rows, want 2", len(tbl.Rows))
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "audit passed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chaos notes missing audit confirmation: %v", tbl.Notes)
+	}
+}

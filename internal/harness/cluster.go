@@ -54,6 +54,11 @@ type Config struct {
 	// ConnsPerShard sizes the proxy→server connection pool. Zero
 	// means one per expected concurrent client (set by Run).
 	ConnsPerShard int
+	// Transport tunes the proxy→server clients' fault tolerance
+	// (per-call deadlines, at-most-once retries, reconnect backoff).
+	// PoolSize is ignored — ConnsPerShard wins. The zero value keeps
+	// the historical behavior: no deadline, no retries.
+	Transport transport.Options
 	// Metrics, when non-nil, instruments every shard's store,
 	// transport, and protocol sides against one shared registry (series
 	// aggregate across shards). The stages experiment uses it to read
@@ -112,7 +117,9 @@ func newShard(cfg Config) (*shard, *transport.Server, error) {
 	listener := netsim.Listen(cfg.Link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close
 
-	client, err := transport.Dial(listener.Dial, cfg.ConnsPerShard)
+	topts := cfg.Transport
+	topts.PoolSize = cfg.ConnsPerShard
+	client, err := transport.DialOptions(listener.Dial, topts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A FaultPlan injects failures into every connection that traverses a
+// Link, modeling the WAN pathologies a production ORTOA deployment
+// must survive: connection resets, delivery stalls, blackholed frames
+// (sent but never delivered — the classic "did my write commit?"
+// ambiguity), and timed partition windows during which the link drops
+// all traffic and refuses new connections.
+//
+// Random faults draw from one PRNG seeded with Seed, so a chaos run is
+// reproducible: the same plan against the same deterministic workload
+// injects the same fault sequence. Determinism across two runs
+// requires the runs to issue identical write sequences (e.g. a
+// sequential single-client workload), since concurrent writers
+// interleave their draws. Probabilities of zero consume no randomness,
+// so plans that differ only in which fault is enabled stay comparable.
+//
+// Share one *FaultPlan per Link; the zero value injects nothing.
+type FaultPlan struct {
+	// Seed initializes the fault PRNG.
+	Seed uint64
+	// ResetProb is the per-write probability (either direction) that
+	// the connection is torn down mid-conversation.
+	ResetProb float64
+	// StallProb is the per-write probability that delivery of the
+	// written bytes is delayed by an extra StallFor.
+	StallProb float64
+	// StallFor is the extra delivery delay of a stalled write.
+	StallFor time.Duration
+	// BlackholeProb is the per-write probability that a server-to-
+	// client write is silently dropped: the request executed but its
+	// response never arrives, leaving the client's outcome ambiguous.
+	BlackholeProb float64
+	// PartitionEvery and PartitionFor open a partition window of
+	// length PartitionFor at the end of every PartitionEvery period:
+	// all writes are dropped and new dials refused. Zero disables
+	// partitions.
+	PartitionEvery time.Duration
+	PartitionFor   time.Duration
+	// MaxFaults caps the total number of random faults injected
+	// (resets + blackholes + stalls; partitions are time-driven and
+	// exempt). Zero means unlimited. Targeted tests use MaxFaults: 1
+	// to inject exactly one failure.
+	MaxFaults int64
+
+	once     sync.Once
+	mu       sync.Mutex
+	rng      *rand.Rand
+	start    time.Time
+	disabled atomic.Bool
+	used     atomic.Int64
+
+	resets         atomic.Int64
+	stalls         atomic.Int64
+	blackholes     atomic.Int64
+	partitionDrops atomic.Int64
+	dialRefusals   atomic.Int64
+}
+
+// FaultStats counts the faults a plan has injected.
+type FaultStats struct {
+	Resets         int64 // connections torn down mid-write
+	Stalls         int64 // writes delivered late
+	Blackholes     int64 // responses silently dropped
+	PartitionDrops int64 // writes dropped inside partition windows
+	DialRefusals   int64 // dials refused inside partition windows
+}
+
+// Total returns the number of injected faults of all kinds.
+func (s FaultStats) Total() int64 {
+	return s.Resets + s.Stalls + s.Blackholes + s.PartitionDrops + s.DialRefusals
+}
+
+func (f *FaultPlan) init() {
+	f.once.Do(func() {
+		f.rng = rand.New(rand.NewPCG(f.Seed, 0x0470afa017))
+		f.start = time.Now()
+	})
+}
+
+// SetActive enables or disables fault injection. Plans start active;
+// chaos experiments deactivate the plan before their verification
+// pass so recovery is checked on a healthy network.
+func (f *FaultPlan) SetActive(v bool) { f.disabled.Store(!v) }
+
+func (f *FaultPlan) active() bool { return f != nil && !f.disabled.Load() }
+
+// draw reports a hit with probability p. p <= 0 consumes no
+// randomness, keeping plans with disjoint fault sets comparable under
+// one seed.
+func (f *FaultPlan) draw(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	hit := f.rng.Float64() < p
+	f.mu.Unlock()
+	return hit
+}
+
+// spend claims one unit of the MaxFaults budget.
+func (f *FaultPlan) spend() bool {
+	if f.MaxFaults <= 0 {
+		return true
+	}
+	for {
+		u := f.used.Load()
+		if u >= f.MaxFaults {
+			return false
+		}
+		if f.used.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// partitioned reports whether now falls inside a partition window.
+// Every period starts healthy and ends with PartitionFor of partition,
+// so a plan's first moments are always usable.
+func (f *FaultPlan) partitioned(now time.Time) bool {
+	if f.PartitionEvery <= 0 || f.PartitionFor <= 0 {
+		return false
+	}
+	phase := now.Sub(f.start) % f.PartitionEvery
+	return phase >= f.PartitionEvery-f.PartitionFor
+}
+
+// Stats returns cumulative injected-fault counts.
+func (f *FaultPlan) Stats() FaultStats {
+	return FaultStats{
+		Resets:         f.resets.Load(),
+		Stalls:         f.stalls.Load(),
+		Blackholes:     f.blackholes.Load(),
+		PartitionDrops: f.partitionDrops.Load(),
+		DialRefusals:   f.dialRefusals.Load(),
+	}
+}
+
+// inject applies the plan to one write of len n on a connection.
+// server marks the server-to-client direction (responses), the only
+// one blackholes apply to. The returned verdict tells the conn what to
+// do with the bytes.
+func (f *FaultPlan) inject(server bool) (v faultVerdict, stall time.Duration) {
+	if !f.active() {
+		return faultDeliver, 0
+	}
+	f.init()
+	if f.partitioned(time.Now()) {
+		f.partitionDrops.Add(1)
+		return faultDrop, 0
+	}
+	if f.draw(f.ResetProb) && f.spend() {
+		f.resets.Add(1)
+		return faultReset, 0
+	}
+	if server && f.draw(f.BlackholeProb) && f.spend() {
+		f.blackholes.Add(1)
+		return faultDrop, 0
+	}
+	if f.draw(f.StallProb) && f.spend() {
+		f.stalls.Add(1)
+		return faultDeliver, f.StallFor
+	}
+	return faultDeliver, 0
+}
+
+// refuseDial reports whether a new connection should be refused (and
+// counts it): dials fail inside partition windows, modeling the SYN
+// going nowhere.
+func (f *FaultPlan) refuseDial() bool {
+	if !f.active() {
+		return false
+	}
+	f.init()
+	if !f.partitioned(time.Now()) {
+		return false
+	}
+	f.dialRefusals.Add(1)
+	return true
+}
+
+type faultVerdict int
+
+const (
+	faultDeliver faultVerdict = iota // deliver (possibly stalled)
+	faultDrop                        // pretend success, never deliver
+	faultReset                       // tear the connection down
+)

@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanZeroValueInjectsNothing(t *testing.T) {
+	var plan FaultPlan
+	for i := 0; i < 100; i++ {
+		if v, stall := plan.inject(i%2 == 0); v != faultDeliver || stall != 0 {
+			t.Fatalf("zero plan injected verdict %v stall %v", v, stall)
+		}
+	}
+	if got := plan.Stats(); got != (FaultStats{}) {
+		t.Errorf("zero plan stats = %+v", got)
+	}
+}
+
+func TestFaultPlanMaxFaultsBudget(t *testing.T) {
+	plan := &FaultPlan{ResetProb: 1, MaxFaults: 2}
+	resets := 0
+	for i := 0; i < 10; i++ {
+		if v, _ := plan.inject(false); v == faultReset {
+			resets++
+		}
+	}
+	if resets != 2 {
+		t.Errorf("injected %d resets, want exactly MaxFaults=2", resets)
+	}
+	if got := plan.Stats().Resets; got != 2 {
+		t.Errorf("Stats().Resets = %d, want 2", got)
+	}
+}
+
+func TestFaultPlanSetActive(t *testing.T) {
+	plan := &FaultPlan{ResetProb: 1}
+	plan.SetActive(false)
+	for i := 0; i < 10; i++ {
+		if v, _ := plan.inject(false); v != faultDeliver {
+			t.Fatal("deactivated plan injected a fault")
+		}
+	}
+	if n := plan.Stats().Total(); n != 0 {
+		t.Errorf("deactivated plan counted %d faults", n)
+	}
+	plan.SetActive(true)
+	if v, _ := plan.inject(false); v != faultReset {
+		t.Error("reactivated plan did not inject")
+	}
+}
+
+func TestFaultPlanDeterministicUnderSeed(t *testing.T) {
+	mk := func() *FaultPlan {
+		return &FaultPlan{
+			Seed:          7,
+			ResetProb:     0.2,
+			StallProb:     0.2,
+			StallFor:      5 * time.Millisecond,
+			BlackholeProb: 0.2,
+		}
+	}
+	a, b := mk(), mk()
+	var sawReset, sawStall, sawHole bool
+	for i := 0; i < 300; i++ {
+		server := i%3 == 0
+		va, sa := a.inject(server)
+		vb, sb := b.inject(server)
+		if va != vb || sa != sb {
+			t.Fatalf("draw %d diverged under one seed: (%v,%v) vs (%v,%v)", i, va, sa, vb, sb)
+		}
+		sawReset = sawReset || va == faultReset
+		sawStall = sawStall || sa > 0
+		sawHole = sawHole || (server && va == faultDrop)
+	}
+	if !sawReset || !sawStall || !sawHole {
+		t.Errorf("300 draws exercised reset=%v stall=%v blackhole=%v; want all", sawReset, sawStall, sawHole)
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestFaultPlanPartitionWindow(t *testing.T) {
+	plan := &FaultPlan{PartitionEvery: 100 * time.Millisecond, PartitionFor: 30 * time.Millisecond}
+	plan.init()
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false}, // periods start healthy
+		{69 * time.Millisecond, false},
+		{71 * time.Millisecond, true}, // window is the period's last 30ms
+		{99 * time.Millisecond, true},
+		{100 * time.Millisecond, false}, // next period starts healthy again
+		{171 * time.Millisecond, true},
+	}
+	for _, c := range cases {
+		if got := plan.partitioned(plan.start.Add(c.at)); got != c.want {
+			t.Errorf("partitioned at +%v = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestDialRefusedDuringPartition(t *testing.T) {
+	// A window as long as the period keeps the link partitioned for the
+	// whole test run.
+	plan := &FaultPlan{PartitionEvery: time.Hour, PartitionFor: time.Hour}
+	l := Listen(Link{Fault: plan})
+	defer l.Close()
+	if _, err := l.Dial(); err == nil {
+		t.Fatal("dial succeeded into a partitioned link")
+	}
+	if got := plan.Stats().DialRefusals; got < 1 {
+		t.Errorf("DialRefusals = %d, want >= 1", got)
+	}
+	// Established connections drop their writes instead.
+	a, b := Pipe(Link{Fault: plan})
+	defer a.Close()
+	defer b.Close()
+	if n, err := a.Write([]byte("req")); err != nil || n != 3 {
+		t.Fatalf("partitioned write = (%d, %v), want silent drop", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := b.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("partitioned bytes were delivered (read err = %v)", err)
+	}
+	if got := plan.Stats().PartitionDrops; got < 1 {
+		t.Errorf("PartitionDrops = %d, want >= 1", got)
+	}
+}
+
+func TestFaultResetTearsConnDown(t *testing.T) {
+	plan := &FaultPlan{ResetProb: 1, MaxFaults: 1}
+	a, b := Pipe(Link{Fault: plan})
+	defer b.Close()
+	if _, err := a.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("reset write err = %v, want ErrClosedPipe", err)
+	}
+	// The reset closed the connection; the peer sees EOF.
+	if _, err := b.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Errorf("peer read after reset = %v, want EOF", err)
+	}
+	if got := plan.Stats().Resets; got != 1 {
+		t.Errorf("Resets = %d, want 1", got)
+	}
+}
+
+func TestFaultStallDelaysDelivery(t *testing.T) {
+	plan := &FaultPlan{StallProb: 1, StallFor: 60 * time.Millisecond, MaxFaults: 1}
+	a, b := Pipe(Link{Fault: plan})
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if _, err := a.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Errorf("stalled write delivered after %v, want >= ~60ms", elapsed)
+	}
+	if string(buf[:n]) != "slow" {
+		t.Errorf("stalled payload = %q", buf[:n])
+	}
+	if got := plan.Stats().Stalls; got != 1 {
+		t.Errorf("Stalls = %d, want 1", got)
+	}
+}
+
+func TestFaultBlackholeServerDirectionOnly(t *testing.T) {
+	plan := &FaultPlan{BlackholeProb: 1, MaxFaults: 2}
+	a, b := Pipe(Link{Fault: plan}) // a dials (client), b accepts (server)
+	defer a.Close()
+	defer b.Close()
+
+	// Client-to-server writes are never blackholed.
+	if _, err := a.Write([]byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "req" {
+		t.Fatalf("client write blackholed: (%q, %v)", buf[:n], err)
+	}
+
+	// The server's response vanishes: write reports success, nothing
+	// arrives.
+	if n, err := b.Write([]byte("resp")); err != nil || n != 4 {
+		t.Fatalf("blackholed response write = (%d, %v), want silent drop", n, err)
+	}
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := a.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("blackholed response was delivered (read err = %v)", err)
+	}
+	if got := plan.Stats().Blackholes; got != 1 {
+		t.Errorf("Blackholes = %d, want 1", got)
+	}
+}

@@ -32,6 +32,12 @@ type Link struct {
 	// delivery, modeling WAN variance. Zero means deterministic
 	// latency (the default; experiments average over runs instead).
 	Jitter time.Duration
+	// Fault, when non-nil, injects connection resets, stalls,
+	// blackholed responses, and partition windows into every
+	// connection traversing the link (see FaultPlan). The plan is
+	// shared by pointer, so one plan governs — and one Stats call
+	// accounts for — all of the link's connections.
+	Fault *FaultPlan
 }
 
 // DefaultBandwidth approximates the effective single-stream TCP
@@ -87,8 +93,11 @@ func (l Link) String() string {
 func Pipe(link Link) (net.Conn, net.Conn) {
 	ab := newQueue()
 	ba := newQueue()
+	// The first end is by convention the dialing (client) side and the
+	// second the accepting (server) side — Listener.Dial returns them
+	// that way — so fault injection can target the response direction.
 	a := &conn{link: link, rd: ba, wr: ab, local: addr("netsim-a"), remote: addr("netsim-b")}
-	b := &conn{link: link, rd: ab, wr: ba, local: addr("netsim-b"), remote: addr("netsim-a")}
+	b := &conn{link: link, rd: ab, wr: ba, server: true, local: addr("netsim-b"), remote: addr("netsim-a")}
 	return a, b
 }
 
@@ -123,7 +132,9 @@ func newQueue() *queue {
 	return q
 }
 
-func (q *queue) push(link Link, p []byte) error {
+// push enqueues one write; stall adds an injected-fault delay on top
+// of the link's modeled serialization and propagation time.
+func (q *queue) push(link Link, p []byte, stall time.Duration) error {
 	data := make([]byte, len(p))
 	copy(data, p)
 	q.mu.Lock()
@@ -138,7 +149,7 @@ func (q *queue) push(link Link, p []byte) error {
 	}
 	done := start.Add(link.TransferTime(len(p)))
 	q.busyUntil = done
-	delay := link.OneWay()
+	delay := link.OneWay() + stall
 	if link.Jitter > 0 {
 		delay += time.Duration(rand.Int64N(int64(link.Jitter)))
 	}
@@ -218,6 +229,7 @@ func (q *queue) close() {
 type conn struct {
 	link   Link
 	rd, wr *queue
+	server bool // the accepting end; its writes are responses
 	local  addr
 	remote addr
 
@@ -239,7 +251,21 @@ func (c *conn) Write(p []byte) (int, error) {
 	if closed {
 		return 0, io.ErrClosedPipe
 	}
-	if err := c.wr.push(c.link, p); err != nil {
+	var stall time.Duration
+	if f := c.link.Fault; f != nil {
+		verdict, s := f.inject(c.server)
+		switch verdict {
+		case faultDrop:
+			// Report success; the bytes vanish. The peer sees silence,
+			// exactly like a response lost in a partition or blackhole.
+			return len(p), nil
+		case faultReset:
+			c.Close()
+			return 0, io.ErrClosedPipe
+		}
+		stall = s
+	}
+	if err := c.wr.push(c.link, p, stall); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -298,12 +324,17 @@ func Listen(link Link) *Listener {
 	}
 }
 
-// Dial creates a new connection to the listener.
+// Dial creates a new connection to the listener. It fails during a
+// fault plan's partition windows, like a SYN into a partitioned
+// network.
 func (l *Listener) Dial() (net.Conn, error) {
 	select {
 	case <-l.done:
 		return nil, errors.New("netsim: listener closed")
 	default:
+	}
+	if f := l.link.Fault; f != nil && f.refuseDial() {
+		return nil, errors.New("netsim: link partitioned")
 	}
 	client, server := Pipe(l.link)
 	select {

@@ -3,21 +3,36 @@
 //
 // A frame is:
 //
-//	[4B little-endian frame length][8B request id][1B message type]
-//	[1B flags][payload]
+//	[4B little-endian frame length][8B session id][8B request id]
+//	[1B message type][1B flags][payload]
 //
 // where the length covers everything after the length field itself.
 // Requests and responses share the format; FlagResponse distinguishes
 // them and FlagError marks a response whose payload is an error string.
 // Multiple requests may be in flight on one connection; responses are
 // matched by id, so a slow request does not stall the pipeline.
+//
+// The session id gives the transport at-most-once semantics across
+// connection failures: every Client stamps its frames with one random
+// session id, request ids are unique within a session, and the server
+// keeps a bounded per-session cache of completed responses (dedup.go).
+// A retried request — same session, same id, possibly over a different
+// pooled connection — is answered from the cache instead of being
+// re-executed, so retrying after a lost response cannot apply a
+// side-effecting handler twice. ORTOA's LBL proxy depends on this:
+// replaying an access at a stale counter would desynchronize the label
+// schedule from the server's records (§5.3.1), the one failure the
+// proxy cannot recover from.
 package transport
 
 import (
+	"context"
+	cryptorand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -36,65 +51,114 @@ const (
 // or abuse. LBL tables for multi-kilobyte values fit comfortably.
 const MaxFrameSize = 64 << 20 // 64 MiB
 
-const headerSize = 4 + 8 + 1 + 1
+const headerSize = 4 + 8 + 8 + 1 + 1
 
-// ErrClosed reports use of a closed client or server.
-var ErrClosed = errors.New("transport: closed")
+// minFrameLen is the smallest valid value of the length field: the
+// header bytes it covers (everything after the length field itself).
+const minFrameLen = headerSize - 4
+
+// Errors reported by the client.
+var (
+	// ErrClosed reports use of a closed client or server.
+	ErrClosed = errors.New("transport: closed")
+	// ErrFrameTooLarge reports a payload that cannot fit in one frame.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds max frame size")
+	// ErrNoLiveConns reports that every pooled connection is currently
+	// down. Calls fail fast with this error instead of queueing behind a
+	// dead pool; the per-connection redial loops restore service in the
+	// background, so a retry policy normally absorbs it.
+	ErrNoLiveConns = errors.New("transport: no live connections in pool")
+)
 
 // A RemoteError is an error string returned by the peer's handler.
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
 
-// coalesceLimit is the largest payload writeFrame copies into one
-// contiguous buffer; larger frames go out as a header+payload writev
-// (net.Buffers) instead, trading the copy for a vectored write.
-const coalesceLimit = 16 << 10
+// replayEvictedMsg is the RemoteError a server returns for a replayed
+// request whose handler DID execute but whose cached response bytes
+// were evicted from the at-most-once cache. The distinction matters to
+// stateful callers: "executed, response lost" commits their state
+// step, where silent re-execution would corrupt it.
+const replayEvictedMsg = "at-most-once cache: request executed, cached response evicted"
 
-// writeFrame emits one frame with a single underlying write: header and
-// payload are either copied into one buffer (small frames) or handed to
-// the conn as a net.Buffers writev (large frames). The seed code issued
-// two conn.Write calls per frame, which cost a second syscall — and a
-// second small TCP segment under TCP_NODELAY — on every RPC.
-func writeFrame(w io.Writer, id uint64, msgType, flags byte, payload []byte) error {
+// IsReplayEvicted reports whether err is a server's answer to a
+// replayed request that executed but whose cached response was
+// evicted. The caller's operation DID run, exactly once; only its
+// response payload is unrecoverable.
+func IsReplayEvicted(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Msg == replayEvictedMsg
+}
+
+// Ambiguous reports whether err leaves the outcome of a call unknown:
+// the request may or may not have executed on the server. Handler
+// errors arrive in a response, so the server demonstrably executed the
+// request and left its stores untouched — unambiguous. Local
+// validation failures (oversized frame, client already closed) happen
+// before anything is sent — also unambiguous. Everything else (send
+// errors, lost connections, deadline expiry) is ambiguous: stateful
+// callers must resolve the outcome (e.g. by replaying the same request
+// id, which the server's dedup cache answers without re-executing)
+// before issuing a conflicting request.
+func Ambiguous(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrClosed)
+}
+
+// writeFrame emits one frame as exactly one conn.Write call: header
+// and payload are coalesced into a single buffer. One write per frame
+// costs large frames an extra copy, but it buys two things: one
+// syscall (and one TCP segment under TCP_NODELAY) for the common small
+// frame, and frame-atomic failure semantics — a transport whose writes
+// can be dropped whole (netsim partitions, a userspace proxy's queue
+// overflow) then loses complete frames, never a frame's tail, so the
+// peer's framing stays intact across every injected fault.
+func writeFrame(w io.Writer, session, id uint64, msgType, flags byte, payload []byte) error {
+	if len(payload) > MaxFrameSize-minFrameLen {
+		return ErrFrameTooLarge
+	}
 	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+1+1+len(payload)))
-	binary.LittleEndian.PutUint64(hdr[4:12], id)
-	hdr[12] = msgType
-	hdr[13] = flags
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(minFrameLen+len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], session)
+	binary.LittleEndian.PutUint64(hdr[12:20], id)
+	hdr[20] = msgType
+	hdr[21] = flags
 	if len(payload) == 0 {
 		_, err := w.Write(hdr[:])
 		return err
 	}
-	if len(payload) <= coalesceLimit {
-		buf := make([]byte, 0, headerSize+len(payload))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, payload...)
-		_, err := w.Write(buf)
-		return err
-	}
-	bufs := net.Buffers{hdr[:], payload}
-	_, err := bufs.WriteTo(w)
+	buf := make([]byte, 0, headerSize+len(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
 	return err
 }
 
-func readFrame(r io.Reader) (id uint64, msgType, flags byte, payload []byte, err error) {
+func readFrame(r io.Reader) (session, id uint64, msgType, flags byte, payload []byte, err error) {
 	var hdr [headerSize]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, 0, nil, err
+		return 0, 0, 0, 0, nil, err
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
-	if length < 10 || length > MaxFrameSize {
-		return 0, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
+	if length < minFrameLen || length > MaxFrameSize {
+		return 0, 0, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
 	}
-	id = binary.LittleEndian.Uint64(hdr[4:12])
-	msgType = hdr[12]
-	flags = hdr[13]
-	payload = make([]byte, length-10)
+	session = binary.LittleEndian.Uint64(hdr[4:12])
+	id = binary.LittleEndian.Uint64(hdr[12:20])
+	msgType = hdr[20]
+	flags = hdr[21]
+	payload = make([]byte, length-minFrameLen)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, 0, nil, err
+		return 0, 0, 0, 0, nil, err
 	}
-	return id, msgType, flags, payload, nil
+	return session, id, msgType, flags, payload, nil
 }
 
 // A HandlerFunc serves one request payload and returns the response
@@ -103,8 +167,9 @@ type HandlerFunc func(payload []byte) ([]byte, error)
 
 // An Observer sees exactly what a network adversary at the server
 // sees: the message type and the request/response payload sizes of
-// every exchange. Security tests use it to check that reads and writes
-// are indistinguishable at this boundary.
+// every exchange — including dedup replays, which the adversary
+// observes like any other response. Security tests use it to check
+// that reads and writes are indistinguishable at this boundary.
 type Observer func(msgType byte, requestLen, responseLen int)
 
 // serverMetrics is the server's wire-level instrumentation: what an
@@ -117,6 +182,7 @@ type serverMetrics struct {
 	handlerLatency      *obs.Histogram
 	handlerErrors       *obs.Counter
 	connsOpen           *obs.Gauge
+	dedupHits           *obs.Counter
 }
 
 // A Server dispatches inbound frames to handlers registered by message
@@ -129,6 +195,7 @@ type Server struct {
 	conns    sync.WaitGroup
 	lns      []net.Listener
 	metrics  atomic.Pointer[serverMetrics]
+	dedup    *dedupCache
 
 	connMu sync.Mutex
 	open   map[net.Conn]struct{}
@@ -136,7 +203,11 @@ type Server struct {
 
 // NewServer returns a Server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[byte]HandlerFunc), open: make(map[net.Conn]struct{})}
+	return &Server{
+		handlers: make(map[byte]HandlerFunc),
+		open:     make(map[net.Conn]struct{}),
+		dedup:    newDedupCache(),
+	}
 }
 
 // Handle registers h for msgType, replacing any previous handler.
@@ -155,9 +226,9 @@ func (s *Server) handler(msgType byte) (HandlerFunc, bool) {
 
 // Instrument registers the server's wire metrics
 // (ortoa_transport_server_*) with reg: frames and bytes in each
-// direction, open connections, in-flight handlers, and handler
-// latency. Call before Serve; a nil registry leaves the server
-// uninstrumented at zero cost.
+// direction, open connections, in-flight handlers, handler latency,
+// and dedup-cache replays. Call before Serve; a nil registry leaves
+// the server uninstrumented at zero cost.
 func (s *Server) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -171,6 +242,7 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		handlerLatency: reg.Histogram("ortoa_transport_server_handler_seconds", "request handler latency"),
 		handlerErrors:  reg.Counter("ortoa_transport_server_handler_errors_total", "handler invocations that returned an error"),
 		connsOpen:      reg.Gauge("ortoa_transport_server_open_connections", "currently open client connections"),
+		dedupHits:      reg.Counter("ortoa_transport_server_dedup_hits_total", "retried requests answered from the at-most-once cache without re-execution"),
 	})
 }
 
@@ -253,7 +325,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var pending sync.WaitGroup
 	defer pending.Wait()
 	for {
-		id, msgType, _, payload, err := readFrame(conn)
+		sid, id, msgType, _, payload, err := readFrame(conn)
 		if err != nil {
 			return // closed, draining, or corrupt; stop reading
 		}
@@ -265,37 +337,81 @@ func (s *Server) serveConn(conn net.Conn) {
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
+			flags, resp := s.respond(sid, id, msgType, payload, m)
 			if m != nil {
-				m.inflight.Inc()
-			}
-			sw := obs.StartWatch(m != nil)
-			h, ok := s.handler(msgType)
-			var resp []byte
-			flags := byte(flagResponse)
-			if !ok {
-				flags |= flagError
-				resp = []byte(fmt.Sprintf("no handler for message type %d", msgType))
-			} else if out, herr := h(payload); herr != nil {
-				flags |= flagError
-				resp = []byte(herr.Error())
-			} else {
-				resp = out
-			}
-			if m != nil {
-				sw.Lap(m.handlerLatency)
-				m.inflight.Dec()
-				if flags&flagError != 0 {
-					m.handlerErrors.Inc()
-				}
 				m.framesOut.Inc()
 				m.bytesOut.Add(int64(headerSize + len(resp)))
 			}
 			s.observe(msgType, len(payload), len(resp))
 			wmu.Lock()
-			defer wmu.Unlock()
-			writeFrame(conn, id, msgType, flags, resp) //nolint:errcheck // conn teardown is handled by the read loop
+			werr := writeFrame(conn, sid, id, msgType, flags, resp)
+			wmu.Unlock()
+			if werr != nil {
+				// A connection that cannot carry responses must not keep
+				// accepting requests: tear it down so the read loop exits
+				// and the client's pool redials. The response itself is
+				// preserved in the dedup cache for the client's retry.
+				conn.Close()
+			}
 		}()
 	}
+}
+
+// respond produces the response for one request frame: a dedup-cache
+// replay if this (session, id) already completed, otherwise one
+// handler execution whose outcome is cached before it is written, so a
+// response lost on the wire can still be replayed to a retry.
+func (s *Server) respond(sid, id uint64, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
+	var sess *dedupSession
+	var entry *dedupEntry
+	if sid != 0 {
+		var isNew bool
+		sess, entry, isNew = s.dedup.begin(sid, id)
+		if !isNew {
+			// Retry of an in-flight or completed request: wait for the
+			// one execution and replay its outcome (the verbatim
+			// response, or ReplayEvicted if only the fact of execution
+			// survived eviction).
+			<-entry.done
+			if m != nil {
+				m.dedupHits.Inc()
+			}
+			return sess.replay(entry)
+		}
+	}
+	if m != nil {
+		m.inflight.Inc()
+	}
+	sw := obs.StartWatch(m != nil)
+	h, ok := s.handler(msgType)
+	var resp []byte
+	flags := byte(flagResponse)
+	if !ok {
+		flags |= flagError
+		resp = []byte(fmt.Sprintf("no handler for message type %d", msgType))
+	} else if out, herr := h(payload); herr != nil {
+		flags |= flagError
+		resp = []byte(herr.Error())
+	} else {
+		resp = out
+	}
+	if len(resp) > MaxFrameSize-minFrameLen {
+		// An oversized response would fail the frame write and tear the
+		// connection down; surface it to the caller as an error instead.
+		flags |= flagError
+		resp = []byte(fmt.Sprintf("transport: %d byte response exceeds max frame size", len(resp)))
+	}
+	if m != nil {
+		sw.Lap(m.handlerLatency)
+		m.inflight.Dec()
+		if flags&flagError != 0 {
+			m.handlerErrors.Inc()
+		}
+	}
+	if entry != nil {
+		sess.complete(id, entry, flags, resp)
+	}
+	return flags, resp
 }
 
 // Close stops all listeners, interrupts every open connection's read
@@ -344,6 +460,80 @@ type Stats struct {
 	Calls         int64
 }
 
+// A RetryPolicy governs at-most-once retries of failed calls. Retries
+// reuse the original request id, so a request whose response was lost
+// is answered from the server's dedup cache instead of re-executing —
+// safe even for side-effecting handlers. The policy never inspects the
+// request, so reads and writes retry identically and the retry pattern
+// leaks nothing about operation types.
+type RetryPolicy struct {
+	// Attempts is the total number of attempts per call, including the
+	// first; values below 2 disable retries.
+	Attempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it (plus up to 50% random jitter). Zero means 10ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero means 1s.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// delay returns the backoff before retry number retry (0-based), with
+// exponential growth and jitter.
+func (p RetryPolicy) delay(retry int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = time.Second
+	}
+	d := base << uint(retry)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	return d + rand.N(d/2+1)
+}
+
+// Options tunes a Client's fault tolerance. The zero value (plus a
+// pool size) reproduces the permissive defaults of Dial: no per-call
+// deadline and no retries, with reconnection always on.
+type Options struct {
+	// PoolSize is the number of pooled connections (minimum 1).
+	PoolSize int
+	// CallTimeout bounds each call attempt; an attempt against a
+	// stalled or blackholed server fails with context.DeadlineExceeded
+	// after this long instead of hanging. Zero means no deadline.
+	CallTimeout time.Duration
+	// Retry governs at-most-once retries of failed attempts.
+	Retry RetryPolicy
+	// ReconnectBackoff is the initial delay between redial attempts for
+	// a lost pooled connection; each failure doubles it (plus jitter).
+	// Zero means 10ms.
+	ReconnectBackoff time.Duration
+	// ReconnectMaxBackoff caps the redial backoff. Zero means 2s.
+	ReconnectMaxBackoff time.Duration
+}
+
+func (o Options) reconnectBackoff() (base, maxB time.Duration) {
+	base = o.ReconnectBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxB = o.ReconnectMaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	return base, maxB
+}
+
 // clientMetrics is the client's wire-level instrumentation: call
 // latency, pool pressure, and connection health.
 type clientMetrics struct {
@@ -352,13 +542,22 @@ type clientMetrics struct {
 	callLatency   *obs.Histogram
 	callErrors    *obs.Counter
 	connFailures  *obs.Counter
+	reconnects    *obs.Counter
+	retries       *obs.Counter
 }
 
 // A Client issues RPCs over a fixed-size pool of connections,
-// pipelining concurrent calls. It is safe for concurrent use.
+// pipelining concurrent calls. Lost connections redial in the
+// background with exponential backoff; while a connection is down the
+// round-robin skips it, and calls fail fast with ErrNoLiveConns only
+// when the whole pool is down. It is safe for concurrent use.
 type Client struct {
+	dial    func() (net.Conn, error)
+	opts    Options
+	session uint64
 	conns   []*clientConn
 	next    atomic.Uint64
+	reqID   atomic.Uint64
 	closed  atomic.Bool
 	metrics atomic.Pointer[clientMetrics]
 
@@ -369,13 +568,12 @@ type Client struct {
 
 type clientConn struct {
 	client *Client
-	conn   net.Conn
-	wmu    sync.Mutex
+	wmu    sync.Mutex // serializes frame writes on the current conn
 
 	mu      sync.Mutex
-	nextID  uint64
+	conn    net.Conn
 	pending map[uint64]chan result
-	dead    error
+	dead    error // non-nil while disconnected; cleared by reconnect
 }
 
 type result struct {
@@ -383,20 +581,44 @@ type result struct {
 	err     error
 }
 
-// Dial connects a Client using dial to create poolSize connections.
-func Dial(dial func() (net.Conn, error), poolSize int) (*Client, error) {
-	if poolSize < 1 {
-		poolSize = 1
+// newSessionID draws a random non-zero session id; zero is reserved
+// for "no dedup" peers.
+func newSessionID() uint64 {
+	var buf [8]byte
+	for {
+		if _, err := cryptorand.Read(buf[:]); err != nil {
+			// Rand never fails on supported platforms; fall back to the
+			// seeded process-global PRNG rather than aborting the dial.
+			return rand.Uint64() | 1
+		}
+		if sid := binary.LittleEndian.Uint64(buf[:]); sid != 0 {
+			return sid
+		}
 	}
-	c := &Client{}
-	for i := 0; i < poolSize; i++ {
+}
+
+// Dial connects a Client using dial to create poolSize connections,
+// with default Options (no deadline, no retries).
+func Dial(dial func() (net.Conn, error), poolSize int) (*Client, error) {
+	return DialOptions(dial, Options{PoolSize: poolSize})
+}
+
+// DialOptions connects a Client with explicit fault-tolerance options.
+// All opts.PoolSize initial connections must succeed; connections lost
+// later redial in the background.
+func DialOptions(dial func() (net.Conn, error), opts Options) (*Client, error) {
+	if opts.PoolSize < 1 {
+		opts.PoolSize = 1
+	}
+	c := &Client{dial: dial, opts: opts, session: newSessionID()}
+	for i := 0; i < opts.PoolSize; i++ {
 		nc, err := dial()
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("transport: dial conn %d: %w", i, err)
 		}
 		cc := &clientConn{client: c, conn: nc, pending: make(map[uint64]chan result)}
-		go cc.readLoop()
+		go cc.readLoop(nc)
 		c.conns = append(c.conns, cc)
 	}
 	return c, nil
@@ -404,9 +626,9 @@ func Dial(dial func() (net.Conn, error), poolSize int) (*Client, error) {
 
 // Instrument registers the client's wire metrics
 // (ortoa_transport_client_*) with reg: the cumulative Stats counters,
-// in-flight calls, pool saturation, call latency, and connection
-// failures. Call before issuing RPCs; a nil registry leaves the
-// client uninstrumented at zero cost.
+// in-flight calls, pool saturation, call latency, connection
+// failures, reconnects, and retries. Call before issuing RPCs; a nil
+// registry leaves the client uninstrumented at zero cost.
 func (c *Client) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -420,30 +642,136 @@ func (c *Client) Instrument(reg *obs.Registry) {
 		callLatency:   reg.Histogram("ortoa_transport_client_call_seconds", "RPC round-trip latency, send to response"),
 		callErrors:    reg.Counter("ortoa_transport_client_call_errors_total", "calls that returned an error"),
 		connFailures:  reg.Counter("ortoa_transport_client_conn_failures_total", "pooled connections lost to read errors"),
+		reconnects:    reg.Counter("ortoa_transport_client_reconnects_total", "pooled connections restored by the redial loop"),
+		retries:       reg.Counter("ortoa_transport_client_retries_total", "call attempts beyond the first (at-most-once, same request id)"),
 	})
 }
 
-// Call sends payload as a msgType request and blocks for the response.
+// NextID reserves a fresh request id. Combined with CallContextID it
+// lets stateful callers replay a request byte-for-byte after an
+// ambiguous failure: the server's dedup cache answers the replay
+// without re-executing if the original attempt did execute.
+func (c *Client) NextID() uint64 { return c.reqID.Add(1) }
+
+// Call sends payload as a msgType request and blocks for the response,
+// applying the client's configured deadline and retry policy.
 func (c *Client) Call(msgType byte, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), msgType, payload)
+}
+
+// CallContext is Call with caller-controlled cancellation: the call
+// (including retries and backoff) aborts when ctx is done. The
+// configured CallTimeout additionally bounds each individual attempt.
+func (c *Client) CallContext(ctx context.Context, msgType byte, payload []byte) ([]byte, error) {
+	return c.CallContextID(ctx, c.NextID(), msgType, payload)
+}
+
+// CallContextID is CallContext with an explicit request id, for
+// replaying a previously-attempted request under at-most-once
+// semantics. ids must come from NextID; reusing an id with a different
+// payload returns the original request's cached response, not the new
+// payload's.
+func (c *Client) CallContextID(ctx context.Context, id uint64, msgType byte, payload []byte) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	cc := c.conns[c.next.Add(1)%uint64(len(c.conns))]
+	if len(payload) > MaxFrameSize-minFrameLen {
+		return nil, ErrFrameTooLarge
+	}
 	m := c.metrics.Load()
-	if m == nil {
-		return cc.call(msgType, payload)
+	if m != nil {
+		if m.inflight.Inc() > int64(len(c.conns)) {
+			m.poolSaturated.Inc()
+		}
+		start := time.Now()
+		defer func() {
+			m.callLatency.Since(start)
+			m.inflight.Dec()
+		}()
 	}
-	if m.inflight.Inc() > int64(len(c.conns)) {
-		m.poolSaturated.Inc()
-	}
-	start := time.Now()
-	resp, err := cc.call(msgType, payload)
-	m.callLatency.Since(start)
-	m.inflight.Dec()
-	if err != nil {
+	resp, err := c.callRetry(ctx, id, msgType, payload, m)
+	if err != nil && m != nil {
 		m.callErrors.Inc()
 	}
 	return resp, err
+}
+
+func (c *Client) callRetry(ctx context.Context, id uint64, msgType byte, payload []byte, m *clientMetrics) ([]byte, error) {
+	attempts := c.opts.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(ctx, id, msgType, payload)
+		if err == nil {
+			return resp, nil
+		}
+		if !retryable(err) || ctx.Err() != nil || c.closed.Load() || attempt+1 >= attempts {
+			return nil, err
+		}
+		if m != nil {
+			m.retries.Inc()
+		}
+		if serr := sleepCtx(ctx, c.opts.Retry.delay(attempt)); serr != nil {
+			return nil, err
+		}
+	}
+}
+
+// attempt issues one try of a call on the next live pooled connection,
+// bounded by the per-attempt CallTimeout.
+func (c *Client) attempt(ctx context.Context, id uint64, msgType byte, payload []byte) ([]byte, error) {
+	cc := c.pickConn()
+	if cc == nil {
+		return nil, ErrNoLiveConns
+	}
+	if c.opts.CallTimeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+		ctx = actx
+	}
+	return cc.call(ctx, id, msgType, payload)
+}
+
+// pickConn returns the next live connection in round-robin order, or
+// nil if the whole pool is down.
+func (c *Client) pickConn() *clientConn {
+	n := uint64(len(c.conns))
+	start := c.next.Add(1)
+	for i := uint64(0); i < n; i++ {
+		cc := c.conns[(start+i)%n]
+		cc.mu.Lock()
+		down := cc.dead != nil
+		cc.mu.Unlock()
+		if !down {
+			return cc
+		}
+	}
+	return nil
+}
+
+// retryable classifies call errors: remote handler errors mean the
+// request executed (a retry would only replay the same error), and
+// local validation errors cannot succeed on retry. Everything else —
+// send failures, lost connections, attempt deadlines, an all-dead pool
+// — is transient.
+func retryable(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrClosed)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Stats returns cumulative traffic counters.
@@ -455,20 +783,27 @@ func (c *Client) Stats() Stats {
 	}
 }
 
-// Close tears down all connections; outstanding calls fail.
+// Close tears down all connections; outstanding calls fail and redial
+// loops stop.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
 	for _, cc := range c.conns {
-		if cc != nil {
-			cc.conn.Close()
+		if cc == nil {
+			continue
+		}
+		cc.mu.Lock()
+		conn := cc.conn
+		cc.mu.Unlock()
+		if conn != nil {
+			conn.Close()
 		}
 	}
 	return nil
 }
 
-func (cc *clientConn) call(msgType byte, payload []byte) ([]byte, error) {
+func (cc *clientConn) call(ctx context.Context, id uint64, msgType byte, payload []byte) ([]byte, error) {
 	ch := make(chan result, 1)
 	cc.mu.Lock()
 	if cc.dead != nil {
@@ -476,13 +811,12 @@ func (cc *clientConn) call(msgType byte, payload []byte) ([]byte, error) {
 		cc.mu.Unlock()
 		return nil, err
 	}
-	cc.nextID++
-	id := cc.nextID
+	conn := cc.conn
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
 	cc.wmu.Lock()
-	err := writeFrame(cc.conn, id, msgType, 0, payload)
+	err := writeFrame(conn, cc.client.session, id, msgType, 0, payload)
 	cc.wmu.Unlock()
 	if err != nil {
 		cc.mu.Lock()
@@ -493,18 +827,24 @@ func (cc *clientConn) call(msgType byte, payload []byte) ([]byte, error) {
 	cc.client.bytesSent.Add(int64(headerSize + len(payload)))
 	cc.client.calls.Add(1)
 
-	res := <-ch
-	return res.payload, res.err
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }
 
-func (cc *clientConn) readLoop() {
+// readLoop consumes responses from one physical connection until it
+// fails, then hands the clientConn to the redial loop.
+func (cc *clientConn) readLoop(conn net.Conn) {
 	for {
-		id, _, flags, payload, err := readFrame(cc.conn)
+		_, id, _, flags, payload, err := readFrame(conn)
 		if err != nil {
-			if m := cc.client.metrics.Load(); m != nil && !cc.client.closed.Load() {
-				m.connFailures.Inc()
-			}
-			cc.fail(fmt.Errorf("transport: connection lost: %w", err))
+			cc.lost(conn, fmt.Errorf("transport: connection lost: %w", err))
 			return
 		}
 		cc.client.bytesReceived.Add(int64(headerSize + len(payload)))
@@ -513,7 +853,7 @@ func (cc *clientConn) readLoop() {
 		delete(cc.pending, id)
 		cc.mu.Unlock()
 		if !ok {
-			continue // response to an abandoned call
+			continue // response to an abandoned or already-retried call
 		}
 		if flags&flagError != 0 {
 			ch <- result{err: &RemoteError{Msg: string(payload)}}
@@ -523,14 +863,62 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
-func (cc *clientConn) fail(err error) {
+// lost marks the connection dead, fails its pending calls fast, and
+// starts the background redial loop (unless the client is closing).
+func (cc *clientConn) lost(conn net.Conn, err error) {
+	conn.Close()
 	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if cc.dead == nil {
-		cc.dead = err
+	if cc.conn != conn {
+		// A stale read loop racing a completed reconnect; the live
+		// connection already replaced this one.
+		cc.mu.Unlock()
+		return
 	}
+	cc.dead = err
 	for id, ch := range cc.pending {
 		ch <- result{err: err}
 		delete(cc.pending, id)
+	}
+	cc.mu.Unlock()
+	closed := cc.client.closed.Load()
+	if m := cc.client.metrics.Load(); m != nil && !closed {
+		m.connFailures.Inc()
+	}
+	if closed {
+		return
+	}
+	go cc.reconnect()
+}
+
+// reconnect redials a lost connection with exponential backoff plus
+// jitter until it succeeds or the client closes. While it runs, calls
+// round-robin past this connection instead of hanging on it.
+func (cc *clientConn) reconnect() {
+	backoff, maxB := cc.client.opts.reconnectBackoff()
+	for {
+		if cc.client.closed.Load() {
+			return
+		}
+		nc, err := cc.client.dial()
+		if err == nil {
+			cc.mu.Lock()
+			if cc.client.closed.Load() {
+				cc.mu.Unlock()
+				nc.Close()
+				return
+			}
+			cc.conn = nc
+			cc.dead = nil
+			cc.mu.Unlock()
+			if m := cc.client.metrics.Load(); m != nil {
+				m.reconnects.Inc()
+			}
+			go cc.readLoop(nc)
+			return
+		}
+		time.Sleep(backoff + rand.N(backoff/2+1))
+		if backoff *= 2; backoff > maxB {
+			backoff = maxB
+		}
 	}
 }

@@ -226,6 +226,18 @@ type ClientConfig struct {
 	FHE FHEOptions
 	// Conns sizes the connection pool to the server (default 4).
 	Conns int
+	// CallTimeout bounds each RPC attempt to the server; a call against
+	// a stalled or unreachable server fails after this long instead of
+	// hanging. Zero means no deadline.
+	CallTimeout time.Duration
+	// RetryAttempts is the total number of attempts per RPC, including
+	// the first; values below 2 disable retries. Retries are
+	// at-most-once: they reuse the request id, so a request whose
+	// response was lost is answered from the server's dedup cache
+	// rather than re-executed, and the LBL label schedule stays
+	// consistent. Reads and writes retry identically, so the retry
+	// pattern leaks no operation types.
+	RetryAttempts int
 	// Metrics, when non-nil, instruments the trusted side: transport
 	// and per-stage access metrics are registered with it (serve them
 	// with ServeMetrics). Nil runs without observability overhead.
@@ -267,7 +279,11 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 	if conns <= 0 {
 		conns = 4
 	}
-	rpc, err := transport.Dial(dial, conns)
+	rpc, err := transport.DialOptions(dial, transport.Options{
+		PoolSize:    conns,
+		CallTimeout: cfg.CallTimeout,
+		Retry:       transport.RetryPolicy{Attempts: cfg.RetryAttempts},
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -629,12 +645,34 @@ type ProxyClient struct {
 	rpc    *transport.Client
 }
 
-// DialProxy connects to a proxy.
+// ProxyOptions tunes a ProxyClient's fault tolerance; the zero value
+// means no per-call deadline and no retries.
+type ProxyOptions struct {
+	// CallTimeout bounds each request attempt to the proxy; zero means
+	// no deadline.
+	CallTimeout time.Duration
+	// RetryAttempts is the total number of attempts per request,
+	// including the first; values below 2 disable retries. Retries are
+	// at-most-once (see ClientConfig.RetryAttempts).
+	RetryAttempts int
+}
+
+// DialProxy connects to a proxy with no deadline or retries.
 func DialProxy(dial func() (net.Conn, error), conns int) (*ProxyClient, error) {
+	return DialProxyOptions(dial, conns, ProxyOptions{})
+}
+
+// DialProxyOptions connects to a proxy with explicit fault-tolerance
+// options.
+func DialProxyOptions(dial func() (net.Conn, error), conns int, opts ProxyOptions) (*ProxyClient, error) {
 	if conns <= 0 {
 		conns = 2
 	}
-	rpc, err := transport.Dial(dial, conns)
+	rpc, err := transport.DialOptions(dial, transport.Options{
+		PoolSize:    conns,
+		CallTimeout: opts.CallTimeout,
+		Retry:       transport.RetryPolicy{Attempts: opts.RetryAttempts},
+	})
 	if err != nil {
 		return nil, err
 	}
