@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch experiments
+.PHONY: build test vet race verify bench bench-batch crash experiments
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ bench:
 # concurrent single-access fallback over a simulated WAN link.
 bench-batch:
 	$(GO) test -run XXX -bench 'Batch64' -benchtime 10x .
+
+# crash runs the kill/restart durability experiment at full scale:
+# 50 seeded crash/recovery cycles under the group-commit WAL, the
+# SyncNever rollback/reconciliation phase, and the never-vs-group-
+# commit throughput bound (DESIGN.md §10). The experiment self-audits;
+# a zero exit is the assertion.
+crash:
+	$(GO) run ./cmd/ortoa-bench -experiment crash
 
 experiments:
 	$(GO) run ./cmd/ortoa-bench -quick

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ortoa"
 	"ortoa/internal/obs"
@@ -40,6 +41,8 @@ func main() {
 	retries := flag.Int("retries", 0, "total attempts per server RPC; at-most-once retries (<2 disables)")
 	loadSynthetic := flag.Int("load-synthetic", 0, "bulk-load N synthetic records at startup")
 	statePath := flag.String("state", "", "LBL access-counter state file (restored at startup, saved on SIGINT)")
+	stateEvery := flag.Duration("state-interval", 0, "also save -state crash-atomically this often, bounding the counter-loss window (0 disables)")
+	reconcileScan := flag.Int("reconcile-scan", 0, "probe up to N counter steps to reconcile after crash desync, e.g. when resuming from a stale -state snapshot (LBL; 0 disables)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, and /debug/pprof on this address (e.g. :7092)")
@@ -69,6 +72,7 @@ func main() {
 		Conns:         *conns,
 		CallTimeout:   *callTimeout,
 		RetryAttempts: *retries,
+		ReconcileScan: *reconcileScan,
 		FHE:           ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
 		Metrics:       reg,
 	}, func() (net.Conn, error) { return net.Dial("tcp", *serverAddr) })
@@ -114,6 +118,19 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("proxying protocol=%s server=%s on %s", *protocol, *serverAddr, l.Addr())
+
+	if *statePath != "" && *stateEvery > 0 {
+		// Periodic crash-atomic saves bound the counter state lost to a
+		// proxy crash to one interval; -reconcile-scan closes the
+		// remaining gap on restart.
+		go func() {
+			for range time.Tick(*stateEvery) {
+				if err := client.SaveState(*statePath); err != nil {
+					log.Printf("saving counter state: %v", err)
+				}
+			}
+		}()
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)

@@ -7,7 +7,10 @@
 //	ortoa-server -listen :7001 -protocol lbl -value-size 160
 //
 // With -snapshot, the store is restored at startup (if the file
-// exists) and saved on SIGINT/SIGTERM.
+// exists) and saved on SIGINT/SIGTERM. With -wal, every mutation is
+// journaled under the -fsync policy (group-commit = durable-on-ack);
+// adding -checkpoint-interval turns -wal into a state directory with
+// background checkpoints bounding recovery replay time.
 package main
 
 import (
@@ -32,8 +35,10 @@ func main() {
 	protocol := flag.String("protocol", "lbl", "protocol: lbl, tee, fhe, or 2rtt")
 	valueSize := flag.Int("value-size", 160, "fixed value size in bytes")
 	snapshot := flag.String("snapshot", "", "snapshot file to restore/save the store")
-	walPath := flag.String("wal", "", "write-ahead log for crash durability (replayed at startup)")
-	walSyncEvery := flag.Duration("wal-sync", 2*time.Second, "WAL fsync interval")
+	walPath := flag.String("wal", "", "write-ahead log for crash durability (replayed at startup); with -checkpoint-interval this names a state directory instead")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: never, interval, or group-commit (durable-on-ack)")
+	walSyncEvery := flag.Duration("wal-sync", 2*time.Second, "fsync cadence for -fsync interval")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "run background checkpoints (snapshot + WAL rotation) this often; turns -wal into a state directory (0 disables)")
 	enclaveCost := flag.Duration("enclave-cost", 0, "simulated per-ecall enclave transition cost (tee)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
@@ -70,18 +75,28 @@ func main() {
 			log.Printf("restored %d records from %s", server.Records(), *snapshot)
 		}
 	}
-	if *walPath != "" {
-		if err := server.AttachWAL(*walPath); err != nil {
+	switch {
+	case *checkpointInterval > 0:
+		// Generation-based state: -wal names a directory holding
+		// MANIFEST + snap-<gen> + wal-<gen>; recovery loads the newest
+		// consistent pair and checkpoints bound replay time.
+		if *walPath == "" {
+			log.Fatal("-checkpoint-interval requires -wal (the state directory)")
+		}
+		if err := server.OpenState(*walPath, ortoa.DurabilityOptions{
+			Fsync:              ortoa.FsyncPolicy(*fsync),
+			SyncInterval:       *walSyncEvery,
+			CheckpointInterval: *checkpointInterval,
+		}); err != nil {
+			log.Fatalf("opening state directory: %v", err)
+		}
+		log.Printf("state recovered from %s (generation %d, %d records, fsync=%s, checkpoints every %s)",
+			*walPath, server.Generation(), server.Records(), *fsync, *checkpointInterval)
+	case *walPath != "":
+		if err := server.AttachWALPolicy(*walPath, ortoa.FsyncPolicy(*fsync), *walSyncEvery); err != nil {
 			log.Fatalf("attaching WAL: %v", err)
 		}
-		log.Printf("WAL attached at %s (%d records after replay)", *walPath, server.Records())
-		go func() {
-			for range time.Tick(*walSyncEvery) {
-				if err := server.SyncWAL(); err != nil {
-					log.Printf("WAL sync: %v", err)
-				}
-			}
-		}()
+		log.Printf("WAL attached at %s (%d records after replay, fsync=%s)", *walPath, server.Records(), *fsync)
 	}
 
 	l, err := net.Listen("tcp", *listen)

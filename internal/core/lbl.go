@@ -102,6 +102,14 @@ type LBLConfig struct {
 	ValueSize int
 	// Mode selects the protocol variant.
 	Mode LBLMode
+	// ReconcileScan, when positive, lets the proxy recover from
+	// counter desynchronization after a crash (a server restarted from
+	// older durable state, or a proxy restarted from an older counter
+	// snapshot) by probing up to this many counter steps each way from
+	// its own value. Zero disables reconciliation: a desynchronized key
+	// fails every access with the server's stale rejection, the §5.3.1
+	// behavior. See reconcile.go.
+	ReconcileScan int
 }
 
 // Groups returns the number of label groups per value (ℓ/y).
@@ -263,28 +271,48 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	}
 	dAcquire := sw.Lap(p.mx.acquire)
 
-	req, err := p.buildRequest(op, key, newValue, entry.ct)
-	if err != nil {
-		p.mx.errors.Inc()
-		return nil, stats, err
-	}
-	dBuild := sw.Lap(p.mx.build)
-	stats.PrepBytes = len(req)
+	var dBuild, dRPC time.Duration
+	var resp []byte
+	for attempt := 0; ; attempt++ {
+		req, err := p.buildRequest(op, key, newValue, entry.ct)
+		if err != nil {
+			p.mx.errors.Inc()
+			return nil, stats, err
+		}
+		dBuild += sw.Lap(p.mx.build)
+		stats.PrepBytes = len(req)
 
-	id := p.client.NextID()
-	resp, err := p.client.CallContextID(context.Background(), id, MsgLBLAccess, req)
-	if err != nil {
+		id := p.client.NextID()
+		resp, err = p.client.CallContextID(context.Background(), id, MsgLBLAccess, req)
+		if err == nil {
+			break
+		}
 		if transport.Ambiguous(err) {
 			// The round may have executed; park it so the key's next
 			// access settles the outcome before trusting the counter.
 			entry.pending = &pendingRound{id: id, msgType: MsgLBLAccess, req: req,
 				op: op, value: pendingValue(op, newValue)}
 			p.mx.pendingSaved.Inc()
+			p.mx.errors.Inc()
+			return nil, stats, err
+		}
+		if attempt == 0 && p.cfg.ReconcileScan > 0 && isStaleRound(err) {
+			// A fresh stale rejection with no parked round means the
+			// counter and the server's record have desynchronized
+			// (crash recovery on either side). Re-locate the server's
+			// counter and retry this access once at the rebased value.
+			sw.Lap(p.mx.rpc)
+			if rerr := p.reconcile(key, entry); rerr == nil {
+				sw.Lap(nil)
+				continue
+			}
+			p.mx.errors.Inc()
+			return nil, stats, err
 		}
 		p.mx.errors.Inc()
 		return nil, stats, err
 	}
-	dRPC := sw.Lap(p.mx.rpc)
+	dRPC += sw.Lap(p.mx.rpc)
 	stats.RespBytes = len(resp)
 
 	value, err := p.recover(op, key, newValue, entry.ct+1, resp)

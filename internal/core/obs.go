@@ -54,6 +54,9 @@ type lblProxyObs struct {
 	pendingSaved    *obs.Counter // rounds parked after ambiguous transport failures
 	pendingResolved *obs.Counter // parked rounds settled by at-most-once replay
 
+	reconcileProbes *obs.Counter // read-shaped probes sent to re-locate a server counter
+	reconciledKeys  *obs.Counter // keys whose counter was rebased after crash desync
+
 	slow *obs.SlowLog
 }
 
@@ -89,6 +92,9 @@ func (p *LBLProxy) Instrument(reg *obs.Registry) {
 
 		pendingSaved:    reg.Counter("ortoa_lbl_pending_rounds_total", "LBL rounds parked after an ambiguous transport failure"),
 		pendingResolved: reg.Counter("ortoa_lbl_pending_resolved_total", "parked LBL rounds settled by at-most-once replay"),
+
+		reconcileProbes: reg.Counter("ortoa_lbl_reconcile_probes_total", "read-shaped probes sent to re-locate a server counter after crash desync"),
+		reconciledKeys:  reg.Counter("ortoa_lbl_reconciled_keys_total", "keys whose counter was rebased by reconciliation"),
 
 		slow: reg.SlowLog("lbl_access", 32),
 	}

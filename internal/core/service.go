@@ -41,7 +41,11 @@ func loaderHandler(store *kvstore.Store) transport.HandlerFunc {
 			if err := r.Err(); err != nil {
 				return nil, fmt.Errorf("core: load entry %d: %w", i, err)
 			}
-			store.Put(string(key), rec)
+			// Durable-on-ack holds for bulk load too: a journaling failure
+			// must fail the batch, not acknowledge records the WAL lost.
+			if err := store.Put(string(key), rec); err != nil {
+				return nil, fmt.Errorf("core: load entry %d: %w", i, err)
+			}
 		}
 		if err := r.Finish(); err != nil {
 			return nil, err

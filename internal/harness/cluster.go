@@ -8,11 +8,14 @@ package harness
 import (
 	"fmt"
 	"hash/fnv"
+	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ortoa/internal/core"
+	"ortoa/internal/crashfs"
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
 	"ortoa/internal/kvstore"
@@ -64,21 +67,60 @@ type Config struct {
 	// aggregate across shards). The stages experiment uses it to read
 	// per-stage latency breakdowns.
 	Metrics *obs.Registry
+	// Durability, when non-nil, backs every shard store with a
+	// crash-faulty filesystem and a WAL under the given fsync policy,
+	// enabling Restart (kill-without-flush + recovery). LBL only.
+	Durability *DurabilityConfig
+}
+
+// DurabilityConfig makes shard stores durable and crashable. Each
+// shard gets its own crashfs disk seeded with Seed+shard so runs are
+// reproducible.
+type DurabilityConfig struct {
+	// Policy is the WAL fsync policy (kvstore.SyncNever /
+	// SyncInterval / SyncGroupCommit).
+	Policy kvstore.SyncPolicy
+	// SyncInterval is the background fsync cadence for SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointInterval starts background checkpoints when positive.
+	CheckpointInterval time.Duration
+	// Seed seeds the per-shard fault PRNGs.
+	Seed uint64
+	// TornWriteProb is the probability a crash tears the first
+	// dropped write mid-buffer.
+	TornWriteProb float64
+	// ReconcileScan bounds the proxies' counter-reconciliation probe
+	// spiral after a crash (0 disables recovery, the §5.3.1 behavior).
+	ReconcileScan int
 }
 
 // A Cluster is a running deployment: servers, proxies, and the routing
 // needed to access any key.
 type Cluster struct {
-	cfg     Config
-	shards  []*shard
-	servers []*transport.Server
+	cfg    Config
+	shards []*shard
 }
 
 type shard struct {
-	store    *kvstore.Store
 	rpc      *transport.Client
 	accessor core.Accessor
+
+	// listener is swapped on Restart; the client pool's dial closure
+	// reads it, so reconnects find the reborn server.
+	listener atomic.Pointer[netsim.Listener]
+
+	mu       sync.Mutex // guards the restartable fields below
+	store    *kvstore.Store
 	lblSrv   *core.LBLServer
+	srv      *transport.Server
+	stopCkpt func()
+
+	// Durable shards only.
+	fsys     *crashfs.FS
+	stateDir string
+	dur      *DurabilityConfig
+	link     netsim.Link
+	replayed int64 // WAL records replayed across all restarts
 }
 
 // NewCluster builds, loads, and connects a deployment.
@@ -92,15 +134,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.ValueSize <= 0 {
 		return nil, fmt.Errorf("harness: ValueSize must be positive")
 	}
+	if cfg.Durability != nil && cfg.System != SystemLBL {
+		return nil, fmt.Errorf("harness: Durability requires %s (got %s)", SystemLBL, cfg.System)
+	}
 	c := &Cluster{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, srv, err := newShard(cfg)
+		sh, err := newShard(cfg, i)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.shards = append(c.shards, sh)
-		c.servers = append(c.servers, srv)
 	}
 	if err := c.load(cfg.Data); err != nil {
 		c.Close()
@@ -109,31 +153,77 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-func newShard(cfg Config) (*shard, *transport.Server, error) {
+func newShard(cfg Config, idx int) (*shard, error) {
+	sh := &shard{link: cfg.Link, dur: cfg.Durability}
+	ok := false
+	defer func() {
+		if !ok {
+			if sh.stopCkpt != nil {
+				sh.stopCkpt()
+			}
+			if sh.rpc != nil {
+				sh.rpc.Close()
+			}
+			if sh.srv != nil {
+				sh.srv.Close()
+			}
+			if sh.store != nil {
+				sh.store.DetachWAL() //nolint:errcheck
+			}
+		}
+	}()
 	store := kvstore.New()
-	store.Instrument(cfg.Metrics)
+	if d := cfg.Durability; d != nil {
+		// Durable shards skip store instrumentation: restarts replace
+		// the store, and re-registering its gauges would double-count.
+		sh.fsys = crashfs.New(&crashfs.Plan{Seed: d.Seed + uint64(idx), TornWriteProb: d.TornWriteProb})
+		sh.stateDir = "state"
+		if err := store.Recover(sh.stateDir, kvstore.DurabilityOptions{
+			Policy: d.Policy, SyncInterval: d.SyncInterval, FS: sh.fsys,
+		}); err != nil {
+			return nil, err
+		}
+		if d.CheckpointInterval > 0 {
+			sh.stopCkpt = store.StartCheckpoints(d.CheckpointInterval)
+		}
+	} else {
+		store.Instrument(cfg.Metrics)
+	}
+	sh.store = store
 	srv := transport.NewServer()
 	srv.Instrument(cfg.Metrics)
 	listener := netsim.Listen(cfg.Link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close
+	sh.srv = srv
+	sh.listener.Store(listener)
 
 	topts := cfg.Transport
 	topts.PoolSize = cfg.ConnsPerShard
-	client, err := transport.DialOptions(listener.Dial, topts)
+	dial := listener.Dial
+	if cfg.Durability != nil {
+		// Indirect through the listener pointer so reconnects after a
+		// Restart reach the replacement server.
+		dial = func() (net.Conn, error) { return sh.listener.Load().Dial() }
+	}
+	client, err := transport.DialOptions(dial, topts)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	client.Instrument(cfg.Metrics)
-	sh := &shard{store: store, rpc: client}
+	sh.rpc = client
 
 	switch cfg.System {
 	case SystemLBL:
 		lblSrv := core.NewLBLServer(store)
 		lblSrv.Instrument(cfg.Metrics)
 		lblSrv.Register(srv)
-		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: cfg.LBLMode}, prf.NewRandom(), client)
+		lcfg := core.LBLConfig{ValueSize: cfg.ValueSize, Mode: cfg.LBLMode}
+		if cfg.Durability != nil {
+			lcfg.ReconcileScan = cfg.Durability.ReconcileScan
+		}
+		proxy, err := core.NewLBLProxy(lcfg, prf.NewRandom(), client)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		proxy.Instrument(cfg.Metrics)
 		sh.accessor = proxy
@@ -141,16 +231,16 @@ func newShard(cfg Config) (*shard, *transport.Server, error) {
 	case SystemTEE:
 		teeSrv, err := core.NewTEEServer(store, cfg.EnclaveTransition)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		teeSrv.Instrument(cfg.Metrics)
 		teeSrv.Register(srv)
 		teeClient, err := core.NewTEEClient(core.TEEConfig{ValueSize: cfg.ValueSize}, prf.NewRandom(), secretbox.NewRandomKey(), client)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if err := teeClient.AttestAndProvision(teeSrv.Enclave()); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		teeClient.Instrument(cfg.Metrics)
 		sh.accessor = teeClient
@@ -158,13 +248,116 @@ func newShard(cfg Config) (*shard, *transport.Server, error) {
 		core.NewBaselineServer(store).Register(srv)
 		proxy, err := core.NewBaselineProxy(core.BaselineConfig{ValueSize: cfg.ValueSize}, prf.NewRandom(), secretbox.NewRandomKey(), client)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		sh.accessor = proxy
 	default:
-		return nil, nil, fmt.Errorf("harness: unknown system %q", cfg.System)
+		return nil, fmt.Errorf("harness: unknown system %q", cfg.System)
 	}
-	return sh, srv, nil
+	ok = true
+	return sh, nil
+}
+
+// Restart crash-kills shard i's server — no flush, open handles die,
+// unsynced disk state resolves per the crash plan — then recovers a
+// replacement from the surviving WAL + snapshot and points the proxy's
+// connection pool at it. In-flight calls fail over the proxy's
+// ambiguity/pending machinery; acknowledged writes survive per the
+// fsync policy's contract. Requires Config.Durability.
+func (c *Cluster) Restart(i int) error {
+	if i < 0 || i >= len(c.shards) {
+		return fmt.Errorf("harness: no shard %d", i)
+	}
+	sh := c.shards[i]
+	if sh.fsys == nil {
+		return fmt.Errorf("harness: shard %d is not durable (Config.Durability unset)", i)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopCkpt != nil {
+		sh.stopCkpt()
+		sh.stopCkpt = nil
+	}
+	sh.srv.Close() //nolint:errcheck // best-effort kill
+	sh.fsys.Crash()
+
+	store := kvstore.New()
+	if err := store.Recover(sh.stateDir, kvstore.DurabilityOptions{
+		Policy: sh.dur.Policy, SyncInterval: sh.dur.SyncInterval, FS: sh.fsys,
+	}); err != nil {
+		return fmt.Errorf("harness: recovering shard %d: %w", i, err)
+	}
+	sh.replayed += sh.store.WALReplayed() // retire the dead store's count
+	lblSrv := core.NewLBLServer(store)
+	srv := transport.NewServer()
+	lblSrv.Register(srv)
+	listener := netsim.Listen(sh.link)
+	go srv.Serve(listener) //nolint:errcheck // returns on Close
+	sh.store, sh.lblSrv, sh.srv = store, lblSrv, srv
+	sh.listener.Store(listener)
+	if sh.dur.CheckpointInterval > 0 {
+		sh.stopCkpt = store.StartCheckpoints(sh.dur.CheckpointInterval)
+	}
+	return nil
+}
+
+// WALReplayedTotal sums WAL records replayed during recoveries across
+// all shards and restarts.
+func (c *Cluster) WALReplayedTotal() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.replayed + sh.store.WALReplayed()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DiskStats aggregates crash-fault statistics across the shards'
+// simulated disks (zero value for non-durable clusters).
+func (c *Cluster) DiskStats() crashfs.Stats {
+	var total crashfs.Stats
+	for _, sh := range c.shards {
+		if sh.fsys == nil {
+			continue
+		}
+		st := sh.fsys.Stats()
+		total.WriteErrs += st.WriteErrs
+		total.SyncErrs += st.SyncErrs
+		total.Crashes += st.Crashes
+		total.TornWrites += st.TornWrites
+		total.DroppedWrites += st.DroppedWrites
+		total.DroppedOps += st.DroppedOps
+	}
+	return total
+}
+
+// Checkpoint forces shard i's store to checkpoint now — durable
+// snapshot plus WAL rotation — giving crash tests a known durable
+// baseline. Requires Config.Durability.
+func (c *Cluster) Checkpoint(i int) error {
+	if i < 0 || i >= len(c.shards) {
+		return fmt.Errorf("harness: no shard %d", i)
+	}
+	sh := c.shards[i]
+	if sh.fsys == nil {
+		return fmt.Errorf("harness: shard %d is not durable (Config.Durability unset)", i)
+	}
+	sh.mu.Lock()
+	store := sh.store
+	sh.mu.Unlock()
+	return store.Checkpoint()
+}
+
+// Generations returns each shard's committed checkpoint generation.
+func (c *Cluster) Generations() []uint64 {
+	gens := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		gens[i] = sh.store.Generation()
+		sh.mu.Unlock()
+	}
+	return gens
 }
 
 // recordBuilder is implemented by every trusted-side protocol client.
@@ -214,7 +407,10 @@ func (c *Cluster) load(data map[string][]byte) error {
 					errc <- fmt.Errorf("harness: building record for %q: %w", e.k, err)
 					return
 				}
-				sh.store.Put(ek, rec)
+				if err := sh.store.Put(ek, rec); err != nil {
+					errc <- fmt.Errorf("harness: loading %q: %w", e.k, err)
+					return
+				}
 			}
 		}(keys[lo:hi])
 	}
@@ -261,7 +457,9 @@ func (c *Cluster) TrafficStats() transport.Stats {
 func (c *Cluster) ServerBytes() int64 {
 	var n int64
 	for _, sh := range c.shards {
+		sh.mu.Lock()
 		n += sh.store.Bytes()
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -269,14 +467,26 @@ func (c *Cluster) ServerBytes() int64 {
 // Shards returns the number of proxy/server pairs.
 func (c *Cluster) Shards() int { return len(c.shards) }
 
-// Close tears down all connections and servers.
+// Close tears down all connections, servers, and checkpointers.
 func (c *Cluster) Close() {
 	for _, sh := range c.shards {
-		if sh != nil && sh.rpc != nil {
+		if sh == nil {
+			continue
+		}
+		if sh.rpc != nil {
 			sh.rpc.Close()
 		}
-	}
-	for _, srv := range c.servers {
-		srv.Close()
+		sh.mu.Lock()
+		if sh.stopCkpt != nil {
+			sh.stopCkpt()
+			sh.stopCkpt = nil
+		}
+		if sh.srv != nil {
+			sh.srv.Close()
+		}
+		if sh.store != nil {
+			sh.store.DetachWAL() //nolint:errcheck // best-effort flush
+		}
+		sh.mu.Unlock()
 	}
 }

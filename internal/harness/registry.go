@@ -34,6 +34,7 @@ var Experiments = []Experiment{
 	{"ablation-zipf", "LBL-ORTOA under Zipfian key skew (extension)", ZipfAblation},
 	{"batch", "batched access pipeline vs concurrent singles (extension)", BatchPipeline},
 	{"chaos", "mixed workload under injected transport faults (robustness extension)", Chaos},
+	{"crash", "repeated kill/restart under durable-on-ack group commit (robustness extension)", Crash},
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},
 	{"stages", "measured LBL per-stage latency breakdown (Fig 3c companion)", Stages},

@@ -1,0 +1,368 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	fspkg "io/fs"
+	"os"
+	"sync"
+	"time"
+
+	"ortoa/internal/vfs"
+)
+
+// Generation-based checkpointing. A recovered store lives in a state
+// directory with this layout:
+//
+//	MANIFEST    "ORTOAMF1 <gen>\n" — the committed generation
+//	snap-<gen>  full snapshot taken when wal-<gen> became current
+//	wal-<gen>   journal of every mutation since snap-<gen>
+//
+// Recovery loads snap-<gen> (if present; generation 0 starts empty)
+// and replays wal-<gen>. A checkpoint advances the generation in an
+// order that keeps a consistent pair recoverable at every instant:
+//
+//	1. create and sync wal-<gen+1>, then switch journaling to it —
+//	   from here on, new mutations land in the next generation;
+//	2. write snap-<gen+1> crash-atomically — it includes everything
+//	   journaled to wal-<gen>, because those mutations are in memory;
+//	3. commit MANIFEST to <gen+1> crash-atomically;
+//	4. delete the retired snap-<gen>/wal-<gen>.
+//
+// A crash between 1 and 3 leaves MANIFEST at <gen> with wal-<gen+1>
+// also on disk; Recover detects that shape, replays both logs in
+// order, and completes the interrupted checkpoint (roll-forward).
+// Mutations journaled between the switch and the snapshot may appear
+// in both snap-<gen+1> and wal-<gen+1>; replay is idempotent and
+// preserves per-key order, so the overlap is harmless.
+
+const manifestName = "MANIFEST"
+
+var manifestMagic = "ORTOAMF1"
+
+// DurabilityOptions configures Recover.
+type DurabilityOptions struct {
+	// Policy and SyncInterval govern the attached WAL exactly as in
+	// WALOptions.
+	Policy       SyncPolicy
+	SyncInterval time.Duration
+	// FS is the filesystem to recover from and journal to; nil means
+	// the real one.
+	FS vfs.FS
+}
+
+// checkpointer tracks the generation state of a recovered store.
+type checkpointer struct {
+	fsys vfs.FS
+	dir  string
+
+	mu      sync.Mutex // serializes Checkpoint
+	gen     uint64     // committed (MANIFEST) generation
+	liveGen uint64     // generation the WAL currently journals to
+}
+
+func genPath(dir, kind string, gen uint64) string {
+	return fmt.Sprintf("%s/%s-%08d", dir, kind, gen)
+}
+
+// Recover restores the newest consistent checkpoint generation from
+// dir into the (empty) store and attaches its WAL, creating the
+// directory and generation 0 on first run. After Recover the store
+// journals every mutation under opts.Policy and supports Checkpoint.
+func (s *Store) Recover(dir string, opts DurabilityOptions) error {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	s.walMu.Lock()
+	attached := s.wal != nil
+	s.walMu.Unlock()
+	if attached {
+		return ErrWALAttached
+	}
+	if err := fsys.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	gen, found, err := readManifest(fsys, dir)
+	if err != nil {
+		return err
+	}
+	if !found {
+		// First run: commit generation 0 before taking any writes so
+		// later recoveries have a manifest to anchor on.
+		if err := writeManifest(fsys, dir, 0); err != nil {
+			return err
+		}
+	}
+	snapPath := genPath(dir, "snap", gen)
+	if ok, err := fileExists(fsys, snapPath); err != nil {
+		return err
+	} else if ok {
+		if err := s.loadFile(fsys, snapPath); err != nil {
+			return fmt.Errorf("kvstore: loading %s: %w", snapPath, err)
+		}
+	}
+	walPath := genPath(dir, "wal", gen)
+	nextWalPath := genPath(dir, "wal", gen+1)
+	rollForward, err := fileExists(fsys, nextWalPath)
+	if err != nil {
+		return err
+	}
+	if rollForward {
+		// A checkpoint was interrupted after its WAL switch: the
+		// retired log holds the older records, the next-generation
+		// log the newer ones. Replay both in order, then finish the
+		// checkpoint below.
+		if ok, err := fileExists(fsys, walPath); err != nil {
+			return err
+		} else if ok {
+			if err := s.replayWALFile(fsys, walPath); err != nil {
+				return fmt.Errorf("kvstore: replaying %s: %w", walPath, err)
+			}
+		}
+		walPath = nextWalPath
+	}
+	walOpts := WALOptions{Policy: opts.Policy, Interval: opts.SyncInterval, FS: fsys}
+	if err := s.AttachWALOptions(walPath, walOpts); err != nil {
+		return err
+	}
+	ck := &checkpointer{fsys: fsys, dir: dir, gen: gen, liveGen: gen}
+	if rollForward {
+		ck.liveGen = gen + 1
+		if err := ck.commit(s); err != nil {
+			s.DetachWAL() //nolint:errcheck // already failing
+			return fmt.Errorf("kvstore: completing interrupted checkpoint: %w", err)
+		}
+	}
+	// Sweep leftovers a crash mid-retirement can strand (best-effort).
+	if ck.gen > 0 {
+		fsys.Remove(genPath(dir, "snap", ck.gen-1)) //nolint:errcheck
+		fsys.Remove(genPath(dir, "wal", ck.gen-1))  //nolint:errcheck
+	}
+	s.walMu.Lock()
+	s.ckpt = ck
+	s.walMu.Unlock()
+	return nil
+}
+
+// replayWALFile replays a retired generation's log without attaching
+// it.
+func (s *Store) replayWALFile(fsys vfs.FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, records, err := s.replayWAL(f)
+	s.walReplayed.Add(records)
+	return err
+}
+
+// Checkpoint takes a snapshot, rotates the WAL to a fresh generation,
+// and retires the previous pair, bounding recovery replay time. It is
+// safe under concurrent mutations and serializes with itself. The
+// store must have been opened with Recover.
+func (s *Store) Checkpoint() error {
+	s.walMu.Lock()
+	ck := s.ckpt
+	s.walMu.Unlock()
+	if ck == nil {
+		return errors.New("kvstore: Checkpoint requires a store opened with Recover")
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	m := s.metrics.Load()
+	start := time.Now()
+	if ck.liveGen == ck.gen {
+		// Create and sync the next generation's log before any record
+		// can be acknowledged against it.
+		newGen := ck.gen + 1
+		newPath := genPath(ck.dir, "wal", newGen)
+		f, err := ck.fsys.OpenFile(newPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+		if err != nil {
+			return ck.fail(m, err)
+		}
+		if _, err := f.Write(walMagic[:]); err != nil {
+			f.Close()
+			return ck.fail(m, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return ck.fail(m, err)
+		}
+		if err := ck.fsys.SyncDir(ck.dir); err != nil {
+			f.Close()
+			return ck.fail(m, err)
+		}
+		if err := s.switchWAL(f, newPath); err != nil {
+			f.Close()
+			return ck.fail(m, err)
+		}
+		ck.liveGen = newGen
+	}
+	// If a previous attempt switched but failed before committing,
+	// liveGen is already ahead: just retry the snapshot and commit.
+	if err := ck.commit(s); err != nil {
+		return ck.fail(m, err)
+	}
+	if m != nil {
+		m.checkpointTime.Since(start)
+		m.checkpoints.Inc()
+	}
+	return nil
+}
+
+// commit writes the snapshot for ck.liveGen, commits the manifest, and
+// retires the previous generation. Callers hold ck.mu (or are in
+// single-threaded recovery).
+func (ck *checkpointer) commit(s *Store) error {
+	if err := s.saveFile(ck.fsys, genPath(ck.dir, "snap", ck.liveGen)); err != nil {
+		return err
+	}
+	if err := writeManifest(ck.fsys, ck.dir, ck.liveGen); err != nil {
+		return err
+	}
+	old := ck.gen
+	ck.gen = ck.liveGen
+	// Retirement is best-effort: stranded files cost disk space, not
+	// correctness, and Recover sweeps them.
+	ck.fsys.Remove(genPath(ck.dir, "snap", old)) //nolint:errcheck
+	ck.fsys.Remove(genPath(ck.dir, "wal", old))  //nolint:errcheck
+	ck.fsys.SyncDir(ck.dir)                      //nolint:errcheck
+	return nil
+}
+
+func (ck *checkpointer) fail(m *storeMetrics, err error) error {
+	if m != nil {
+		m.checkpointErrors.Inc()
+	}
+	return err
+}
+
+// switchWAL atomically redirects journaling to the already-synced file
+// nf, draining and closing the old one. Everything appended so far
+// becomes durable (the old file is flushed and fsynced), so group
+// commit waiters are released.
+func (s *Store) switchWAL(nf vfs.File, newPath string) error {
+	s.walMu.Lock()
+	w := s.wal
+	s.walMu.Unlock()
+	if w == nil {
+		return errors.New("kvstore: no WAL attached")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	// Wait out any in-flight group fsync: its leader holds a handle to
+	// the old file.
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	if err := w.w.Flush(); err != nil {
+		w.fail(err)
+		return w.failed
+	}
+	if err := w.f.Sync(); err != nil {
+		w.fail(err)
+		return w.failed
+	}
+	if w.seq > w.durable {
+		w.durable = w.seq
+	}
+	old := w.f
+	w.f = nf
+	w.w = bufio.NewWriterSize(nf, 1<<16)
+	w.path = newPath
+	w.cond.Broadcast()
+	return old.Close()
+}
+
+// StartCheckpoints runs Checkpoint every interval until the returned
+// stop function is called. Errors are counted (checkpoint_errors
+// metric) and retried next tick; the WAL keeps growing meanwhile, so
+// nothing is lost.
+func (s *Store) StartCheckpoints(interval time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				s.Checkpoint() //nolint:errcheck // counted in metrics
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopCh)
+			<-done
+		})
+	}
+}
+
+// Generation returns the committed checkpoint generation (0 before the
+// first checkpoint, or for a store not opened with Recover).
+func (s *Store) Generation() uint64 {
+	s.walMu.Lock()
+	ck := s.ckpt
+	s.walMu.Unlock()
+	if ck == nil {
+		return 0
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.gen
+}
+
+func readManifest(fsys vfs.FS, dir string) (uint64, bool, error) {
+	f, err := fsys.OpenFile(dir+"/"+manifestName, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fspkg.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	defer f.Close()
+	buf, err := io.ReadAll(io.LimitReader(f, 64))
+	if err != nil {
+		return 0, false, err
+	}
+	var magic string
+	var gen uint64
+	if _, err := fmt.Sscanf(string(buf), "%s %d", &magic, &gen); err != nil || magic != manifestMagic {
+		return 0, false, fmt.Errorf("kvstore: corrupt manifest %q", buf)
+	}
+	return gen, true, nil
+}
+
+func writeManifest(fsys vfs.FS, dir string, gen uint64) error {
+	return vfs.WriteFileAtomic(fsys, dir+"/"+manifestName, func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", manifestMagic, gen)
+		return err
+	})
+}
+
+func fileExists(fsys vfs.FS, path string) (bool, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fspkg.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	f.Close()
+	return true, nil
+}

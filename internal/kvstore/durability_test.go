@@ -1,0 +1,382 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ortoa/internal/crashfs"
+	"ortoa/internal/obs"
+)
+
+// recoverStore opens a fresh store against dir on fsys, failing the
+// test on error.
+func recoverStore(t *testing.T, fsys *crashfs.FS, dir string, policy SyncPolicy) *Store {
+	t.Helper()
+	s := New()
+	if err := s.Recover(dir, DurabilityOptions{Policy: policy, FS: fsys}); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return s
+}
+
+func TestGroupCommitDurableOnAck(t *testing.T) {
+	fsys := crashfs.New(&crashfs.Plan{Seed: 42, TornWriteProb: 0.7})
+	s := recoverStore(t, fsys, "state", SyncGroupCommit)
+
+	// Concurrent writers race a crash. Every Put that returns nil was
+	// acknowledged durable-on-ack and MUST survive; in-flight writes
+	// may or may not.
+	var mu sync.Mutex
+	acked := map[string][]byte{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("w%d-%d", w, i)
+				v := []byte(fmt.Sprintf("v%d-%d", w, i))
+				if err := s.Put(k, v); err != nil {
+					return // crash landed; later writes fail-stop
+				}
+				mu.Lock()
+				acked[k] = v
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Let some writes accumulate, then pull the plug mid-traffic.
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 64 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fsys.Crash()
+	close(stop)
+	wg.Wait()
+
+	r := recoverStore(t, fsys, "state", SyncGroupCommit)
+	defer r.DetachWAL()
+	mu.Lock()
+	defer mu.Unlock()
+	lost := 0
+	for k, v := range acked {
+		got, err := r.Get(k)
+		if err != nil {
+			lost++
+			t.Errorf("acknowledged write %q lost in crash", k)
+			continue
+		}
+		if !bytes.Equal(got, v) {
+			t.Errorf("recovered %q = %q, want %q", k, got, v)
+		}
+	}
+	if lost == 0 && len(acked) == 0 {
+		t.Fatal("test made no progress: zero acknowledged writes")
+	}
+}
+
+func TestSyncNeverLosesUnsynced(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncNever)
+	if err := s.Put("volatile", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash()
+
+	r := recoverStore(t, fsys, "state", SyncNever)
+	defer r.DetachWAL()
+	if _, err := r.Get("volatile"); err == nil {
+		t.Error("SyncNever write survived a crash without any fsync — crash model is not dropping buffers")
+	}
+}
+
+func TestSyncNeverSurvivesAfterSyncWAL(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncNever)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Crash()
+
+	r := recoverStore(t, fsys, "state", SyncNever)
+	defer r.DetachWAL()
+	if v, err := r.Get("k"); err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Errorf("explicitly synced write lost: %q, %v", v, err)
+	}
+}
+
+func TestWALStickyFailureFailStop(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncGroupCommit)
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	if err := s.Put("ok", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk starts failing fsyncs: the next acknowledged-durable write
+	// must fail, and the failure must be sticky even after the disk
+	// "recovers".
+	fsys.SetPlan(&crashfs.Plan{SyncErrProb: 1})
+	if err := s.Put("doomed", []byte("2")); err == nil {
+		t.Fatal("Put succeeded while fsync was failing")
+	}
+	if s.WALErr() == nil {
+		t.Fatal("WALErr nil after fsync failure")
+	}
+	fsys.SetPlan(nil)
+	if err := s.Put("after", []byte("3")); err == nil {
+		t.Error("journaled mutation accepted on a poisoned WAL (sticky failure not enforced)")
+	}
+	if err := s.Update("ok", func(old []byte) ([]byte, error) { return old, nil }); err == nil {
+		t.Error("Update accepted on a poisoned WAL")
+	}
+	if _, err := s.Delete("ok"); err == nil {
+		t.Error("Delete accepted on a poisoned WAL")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Error("Checkpoint succeeded on a poisoned WAL")
+	}
+
+	// The failure is operator-visible: health check red, gauge set.
+	failed := false
+	for _, res := range reg.CheckHealth() {
+		if res.Name == "kvstore_wal" && res.Err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Error("kvstore_wal health check did not report the sticky failure")
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf) //nolint:errcheck
+	if !strings.Contains(buf.String(), "ortoa_kvstore_wal_failed 1") {
+		t.Error("wal_failed gauge not 1 on poisoned WAL")
+	}
+	if err := s.DetachWAL(); err == nil {
+		t.Error("DetachWAL returned nil for a poisoned WAL")
+	}
+}
+
+func TestCheckpointBoundsReplayAndRetires(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncGroupCommit)
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("pre-%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("Generation after checkpoint = %d, want 1", g)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("post-%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys.Crash()
+
+	r := recoverStore(t, fsys, "state", SyncGroupCommit)
+	defer r.DetachWAL()
+	if r.Len() != 60 {
+		t.Errorf("recovered Len = %d, want 60", r.Len())
+	}
+	// Replay only covered the records journaled after the checkpoint:
+	// the 50 pre-checkpoint keys came from the snapshot.
+	if n := r.WALReplayed(); n != 10 {
+		t.Errorf("WALReplayed = %d, want 10 (checkpoint did not bound replay)", n)
+	}
+	// Generation 0 is retired.
+	for _, p := range []string{"state/snap-00000000", "state/wal-00000000"} {
+		if ok, _ := fileExists(fsys, p); ok {
+			t.Errorf("%s not retired by checkpoint", p)
+		}
+	}
+}
+
+func TestCheckpointInterruptedRollForward(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncGroupCommit)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := s.Put(k, []byte("gen0-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DetachWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-build the crash-mid-checkpoint shape: wal-00000001 exists
+	// and holds newer records, but MANIFEST still says generation 0 and
+	// no snap-00000001 was written. (A throwaway store journals the
+	// extra key into the next generation's log.)
+	aux := New()
+	if err := aux.AttachWALOptions("state/wal-00000001", WALOptions{FS: fsys}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aux.Put("k4", []byte("gen1-k4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := aux.Put("k2", []byte("gen1-k2")); err != nil { // overwrite across logs
+		t.Fatal(err)
+	}
+	if err := aux.DetachWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := recoverStore(t, fsys, "state", SyncGroupCommit)
+	defer r.DetachWAL()
+	// Both logs replayed, in order: gen-0 values then gen-1 overwrites.
+	for k, want := range map[string]string{
+		"k1": "gen0-k1", "k2": "gen1-k2", "k3": "gen0-k3", "k4": "gen1-k4",
+	} {
+		if v, err := r.Get(k); err != nil || string(v) != want {
+			t.Errorf("rolled-forward %s = %q, %v; want %q", k, v, err, want)
+		}
+	}
+	// The interrupted checkpoint was completed: generation advanced,
+	// snapshot written, old generation retired.
+	if g := r.Generation(); g != 1 {
+		t.Errorf("Generation after roll-forward = %d, want 1", g)
+	}
+	if ok, _ := fileExists(fsys, "state/snap-00000001"); !ok {
+		t.Error("roll-forward did not write snap-00000001")
+	}
+	if ok, _ := fileExists(fsys, "state/wal-00000000"); ok {
+		t.Error("roll-forward did not retire wal-00000000")
+	}
+}
+
+func TestRepeatedCrashRecoverCycles(t *testing.T) {
+	fsys := crashfs.New(&crashfs.Plan{Seed: 7, TornWriteProb: 0.5})
+	expect := map[string]string{}
+	for cycle := 0; cycle < 20; cycle++ {
+		s := recoverStore(t, fsys, "state", SyncGroupCommit)
+		// Everything acknowledged in earlier cycles must still be here.
+		for k, v := range expect {
+			if got, err := s.Get(k); err != nil || string(got) != v {
+				t.Fatalf("cycle %d: lost %q (= %q, %v; want %q)", cycle, k, got, err, v)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			k := fmt.Sprintf("c%02d-%d", cycle, i)
+			v := fmt.Sprintf("val-%02d-%d", cycle, i)
+			if err := s.Put(k, []byte(v)); err != nil {
+				t.Fatalf("cycle %d put: %v", cycle, err)
+			}
+			expect[k] = v
+		}
+		if cycle%5 == 4 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("cycle %d checkpoint: %v", cycle, err)
+			}
+		}
+		fsys.Crash()
+	}
+}
+
+func TestStartCheckpointsRuns(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncNever)
+	defer s.DetachWAL()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	stop := s.StartCheckpoints(5 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Generation() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if s.Generation() == 0 {
+		t.Error("background checkpointer never advanced the generation")
+	}
+}
+
+func TestRecoverRequiresDetachedStore(t *testing.T) {
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncNever)
+	defer s.DetachWAL()
+	if err := s.Recover("other", DurabilityOptions{FS: fsys}); !errors.Is(err, ErrWALAttached) {
+		t.Errorf("second Recover = %v, want ErrWALAttached", err)
+	}
+	if err := New().Checkpoint(); err == nil {
+		t.Error("Checkpoint without Recover succeeded")
+	}
+}
+
+func TestGroupCommitConcurrentWritersShareFsyncs(t *testing.T) {
+	// Correctness-flavored smoke for the group path: many goroutines on
+	// the group-commit policy finish, and every write is durable.
+	fsys := crashfs.New(nil)
+	s := recoverStore(t, fsys, "state", SyncGroupCommit)
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Put(fmt.Sprintf("w%d-%d", w, i), []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fsys.Crash()
+	r := recoverStore(t, fsys, "state", SyncGroupCommit)
+	defer r.DetachWAL()
+	if r.Len() != workers*per {
+		t.Errorf("recovered %d keys, want %d", r.Len(), workers*per)
+	}
+}
+
+func benchmarkPutPolicy(b *testing.B, policy SyncPolicy) {
+	dir := b.TempDir()
+	s := New()
+	if err := s.Recover(dir, DurabilityOptions{Policy: policy, SyncInterval: 50 * time.Millisecond}); err != nil {
+		b.Fatal(err)
+	}
+	defer s.DetachWAL()
+	value := bytes.Repeat([]byte{0xAB}, 256)
+	b.SetBytes(int64(len(value)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := s.Put(fmt.Sprintf("key-%d", i%1024), value); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkPutSyncNever(b *testing.B)       { benchmarkPutPolicy(b, SyncNever) }
+func BenchmarkPutSyncInterval(b *testing.B)    { benchmarkPutPolicy(b, SyncInterval) }
+func BenchmarkPutSyncGroupCommit(b *testing.B) { benchmarkPutPolicy(b, SyncGroupCommit) }

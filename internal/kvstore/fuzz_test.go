@@ -2,9 +2,12 @@ package kvstore
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ortoa/internal/crashfs"
 )
 
 // FuzzSnapshotRead: snapshot files may come from disk an attacker (or
@@ -42,6 +45,27 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add(seed[:len(seed)-1])
+	// Organic crash shapes: journal through the crash model with torn
+	// final writes and seed whatever each crash leaves on "disk".
+	for cseed := uint64(0); cseed < 4; cseed++ {
+		fsys := crashfs.New(&crashfs.Plan{Seed: cseed, TornWriteProb: 1})
+		cs := New()
+		if err := cs.AttachWALOptions("fuzz.wal", WALOptions{FS: fsys}); err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			cs.Put(fmt.Sprintf("crash-%d", i), bytes.Repeat([]byte{byte(i)}, 32))
+		}
+		cs.SyncWAL()
+		cs.Put("tail", []byte("unsynced"))
+		cs.wal.mu.Lock()
+		cs.wal.w.Flush() //nolint:errcheck // fuzz seeding only
+		cs.wal.mu.Unlock()
+		fsys.Crash()
+		if shaped, ok := fsys.ReadFileDurable("fuzz.wal"); ok {
+			f.Add(shaped)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := filepath.Join(t.TempDir(), "fuzz.wal")
 		if err := os.WriteFile(p, data, 0o600); err != nil {

@@ -21,7 +21,8 @@ var ErrNotFound = errors.New("kvstore: key not found")
 const numShards = 256
 
 // A Store is a sharded in-memory byte-string map, safe for concurrent
-// use. AttachWAL adds crash-durable journaling (wal.go).
+// use. AttachWAL adds crash-durable journaling (wal.go); Recover adds
+// generation-based checkpointing on top (durability.go).
 type Store struct {
 	seed    maphash.Seed
 	shards  [numShards]shard
@@ -29,6 +30,9 @@ type Store struct {
 
 	walMu sync.Mutex
 	wal   *wal
+	ckpt  *checkpointer // non-nil after Recover
+
+	walReplayed atomic.Int64 // records replayed at recovery
 }
 
 type shard struct {
@@ -67,11 +71,19 @@ func (s *Store) Get(key string) ([]byte, error) {
 }
 
 // Put stores a copy of value under key, replacing any previous value.
-func (s *Store) Put(key string, value []byte) {
+// With a WAL attached the mutation is journaled before it is applied,
+// so an error means the store is unchanged; under SyncGroupCommit Put
+// returns only after the record is on stable storage.
+func (s *Store) Put(key string, value []byte) error {
 	v := make([]byte, len(value))
 	copy(v, value)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	lsn, err := s.journal(walOpPut, key, v)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
 	if old, ok := sh.items[key]; ok {
 		sh.bytes -= int64(len(old))
 	} else {
@@ -79,8 +91,11 @@ func (s *Store) Put(key string, value []byte) {
 	}
 	sh.items[key] = v
 	sh.bytes += int64(len(v))
-	s.journal(walOpPut, key, v)
 	sh.mu.Unlock()
+	// The durability wait happens after the shard lock is released:
+	// fsync latency must never serialize a shard, and group commit
+	// needs concurrent writers parked together to share the fsync.
+	return s.waitDurable(lsn)
 }
 
 // applyPut mutates without journaling (WAL replay).
@@ -108,24 +123,27 @@ func (s *Store) applyDelete(key string) {
 	sh.mu.Unlock()
 }
 
-// journal appends a mutation to the WAL, if attached. Called with the
-// key's shard lock held, so replay order per key matches application
-// order. Journal failures are recorded and surfaced by SyncWAL /
-// DetachWAL rather than failing the in-memory operation.
-func (s *Store) journal(op byte, key string, value []byte) {
+// journal appends a mutation to the WAL, if attached, returning its
+// LSN. Called with the key's shard lock held, so replay order per key
+// matches application order. A failure is sticky (see wal.fail):
+// callers must not apply the mutation, keeping memory and log
+// consistent — "error ⇒ store unchanged" is what lets the proxy treat
+// a rejected round as never executed.
+func (s *Store) journal(op byte, key string, value []byte) (uint64, error) {
 	s.walMu.Lock()
 	w := s.wal
 	s.walMu.Unlock()
 	if w == nil {
-		return
+		return 0, nil
 	}
-	err := w.append(op, key, value) // surfaced on Sync/Detach via file state
+	lsn, err := w.append(op, key, value)
 	if m := s.metrics.Load(); m != nil {
 		m.walAppends.Inc()
 		if err != nil {
 			m.walAppendErrors.Inc()
 		}
 	}
+	return lsn, err
 }
 
 // Update applies fn to the value stored under key while holding the
@@ -133,38 +151,53 @@ func (s *Store) journal(op byte, key string, value []byte) {
 // absent. The protocols use Update for their atomic
 // read-decrypt-replace step so two concurrent accesses to the same
 // object cannot interleave (the LBL server's decrypt-and-install must
-// see a consistent label array).
+// see a consistent label array). Like Put, a journaling error leaves
+// the record untouched, and under SyncGroupCommit Update returns only
+// after the mutation's commit point — this is where durable-on-ack
+// threads into the LBL access path.
 func (s *Store) Update(key string, fn func(old []byte) ([]byte, error)) error {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	old, ok := sh.items[key]
 	if !ok {
+		sh.mu.Unlock()
 		return ErrNotFound
 	}
 	nv, err := fn(old)
 	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	lsn, err := s.journal(walOpPut, key, nv)
+	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	sh.bytes += int64(len(nv)) - int64(len(old))
 	sh.items[key] = nv
-	s.journal(walOpPut, key, nv)
-	return nil
+	sh.mu.Unlock()
+	return s.waitDurable(lsn)
 }
 
-// Delete removes key. It reports whether the key was present.
-func (s *Store) Delete(key string) bool {
+// Delete removes key. It reports whether the key was present; the
+// error mirrors Put's journaling contract.
+func (s *Store) Delete(key string) (bool, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	v, ok := sh.items[key]
 	if !ok {
-		return false
+		sh.mu.Unlock()
+		return false, nil
+	}
+	lsn, err := s.journal(walOpDelete, key, nil)
+	if err != nil {
+		sh.mu.Unlock()
+		return false, err
 	}
 	sh.bytes -= int64(len(key) + len(v))
 	delete(sh.items, key)
-	s.journal(walOpDelete, key, nil)
-	return true
+	sh.mu.Unlock()
+	return true, s.waitDurable(lsn)
 }
 
 // Len returns the number of keys in the store.

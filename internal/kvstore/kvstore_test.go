@@ -85,11 +85,11 @@ func TestUpdateError(t *testing.T) {
 func TestDelete(t *testing.T) {
 	s := New()
 	s.Put("k", []byte("v"))
-	if !s.Delete("k") {
-		t.Error("Delete(existing) = false")
+	if ok, err := s.Delete("k"); !ok || err != nil {
+		t.Errorf("Delete(existing) = %v, %v", ok, err)
 	}
-	if s.Delete("k") {
-		t.Error("Delete(deleted) = true")
+	if ok, err := s.Delete("k"); ok || err != nil {
+		t.Errorf("Delete(deleted) = %v, %v", ok, err)
 	}
 	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
 		t.Error("key still present after Delete")

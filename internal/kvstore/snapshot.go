@@ -7,29 +7,18 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"ortoa/internal/vfs"
 )
 
-// Snapshot format: magic, version, entry count, then count entries of
+// Snapshot format: magic, entry count, then count entries of
 // varint(keyLen) key varint(valLen) val. Values and keys are opaque
 // (already encrypted/encoded by the protocol layer).
 var snapshotMagic = [8]byte{'O', 'R', 'T', 'O', 'A', 'K', 'V', '1'}
 
-// WriteSnapshot serializes the full store contents to w. Concurrent
-// writers may interleave with the snapshot; per-shard consistency is
-// guaranteed, cross-shard is not (same contract as Range).
-func (s *Store) WriteSnapshot(w io.Writer) error {
-	if m := s.metrics.Load(); m != nil {
-		defer m.snapshotWrite.Since(time.Now())
-	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return err
-	}
-	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(s.Len()))
-	if _, err := bw.Write(cnt[:]); err != nil {
-		return err
-	}
+// writeSnapshotEntries streams every key/value pair to bw and returns
+// how many entries were written.
+func (s *Store) writeSnapshotEntries(bw *bufio.Writer) (uint64, error) {
 	var writeErr error
 	written := uint64(0)
 	s.Range(func(k string, v []byte) bool {
@@ -51,8 +40,31 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		written++
 		return true
 	})
-	if writeErr != nil {
-		return writeErr
+	return written, writeErr
+}
+
+// WriteSnapshot serializes the full store contents to w. Concurrent
+// writers may interleave with the snapshot; per-shard consistency is
+// guaranteed, cross-shard is not (same contract as Range). Because the
+// entry count leads the stream, WriteSnapshot fails if the key set
+// changes mid-iteration; SaveFile has no such restriction (it patches
+// the count in place).
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	if m := s.metrics.Load(); m != nil {
+		defer m.snapshotWrite.Since(time.Now())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(s.Len()))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	written, err := s.writeSnapshotEntries(bw)
+	if err != nil {
+		return err
 	}
 	// The count was captured before iterating; if a concurrent writer
 	// changed the key set the snapshot is inconsistent — report it.
@@ -90,7 +102,9 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("kvstore: snapshot entry %d value: %w", i, err)
 		}
-		s.Put(string(key), val)
+		if err := s.Put(string(key), val); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -110,39 +124,74 @@ func readBlob(br *bufio.Reader) ([]byte, error) {
 	return buf, nil
 }
 
-// SaveFile writes a snapshot to path atomically (write to a temp file
-// in the same directory, then rename).
+// SaveFile writes a snapshot to path crash-atomically: temp file in
+// the same directory, fsync, rename, directory fsync. A crash at any
+// point leaves either the old snapshot or the complete new one.
 func (s *Store) SaveFile(path string) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".ortoa-kv-*")
+	return s.saveFile(vfs.OS{}, path)
+}
+
+func (s *Store) saveFile(fsys vfs.FS, path string) (err error) {
+	if m := s.metrics.Load(); m != nil {
+		defer m.snapshotWrite.Since(time.Now())
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if err := s.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
+	defer func() {
+		if err != nil {
+			f.Close()
+			fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err = bw.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
+	// Entry-count placeholder, patched below: the store may be taking
+	// writes while Range iterates, so the count is only known after.
+	var cnt [8]byte
+	if _, err = bw.Write(cnt[:]); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	written, err := s.writeSnapshotEntries(bw)
+	if err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if _, err = f.Seek(int64(len(snapshotMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(cnt[:], written)
+	if _, err = f.Write(cnt[:]); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(vfs.Dir(path))
 }
 
 // LoadFile reads a snapshot from path into the store.
 func (s *Store) LoadFile(path string) error {
-	f, err := os.Open(path)
+	return s.loadFile(vfs.OS{}, path)
+}
+
+func (s *Store) loadFile(fsys vfs.FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	return s.ReadSnapshot(f)
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

@@ -9,17 +9,30 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ortoa/internal/vfs"
 )
 
 // WAL support: a Store can journal every mutation to an append-only
 // log, so a crashed server restarts with its (encrypted) records
 // intact — the durability a Redis-style substrate would provide with
-// AOF persistence. Records are CRC-framed; replay stops cleanly at a
-// torn tail.
+// AOF persistence. Records are CRC-framed; replay truncates a torn
+// tail and rejects mid-file corruption (see replayWAL).
 //
 // Log record: [1B op][uvarint keyLen][key][uvarint valLen][value]
 // [4B crc32 of everything before it]. Deletes carry no value.
+//
+// Durability is governed by a SyncPolicy. Under SyncGroupCommit a
+// mutation is acknowledged only after its record is fsynced; the fsync
+// is shared: the first waiter becomes the leader, flushes everything
+// appended so far, issues one fsync, and wakes the group. Any append,
+// flush, or fsync failure is sticky — once the log's on-disk state is
+// uncertain the store fails every subsequent journaled mutation fast
+// (fail-stop) rather than acknowledge writes it may not be able to
+// replay. The sticky error is surfaced by WALErr, the wal_failed
+// gauge, and the /healthz endpoint.
 
 const (
 	walOpPut    byte = 1
@@ -31,32 +44,117 @@ var walMagic = [8]byte{'O', 'R', 'T', 'O', 'A', 'W', 'L', '1'}
 // ErrWALAttached reports an AttachWAL on a store that already has one.
 var ErrWALAttached = errors.New("kvstore: WAL already attached")
 
+// A SyncPolicy says when journaled mutations reach stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncNever leaves fsync scheduling to the caller: mutations are
+	// acknowledged from the OS buffer cache and survive process death
+	// but not machine crashes until SyncWAL (or a checkpoint) runs.
+	SyncNever SyncPolicy = iota
+	// SyncInterval runs a background flush+fsync loop every
+	// WALOptions.Interval; a crash loses at most one interval of
+	// acknowledged writes.
+	SyncInterval
+	// SyncGroupCommit acknowledges a mutation only after its record is
+	// fsynced. Concurrent writers share one fsync (group commit), so
+	// throughput degrades far less than one-fsync-per-write.
+	SyncGroupCommit
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncInterval:
+		return "interval"
+	case SyncGroupCommit:
+		return "group-commit"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", p)
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "never":
+		return SyncNever, nil
+	case "interval":
+		return SyncInterval, nil
+	case "group-commit":
+		return SyncGroupCommit, nil
+	}
+	return 0, fmt.Errorf("kvstore: unknown fsync policy %q (want never, interval, or group-commit)", s)
+}
+
+// WALOptions configures an attached journal.
+type WALOptions struct {
+	Policy   SyncPolicy
+	Interval time.Duration // SyncInterval cadence; default 2s
+	FS       vfs.FS        // nil: the real filesystem
+}
+
 type wal struct {
+	fs     vfs.FS
+	policy SyncPolicy
+
 	mu   sync.Mutex
-	f    *os.File
+	cond *sync.Cond // broadcast on durable/syncing/failed changes
+	f    vfs.File
 	w    *bufio.Writer
 	path string
+
+	seq     uint64 // LSN of the last appended record
+	durable uint64 // highest LSN known to be fsynced
+	syncing bool   // a group-commit leader is mid-fsync
+	failed  error  // sticky first append/flush/fsync failure
+
+	stop chan struct{} // closes the SyncInterval loop; nil otherwise
+	done chan struct{}
+
+	metrics *atomic.Pointer[storeMetrics] // the owning store's metrics
+}
+
+// fail records the first journaling failure; the error is sticky and
+// every later journaled mutation fails with it. Callers hold w.mu.
+func (w *wal) fail(err error) {
+	if w.failed == nil {
+		w.failed = fmt.Errorf("kvstore: WAL failed: %w", err)
+	}
+	w.cond.Broadcast()
 }
 
 // AttachWAL replays the log at path into the store (creating it if
-// absent) and journals every subsequent Put, Update, and Delete.
-// Writes are buffered; call SyncWAL for durability points and
+// absent) and journals every subsequent Put, Update, and Delete with
+// the seed SyncNever policy. Call SyncWAL for durability points and
 // DetachWAL on shutdown.
 func (s *Store) AttachWAL(path string) error {
+	return s.AttachWALOptions(path, WALOptions{})
+}
+
+// AttachWALOptions is AttachWAL with an explicit durability policy and
+// filesystem.
+func (s *Store) AttachWALOptions(path string, opts WALOptions) error {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.wal != nil {
 		return ErrWALAttached
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return err
 	}
-	replayed, err := s.replayWAL(f)
+	replayed, records, err := s.replayWAL(f)
 	if err != nil {
 		f.Close()
 		return err
 	}
+	s.walReplayed.Add(records)
 	// Truncate any torn tail so new records append after the last
 	// valid one.
 	if err := f.Truncate(replayed); err != nil {
@@ -67,54 +165,130 @@ func (s *Store) AttachWAL(path string) error {
 		f.Close()
 		return err
 	}
-	w := &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}
+	w := &wal{
+		fs:      fsys,
+		policy:  opts.Policy,
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<16),
+		path:    path,
+		metrics: &s.metrics,
+	}
+	w.cond = sync.NewCond(&w.mu)
 	if replayed == 0 {
+		// A brand-new log: make the file itself durable before any
+		// record is acknowledged against it — a crash must not lose
+		// the journal that writes were promised to be in.
 		if _, err := w.w.Write(walMagic[:]); err != nil {
 			f.Close()
 			return err
 		}
+		if err := w.w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := fsys.SyncDir(vfs.Dir(path)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if opts.Policy == SyncInterval {
+		interval := opts.Interval
+		if interval <= 0 {
+			interval = 2 * time.Second
+		}
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.intervalLoop(interval)
 	}
 	s.wal = w
 	return nil
 }
 
-// replayWAL applies valid records and returns the byte offset of the
-// end of the last valid record.
-func (s *Store) replayWAL(f *os.File) (int64, error) {
-	info, err := f.Stat()
-	if err != nil {
-		return 0, err
+// intervalLoop is the SyncInterval background fsync.
+func (w *wal) intervalLoop(interval time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			w.syncTo(w.seq) //nolint:errcheck // sticky; surfaced by WALErr
+			w.mu.Unlock()
+		}
 	}
-	if info.Size() == 0 {
-		return 0, nil
+}
+
+// replayWAL applies valid records, returning the byte offset after the
+// last valid record and the number of records applied. A tail the
+// crash model can produce — a truncated record, or a final record
+// whose CRC does not match — is tolerated: replay keeps the valid
+// prefix and the caller truncates the rest. Corruption strictly before
+// the last record (valid data following a bad record) cannot come from
+// a torn write and is rejected, because silently dropping interior
+// records would resurrect stale values.
+func (s *Store) replayWAL(f vfs.File) (int64, int64, error) {
+	size, err := f.Size()
+	if err != nil {
+		return 0, 0, err
+	}
+	if size == 0 {
+		return 0, 0, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	br := bufio.NewReaderSize(f, 1<<16)
 	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return 0, fmt.Errorf("kvstore: reading WAL magic: %w", err)
+	if n, err := io.ReadFull(br, magic[:]); err != nil {
+		if n < len(magic) && size < int64(len(magic)) {
+			// Shorter than the magic: a crash before the header
+			// sync. Treat as empty; the attach rewrites it.
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("kvstore: reading WAL magic: %w", err)
 	}
 	if magic != walMagic {
-		return 0, fmt.Errorf("kvstore: bad WAL magic %q", magic[:])
+		return 0, 0, fmt.Errorf("kvstore: bad WAL magic %q", magic[:])
 	}
 	valid := int64(len(walMagic))
+	var records int64
 	for {
 		rec, n, err := readWALRecord(br)
-		if err != nil {
-			// Torn or corrupt tail: keep what was valid.
-			return valid, nil
+		switch {
+		case err == nil:
+			switch rec.op {
+			case walOpPut:
+				s.applyPut(rec.key, rec.value)
+			case walOpDelete:
+				s.applyDelete(rec.key)
+			}
+			valid += n
+			records++
+		case errors.Is(err, io.EOF) && n == 0:
+			// Clean end of log.
+			return valid, records, nil
+		case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			// Torn final record: the crash cut the write short.
+			return valid, records, nil
+		case errors.Is(err, errWALCRC) && valid+n == size:
+			// The last record is complete in length but garbled — a
+			// torn in-place overwrite. Nothing follows it, so treat
+			// it as the tail and truncate.
+			return valid, records, nil
+		default:
+			return 0, 0, fmt.Errorf("kvstore: WAL corrupt at offset %d: %w", valid, err)
 		}
-		switch rec.op {
-		case walOpPut:
-			s.applyPut(rec.key, rec.value)
-		case walOpDelete:
-			s.applyDelete(rec.key)
-		}
-		valid += n
 	}
 }
+
+var errWALCRC = errors.New("kvstore: WAL record CRC mismatch")
 
 type walRecord struct {
 	op    byte
@@ -122,54 +296,59 @@ type walRecord struct {
 	value []byte
 }
 
+// readWALRecord parses one record, returning how many bytes it
+// consumed even on failure so replayWAL can classify the damage.
 func readWALRecord(br *bufio.Reader) (walRecord, int64, error) {
 	var rec walRecord
+	var n int64
 	crc := crc32.NewIEEE()
 	tee := io.TeeReader(br, crc)
 	var opBuf [1]byte
 	if _, err := io.ReadFull(tee, opBuf[:]); err != nil {
-		return rec, 0, err
+		return rec, n, err
 	}
+	n = 1
 	rec.op = opBuf[0]
 	if rec.op != walOpPut && rec.op != walOpDelete {
-		return rec, 0, errors.New("kvstore: bad WAL op")
+		return rec, n, errors.New("kvstore: bad WAL op")
 	}
-	n := int64(1)
 	readBlobLen := func() ([]byte, error) {
 		l, vn, err := readUvarintCounted(tee)
+		n += vn
 		if err != nil {
 			return nil, err
 		}
-		n += vn
 		if l > 1<<30 {
 			return nil, errors.New("kvstore: WAL blob too large")
 		}
 		buf := make([]byte, l)
-		if _, err := io.ReadFull(tee, buf); err != nil {
+		nr, err := io.ReadFull(tee, buf)
+		n += int64(nr)
+		if err != nil {
 			return nil, err
 		}
-		n += int64(l)
 		return buf, nil
 	}
 	key, err := readBlobLen()
 	if err != nil {
-		return rec, 0, err
+		return rec, n, err
 	}
 	rec.key = string(key)
 	if rec.op == walOpPut {
 		rec.value, err = readBlobLen()
 		if err != nil {
-			return rec, 0, err
+			return rec, n, err
 		}
 	}
 	want := crc.Sum32()
 	var crcBuf [4]byte
-	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-		return rec, 0, err
+	nr, err := io.ReadFull(br, crcBuf[:])
+	n += int64(nr)
+	if err != nil {
+		return rec, n, err
 	}
-	n += 4
 	if binary.LittleEndian.Uint32(crcBuf[:]) != want {
-		return rec, 0, errors.New("kvstore: WAL record CRC mismatch")
+		return rec, n, errWALCRC
 	}
 	return rec, n, nil
 }
@@ -197,37 +376,118 @@ func readUvarintCounted(r io.Reader) (uint64, int64, error) {
 	}
 }
 
-// append journals one mutation. Callers hold the relevant shard lock,
-// so per-key replay order matches application order.
-func (w *wal) append(op byte, key string, value []byte) error {
+// append journals one mutation and returns its LSN. Callers hold the
+// relevant shard lock, so per-key replay order matches application
+// order. After any failure the log is poisoned: the write may be
+// partially in the buffer, so every later append fails with the same
+// sticky error.
+func (w *wal) append(op byte, key string, value []byte) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return 0, w.failed
+	}
 	crc := crc32.NewIEEE()
 	out := io.MultiWriter(w.w, crc)
 	var lenBuf [binary.MaxVarintLen64]byte
 	if _, err := out.Write([]byte{op}); err != nil {
-		return err
+		w.fail(err)
+		return 0, w.failed
 	}
 	n := binary.PutUvarint(lenBuf[:], uint64(len(key)))
 	if _, err := out.Write(lenBuf[:n]); err != nil {
-		return err
+		w.fail(err)
+		return 0, w.failed
 	}
 	if _, err := io.WriteString(out, key); err != nil {
-		return err
+		w.fail(err)
+		return 0, w.failed
 	}
 	if op == walOpPut {
 		n = binary.PutUvarint(lenBuf[:], uint64(len(value)))
 		if _, err := out.Write(lenBuf[:n]); err != nil {
-			return err
+			w.fail(err)
+			return 0, w.failed
 		}
 		if _, err := out.Write(value); err != nil {
-			return err
+			w.fail(err)
+			return 0, w.failed
 		}
 	}
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
-	_, err := w.w.Write(crcBuf[:])
-	return err
+	if _, err := w.w.Write(crcBuf[:]); err != nil {
+		w.fail(err)
+		return 0, w.failed
+	}
+	w.seq++
+	return w.seq, nil
+}
+
+// syncTo blocks until every record up to lsn is fsynced, joining an
+// in-flight group fsync or leading a new one. Callers hold w.mu; the
+// lock is released for the fsync itself so appends keep flowing into
+// the buffer while the disk works.
+func (w *wal) syncTo(lsn uint64) error {
+	for {
+		if w.failed != nil {
+			return w.failed
+		}
+		if w.durable >= lsn {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		// Leader: flush the whole buffer — covering this waiter and
+		// everyone who appended since the last sync — then fsync once
+		// for the group.
+		w.syncing = true
+		if err := w.w.Flush(); err != nil {
+			w.syncing = false
+			w.fail(err)
+			return w.failed
+		}
+		target := w.seq
+		start := time.Now()
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.mu.Lock()
+		if w.metrics != nil {
+			if m := w.metrics.Load(); m != nil {
+				m.walFsync.Since(start)
+			}
+		}
+		w.syncing = false
+		if err != nil {
+			w.fail(err)
+			return w.failed
+		}
+		if target > w.durable {
+			w.durable = target
+		}
+		w.cond.Broadcast()
+	}
+}
+
+// waitDurable blocks until the record at lsn is on stable storage,
+// under policies that promise that at acknowledgement time. Callers
+// must not hold shard locks (fsync latency must never serialize a
+// shard).
+func (s *Store) waitDurable(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	s.walMu.Lock()
+	w := s.wal
+	s.walMu.Unlock()
+	if w == nil || w.policy != SyncGroupCommit {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncTo(lsn)
 }
 
 // SyncWAL flushes buffered log records and fsyncs the file. No-op
@@ -239,16 +499,30 @@ func (s *Store) SyncWAL() error {
 	if w == nil {
 		return nil
 	}
-	if m := s.metrics.Load(); m != nil {
-		defer m.walFsync.Since(time.Now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncTo(w.seq)
+}
+
+// WALErr returns the sticky journaling failure, if any. A non-nil
+// result means the on-disk log no longer reflects acknowledged state
+// and the store is refusing new journaled mutations (fail-stop); it
+// feeds the wal_failed gauge and the /healthz probe.
+func (s *Store) WALErr() error {
+	s.walMu.Lock()
+	w := s.wal
+	s.walMu.Unlock()
+	if w == nil {
+		return nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
-		return err
-	}
-	return w.f.Sync()
+	return w.failed
 }
+
+// WALReplayed returns the number of log records replayed into this
+// store by AttachWAL/Recover — the recovery volume metric.
+func (s *Store) WALReplayed() int64 { return s.walReplayed.Load() }
 
 // DetachWAL flushes, fsyncs, and closes the log; the store keeps its
 // contents and stops journaling.
@@ -256,12 +530,21 @@ func (s *Store) DetachWAL() error {
 	s.walMu.Lock()
 	w := s.wal
 	s.wal = nil
+	s.ckpt = nil
 	s.walMu.Unlock()
 	if w == nil {
 		return nil
 	}
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		w.f.Close()
+		return w.failed
+	}
 	if err := w.w.Flush(); err != nil {
 		w.f.Close()
 		return err
@@ -285,23 +568,30 @@ func (s *Store) CompactWAL() error {
 	w := s.wal
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed != nil {
+		return w.failed
+	}
+	for w.syncing {
+		w.cond.Wait()
+	}
 
 	tmpPath := w.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	tmp, err := w.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmpPath)
+	defer w.fs.Remove(tmpPath) //nolint:errcheck // gone after rename
 	bw := bufio.NewWriterSize(tmp, 1<<16)
 	if _, err := bw.Write(walMagic[:]); err != nil {
 		tmp.Close()
 		return err
 	}
-	fresh := &wal{f: tmp, w: bw, path: w.path}
+	fresh := &wal{fs: w.fs, f: tmp, w: bw, path: w.path}
+	fresh.cond = sync.NewCond(&fresh.mu)
 	var writeErr error
 	s.Range(func(key string, value []byte) bool {
 		// fresh.append locks fresh.mu; uncontended here.
-		if err := fresh.append(walOpPut, key, value); err != nil {
+		if _, err := fresh.append(walOpPut, key, value); err != nil {
 			writeErr = err
 			return false
 		}
@@ -319,14 +609,26 @@ func (s *Store) CompactWAL() error {
 		tmp.Close()
 		return err
 	}
-	if err := os.Rename(tmpPath, w.path); err != nil {
+	if err := w.fs.Rename(tmpPath, w.path); err != nil {
 		tmp.Close()
 		return err
 	}
-	// Swap the live handle to the compacted file.
+	// Make the rename itself durable: without the directory fsync a
+	// crash can roll the directory entry back to the pre-compaction
+	// log even though the data file was synced.
+	if err := w.fs.SyncDir(vfs.Dir(w.path)); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Swap the live handle to the compacted file. Its entire content
+	// is synced, so everything journaled so far is durable.
 	old := w.f
 	w.f = tmp
 	w.w = bw
+	if w.seq > w.durable {
+		w.durable = w.seq
+	}
+	w.cond.Broadcast()
 	old.Close()
 	return nil
 }

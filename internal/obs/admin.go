@@ -11,7 +11,7 @@ import (
 // AdminMux returns the operator endpoint for a deployment:
 //
 //	/metrics       Prometheus text exposition of reg
-//	/healthz       liveness probe (200 "ok")
+//	/healthz       health probe: 200 "ok", or 503 listing failed checks
 //	/slowlog       slowest retained requests, stage by stage
 //	/debug/pprof/  the standard Go profiling handlers
 //
@@ -25,6 +25,22 @@ func AdminMux(reg *Registry) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		results := reg.CheckHealth()
+		failed := false
+		for _, res := range results {
+			if res.Err != nil {
+				failed = true
+			}
+		}
+		if failed {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, res := range results {
+				if res.Err != nil {
+					fmt.Fprintf(w, "%s: %v\n", res.Name, res.Err)
+				}
+			}
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {

@@ -279,6 +279,9 @@ type Registry struct {
 	metrics map[string]*metric
 	slowMu  sync.Mutex
 	slow    map[string]*SlowLog
+
+	healthMu sync.Mutex
+	health   map[string]func() error
 }
 
 // NewRegistry returns an empty registry.
@@ -352,6 +355,53 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 		return
 	}
 	r.registerFunc(name, help, kindGauge, fn)
+}
+
+// Health registers a named liveness check, polled by the /healthz
+// admin endpoint at request time: a nil return means healthy, an
+// error marks the process unhealthy (503) with the error text in the
+// body. Re-registering a name replaces the check. No-op on a nil
+// registry.
+func (r *Registry) Health(name string, check func() error) {
+	if r == nil {
+		return
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	if r.health == nil {
+		r.health = make(map[string]func() error)
+	}
+	r.health[name] = check
+}
+
+// A HealthResult is one check's outcome at poll time.
+type HealthResult struct {
+	Name string
+	Err  error // nil when healthy
+}
+
+// CheckHealth polls every registered check and returns the results
+// sorted by name. A nil registry (or none registered) reports healthy.
+func (r *Registry) CheckHealth() []HealthResult {
+	if r == nil {
+		return nil
+	}
+	r.healthMu.Lock()
+	names := make([]string, 0, len(r.health))
+	checks := make([]func() error, 0, len(r.health))
+	for name := range r.health {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		checks = append(checks, r.health[name])
+	}
+	r.healthMu.Unlock()
+	out := make([]HealthResult, len(names))
+	for i, name := range names {
+		out[i] = HealthResult{Name: name, Err: checks[i]()}
+	}
+	return out
 }
 
 func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() int64) {

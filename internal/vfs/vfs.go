@@ -1,0 +1,145 @@
+// Package vfs abstracts the small filesystem surface the kvstore's
+// durability layer touches — open/rename/remove plus the two fsync
+// shapes crash consistency needs (file data and directory entries) —
+// so the same WAL, snapshot, and checkpoint code runs against the real
+// disk in production and against the crash-fault injector
+// (internal/crashfs) in tests. The surface is deliberately tiny: every
+// method corresponds to an operation whose crash semantics the
+// durability model in DESIGN.md §10 reasons about.
+package vfs
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// A File is an open file handle. Implementations must support
+// concurrent Write/Sync from different goroutines (the WAL's group
+// commit flushes from one goroutine while a leader fsyncs from
+// another).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Truncate changes the file size without moving the offset.
+	Truncate(size int64) error
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+}
+
+// An FS provides the filesystem operations the durability layer uses.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(dir string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations under it durable. POSIX does not guarantee a renamed
+	// file survives a crash until its parent directory is synced.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// OpenFile opens name with os.OpenFile semantics.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename renames (moves) oldpath to newpath.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes the named file.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates dir and any missing parents.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// SyncDir opens dir and fsyncs it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dir returns the directory component of path ("." if none), using
+// forward slashes only — the durability layer builds its own paths.
+func Dir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// WriteFileAtomic publishes a file crash-atomically: it writes the
+// content produced by write to a temporary sibling, fsyncs it, renames
+// it over path, and fsyncs the parent directory. After a crash,
+// readers of path see either the old content or the complete new
+// content, never a torn mix — the invariant every snapshot, manifest,
+// and counter-state save in the repo relies on.
+//
+// The temporary name is deterministic (path + ".tmp"), so callers must
+// serialize concurrent saves of the same path; every caller in the
+// repo already does.
+func WriteFileAtomic(fsys FS, path string, write func(w io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			fsys.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(Dir(path))
+}

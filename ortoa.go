@@ -15,6 +15,7 @@ import (
 	"ortoa/internal/kvstore"
 	"ortoa/internal/obs"
 	"ortoa/internal/transport"
+	"ortoa/internal/vfs"
 )
 
 // Protocol selects an ORTOA variant.
@@ -53,6 +54,31 @@ const (
 	// LBLWidePointPermute is y=4 with point-and-permute.
 	LBLWidePointPermute LBLVariant = "wide-point-permute"
 )
+
+// FsyncPolicy names a WAL durability policy: when journaled mutations
+// reach stable storage (DESIGN.md §10).
+type FsyncPolicy string
+
+// Fsync policies.
+const (
+	// FsyncNever leaves fsync scheduling to the caller (SyncWAL,
+	// checkpoints): acknowledged writes survive process death but not
+	// machine crashes.
+	FsyncNever FsyncPolicy = "never"
+	// FsyncInterval fsyncs on a background cadence; a crash loses at
+	// most one interval of acknowledged writes. Default.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncGroupCommit acknowledges a mutation only after its record
+	// is fsynced; concurrent writers share one fsync (durable-on-ack).
+	FsyncGroupCommit FsyncPolicy = "group-commit"
+)
+
+func (p FsyncPolicy) policy() (kvstore.SyncPolicy, error) {
+	if p == "" {
+		return kvstore.SyncInterval, nil
+	}
+	return kvstore.ParseSyncPolicy(string(p))
+}
 
 func (v LBLVariant) mode() (core.LBLMode, error) {
 	switch v {
@@ -135,8 +161,9 @@ func ServeMetrics(addr string, reg *obs.Registry) (*http.Server, error) {
 // plus the selected protocol's handlers. It learns neither values nor
 // operation types.
 type Server struct {
-	store *kvstore.Store
-	ts    *transport.Server
+	store    *kvstore.Store
+	ts       *transport.Server
+	stopCkpt func()
 }
 
 // NewServer builds a server for cfg.
@@ -194,8 +221,68 @@ func (s *Server) LoadSnapshot(path string) error { return s.store.LoadFile(path)
 
 // AttachWAL replays the write-ahead log at path into the store and
 // journals every subsequent record mutation, so a crashed server
-// restarts with its records intact. Call before Serve.
+// restarts with its records intact. Call before Serve. Mutations are
+// acknowledged from the OS buffer cache (FsyncNever); use
+// AttachWALPolicy or OpenState for a crash-durability guarantee.
 func (s *Server) AttachWAL(path string) error { return s.store.AttachWAL(path) }
+
+// AttachWALPolicy is AttachWAL with an explicit fsync policy.
+// FsyncInterval fsyncs every syncInterval (default 1s); a crash loses
+// at most that window of acknowledged writes. FsyncGroupCommit
+// acknowledges a mutation only after its record is fsynced, with
+// concurrent writers sharing one fsync — durable-on-ack.
+func (s *Server) AttachWALPolicy(path string, fsync FsyncPolicy, syncInterval time.Duration) error {
+	policy, err := fsync.policy()
+	if err != nil {
+		return err
+	}
+	return s.store.AttachWALOptions(path, kvstore.WALOptions{Policy: policy, Interval: syncInterval})
+}
+
+// DurabilityOptions configures OpenState.
+type DurabilityOptions struct {
+	// Fsync is the WAL fsync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// SyncInterval is the FsyncInterval flush cadence (default 1s).
+	SyncInterval time.Duration
+	// CheckpointInterval, when positive, runs background checkpoints —
+	// snapshot + WAL rotation — bounding recovery replay time. The
+	// returned stop function from StartCheckpoints is managed by Close.
+	CheckpointInterval time.Duration
+}
+
+// OpenState recovers the newest consistent checkpoint generation from
+// the state directory dir — snapshot plus WAL, with an interrupted
+// checkpoint rolled forward — and journals every subsequent mutation
+// there. A first run initializes the directory. When
+// opts.CheckpointInterval is positive, background checkpoints start
+// immediately and stop at Close. Call before Serve; OpenState and
+// AttachWAL are mutually exclusive.
+func (s *Server) OpenState(dir string, opts DurabilityOptions) error {
+	policy, err := opts.Fsync.policy()
+	if err != nil {
+		return err
+	}
+	if err := s.store.Recover(dir, kvstore.DurabilityOptions{
+		Policy:       policy,
+		SyncInterval: opts.SyncInterval,
+	}); err != nil {
+		return err
+	}
+	if opts.CheckpointInterval > 0 {
+		s.stopCkpt = s.store.StartCheckpoints(opts.CheckpointInterval)
+	}
+	return nil
+}
+
+// Checkpoint snapshots the store and rotates the WAL to a fresh
+// generation, retiring the previous pair (OpenState stores only). Safe
+// under concurrent traffic.
+func (s *Server) Checkpoint() error { return s.store.Checkpoint() }
+
+// Generation returns the committed checkpoint generation (OpenState
+// stores; 0 otherwise).
+func (s *Server) Generation() uint64 { return s.store.Generation() }
 
 // SyncWAL flushes and fsyncs the write-ahead log.
 func (s *Server) SyncWAL() error { return s.store.SyncWAL() }
@@ -208,8 +295,14 @@ func (s *Server) CompactWAL() error { return s.store.CompactWAL() }
 // DetachWAL flushes, fsyncs, and closes the log.
 func (s *Server) DetachWAL() error { return s.store.DetachWAL() }
 
-// Close stops serving.
-func (s *Server) Close() error { return s.ts.Close() }
+// Close stops serving and halts background checkpoints.
+func (s *Server) Close() error {
+	if s.stopCkpt != nil {
+		s.stopCkpt()
+		s.stopCkpt = nil
+	}
+	return s.ts.Close()
+}
 
 // ClientConfig configures the trusted side.
 type ClientConfig struct {
@@ -238,6 +331,15 @@ type ClientConfig struct {
 	// consistent. Reads and writes retry identically, so the retry
 	// pattern leaks no operation types.
 	RetryAttempts int
+	// ReconcileScan, when positive, lets the proxy recover from
+	// counter desynchronization after a crash (LBL only): on a stale
+	// rejection it probes up to this many counter steps each way to
+	// re-locate the server's position, instead of failing the key
+	// forever (§5.3.1). Probes are read-shaped, so recovery traffic
+	// leaks no operation types. Useful together with a server running
+	// a lossy fsync policy, or when resuming from a stale SaveState
+	// snapshot; zero disables.
+	ReconcileScan int
 	// Metrics, when non-nil, instruments the trusted side: transport
 	// and per-stage access metrics are registered with it (serve them
 	// with ServeMetrics). Nil runs without observability overhead.
@@ -301,7 +403,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 			rpc.Close()
 			return nil, err
 		}
-		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode}, f, rpc)
+		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode, ReconcileScan: cfg.ReconcileScan}, f, rpc)
 		if err != nil {
 			rpc.Close()
 			return nil, err
@@ -593,22 +695,18 @@ func (c *Client) ReadRange(start string, limit int) ([]KVPair, error) {
 }
 
 // SaveState persists trusted-side protocol state that cannot be
-// regenerated from the keys: the LBL access counters (§5.3.1). For the
-// stateless protocols it writes an empty counter table, so callers can
-// save/restore unconditionally. Quiesce accesses before saving.
+// regenerated from the keys: the LBL access counters (§5.3.1). The
+// write is crash-atomic (temp file, fsync, rename, directory fsync):
+// a crash mid-save leaves the previous snapshot intact, never a torn
+// one. For the stateless protocols SaveState is a no-op, so callers
+// can save unconditionally. Counters saved mid-traffic may trail the
+// server by the in-flight window; a client resuming from such a
+// snapshot needs ClientConfig.ReconcileScan to close the gap.
 func (c *Client) SaveState(path string) error {
 	if c.lblProxy == nil {
 		return nil
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
-	if err != nil {
-		return err
-	}
-	if err := c.lblProxy.SaveCounters(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return vfs.WriteFileAtomic(vfs.OS{}, path, c.lblProxy.SaveCounters)
 }
 
 // LoadState restores a SaveState file. Call before issuing accesses
