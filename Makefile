@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch crash experiments
+.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke crash experiments
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,20 @@ bench:
 # concurrent single-access fallback over a simulated WAN link.
 bench-batch:
 	$(GO) test -run XXX -bench 'Batch64' -benchtime 10x .
+
+# bench-json regenerates the machine-readable perf baseline: the LBL
+# table-build and recover kernels at 1 KiB values across 1/4/8 workers,
+# with ops/s, p50/p99, and allocation counts. Run on the target
+# hardware — the report records cpus_available, and the multicore
+# speedup claim only holds where the cores exist.
+bench-json:
+	$(GO) run ./cmd/ortoa-bench -experiment bench -bench-out BENCH_5.json
+
+# bench-smoke is the CI benchmark gate: one short pass over the kernel
+# and hot-path benchmarks, checking they still run (not their timings).
+bench-smoke:
+	$(GO) test -run XXX -bench 'Kernel1KiB|LBLBuildRequest|SealLabel|OpenLabel' -benchtime 5x ./internal/core/ ./internal/crypto/secretbox/
+	$(GO) run ./cmd/ortoa-bench -experiment bench -quick
 
 # crash runs the kill/restart durability experiment at full scale:
 # 50 seeded crash/recovery cycles under the group-commit WAL, the

@@ -39,6 +39,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "override client thread count")
 	out := flag.String("out", "", "also write results to this file")
 	format := flag.String("format", "text", "output format: text, csv, markdown")
+	benchOut := flag.String("bench-out", "", "write the 'bench' experiment's JSON report to this file")
 	flag.Parse()
 
 	if *list {
@@ -48,7 +49,7 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Quick: *quick, Keys: *keys, Ops: *ops, Concurrency: *concurrency}
+	opt := harness.Options{Quick: *quick, Keys: *keys, Ops: *ops, Concurrency: *concurrency, BenchOut: *benchOut}
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -110,3 +110,57 @@ func newBenchLBL(b *testing.B, mode LBLMode, valueSize int) (*rig, *LBLProxy, *L
 	r.store.Put(ek, rec)
 	return r, proxy, srv
 }
+
+// BenchmarkTableBuildKernel1KiB measures the headline perf kernel:
+// 1 KiB basic-mode encryption-table construction across worker counts.
+// CI runs this as a smoke check; BENCH_5.json records the calibrated
+// numbers (see `make bench-json`).
+func BenchmarkTableBuildKernel1KiB(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			k, err := NewTableBuildKernel(LBLConfig{ValueSize: 1024, Mode: LBLBasic}, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(k.TableBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.Op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoverKernel1KiB measures the server decrypt/install pass
+// plus proxy label recovery against prebuilt tables; table construction
+// happens outside the timer.
+func BenchmarkRecoverKernel1KiB(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			k, err := NewRecoverKernel(LBLConfig{ValueSize: 1024, Mode: LBLBasic}, 64, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			left := 0
+			for i := 0; i < b.N; i++ {
+				if left == 0 {
+					b.StopTimer()
+					if err := k.Prepare(); err != nil {
+						b.Fatal(err)
+					}
+					left = k.Window()
+					b.StartTimer()
+				}
+				if err := k.Op(); err != nil {
+					b.Fatal(err)
+				}
+				left--
+			}
+		})
+	}
+}

@@ -274,28 +274,39 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	var dBuild, dRPC time.Duration
 	var resp []byte
 	for attempt := 0; ; attempt++ {
-		req, err := p.buildRequest(op, key, newValue, entry.ct)
+		// The request buffer is pooled: framing allocates nothing in
+		// steady state. It is released after the RPC settles — except
+		// when the round is parked for at-most-once replay, which
+		// retains the bytes.
+		reqW := wire.GetWriter(p.cfg.RequestBytesPerAccess())
+		err := p.buildRequestInto(reqW, op, key, newValue, entry.ct)
 		if err != nil {
+			wire.PutWriter(reqW)
 			p.mx.errors.Inc()
 			return nil, stats, err
 		}
+		req := reqW.Bytes()
 		dBuild += sw.Lap(p.mx.build)
 		stats.PrepBytes = len(req)
 
 		id := p.client.NextID()
 		resp, err = p.client.CallContextID(context.Background(), id, MsgLBLAccess, req)
 		if err == nil {
+			wire.PutWriter(reqW)
 			break
 		}
 		if transport.Ambiguous(err) {
 			// The round may have executed; park it so the key's next
 			// access settles the outcome before trusting the counter.
+			// The parked round keeps the request bytes, so reqW is not
+			// returned to the pool.
 			entry.pending = &pendingRound{id: id, msgType: MsgLBLAccess, req: req,
 				op: op, value: pendingValue(op, newValue)}
 			p.mx.pendingSaved.Inc()
 			p.mx.errors.Inc()
 			return nil, stats, err
 		}
+		wire.PutWriter(reqW)
 		if attempt == 0 && p.cfg.ReconcileScan > 0 && isStaleRound(err) {
 			// A fresh stale rejection with no parked round means the
 			// counter and the server's record have desynchronized
@@ -343,51 +354,110 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	return value, stats, nil
 }
 
-// buildRequest constructs the encryption table for key at counter ct
-// (steps 1.1–1.5 of §5.2).
-func (p *LBLProxy) buildRequest(op Op, key string, newValue []byte, ct uint64) ([]byte, error) {
+// minGroupsPerWorker bounds the table-build and recovery fan-out:
+// below this many groups per worker the goroutine handoff costs more
+// than the crypto it offloads.
+const minGroupsPerWorker = 64
+
+// tableWorkers returns the worker count for a CPU-bound pass over a
+// groups-group table under GOMAXPROCS, never exceeding one worker per
+// minGroupsPerWorker groups.
+func tableWorkers(groups int) int {
+	w := runtime.GOMAXPROCS(0)
+	if cap := groups / minGroupsPerWorker; w > cap {
+		w = cap
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildRequestInto encodes the MsgLBLAccess request for key at counter
+// ct into w (steps 1.1–1.5 of §5.2).
+func (p *LBLProxy) buildRequestInto(w *wire.Writer, op Op, key string, newValue []byte, ct uint64) error {
 	cfg := p.cfg
-	w := wire.NewWriter(cfg.RequestBytesPerAccess())
 	ek := p.prf.EncodeKey(key)
 	w.Raw(ek[:])
 	w.Byte(byte(cfg.Mode))
 	w.Uvarint(uint64(cfg.Groups()))
 	w.Uvarint(uint64(cfg.Mode.entryLen()))
-	if err := p.appendAccessTable(w, key, op, newValue, ct, newCryptoShuffler()); err != nil {
+	return p.appendAccessTable(w, key, op, newValue, ct, tableWorkers(cfg.Groups()))
+}
+
+// buildRequest is the allocating form of buildRequestInto, used by the
+// cold paths (reconciliation probes, pending-round resolution) whose
+// requests may be retained indefinitely and so must not come from the
+// writer pool.
+func (p *LBLProxy) buildRequest(op Op, key string, newValue []byte, ct uint64) ([]byte, error) {
+	w := wire.NewWriter(p.cfg.RequestBytesPerAccess())
+	if err := p.buildRequestInto(w, op, key, newValue, ct); err != nil {
 		return nil, err
 	}
 	return w.Bytes(), nil
 }
 
 // appendAccessTable appends key's encryption table for counter ct to w
-// (steps 1.1–1.5 of §5.2). shuf supplies the step-1.5 shuffle
-// randomness; it must be crypto-strength (see shuffle.go), because a
-// predictable entry order would link table positions to plaintext bits.
-func (p *LBLProxy) appendAccessTable(w *wire.Writer, key string, op Op, newValue []byte, ct uint64, shuf *cryptoShuffler) error {
+// (steps 1.2–1.5 of §5.2), building it in place in w's buffer.
+func (p *LBLProxy) appendAccessTable(w *wire.Writer, key string, op Op, newValue []byte, ct uint64, workers int) error {
+	return p.buildAccessTable(w.Extend(p.cfg.TableBytes()), key, op, newValue, ct, workers)
+}
+
+// buildAccessTable fills table — exactly cfg.TableBytes() bytes — with
+// key's encryption table for counter ct, fanning group ranges out
+// across workers. Entry slots are fixed-size, so each worker seals
+// directly into its precomputed offsets; workers share nothing but the
+// read-only inputs, a cloned label generator each, and one lane each of
+// a seeded crypto-strength shuffle stream (see shuffle.go). The label
+// schedule and the entry-placement distribution are identical to the
+// sequential build, so the server-visible transcript distribution — and
+// with it the obliviousness argument — is unchanged. workers <= 1
+// builds inline, allocation-free.
+func (p *LBLProxy) buildAccessTable(table []byte, key string, op Op, newValue []byte, ct uint64, workers int) error {
+	groups := p.cfg.Groups()
+	gen := p.prf.LabelGen(key)
+	if workers > groups {
+		workers = groups
+	}
+	if workers <= 1 {
+		return p.buildGroupRange(table, gen, newCryptoShuffler(), op, newValue, ct, 0, groups)
+	}
+	seed := newShuffleSeed()
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		g0 := groups * wk / workers
+		g1 := groups * (wk + 1) / workers
+		wg.Add(1)
+		go func(wk, g0, g1 int) {
+			defer wg.Done()
+			errs[wk] = p.buildGroupRange(table, gen.Clone(), seed.stream(uint32(wk)), op, newValue, ct, g0, g1)
+		}(wk, g0, g1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildGroupRange seals groups [g0, g1) of the table into their slots
+// (steps 1.2–1.5 of §5.2 for those groups). gen and shuf are owned by
+// the caller — one per worker — so the loop body allocates nothing.
+func (p *LBLProxy) buildGroupRange(table []byte, gen *prf.LabelGen, shuf *cryptoShuffler, op Op, newValue []byte, ct uint64, g0, g1 int) error {
 	cfg := p.cfg
 	y := cfg.Mode.Y()
-	groups := cfg.Groups()
 	nEntries := cfg.Mode.entries()
 	entryLen := cfg.Mode.entryLen()
-	gen := p.prf.LabelGen(key)
+	sealer := secretbox.NewLabelSealer()
 
 	var olds, news [16]prf.Output
 	var plain [prf.Size + 1]byte
-	// Scratch buffers for the shuffled variants: one per entry slot,
-	// reused across groups, so sealing allocates nothing per group.
-	var scratch [16][]byte
-	for i := range scratch[:nEntries] {
-		scratch[i] = make([]byte, 0, entryLen)
-	}
-	var sealErr error
-	// One closure for every table entry: sealKey/plain are set before
-	// each Append call, avoiding a closure allocation per entry.
-	var sealKey []byte
-	appendEntry := func(dst []byte) []byte {
-		dst, sealErr = secretbox.AppendSealLabel(dst, sealKey, plain[:])
-		return dst
-	}
-	for g := 0; g < groups; g++ {
+	var perm [16]int
+	for g := g0; g < g1; g++ {
+		slots := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
 		for b := 0; b < nEntries; b++ {
 			olds[b] = gen.Label(g, uint8(b), ct)
 			news[b] = gen.Label(g, uint8(b), ct+1)
@@ -412,35 +482,28 @@ func (p *LBLProxy) appendAccessTable(w *wire.Writer, key string, op Op, newValue
 				}
 				copy(plain[:prf.Size], news[target][:])
 				plain[prf.Size] = target ^ rNew
-				sealKey = olds[b][:]
-				w.Append(appendEntry)
-				if sealErr != nil {
-					return sealErr
+				if err := sealer.SealInto(slots[e*entryLen:(e+1)*entryLen], olds[b][:], plain[:]); err != nil {
+					return err
 				}
 			}
 			continue
 		}
 
-		// Basic / space-optimized: seal per bit value, then shuffle so
-		// position leaks nothing (step 1.5). The permutation must be
-		// cryptographically unpredictable — entries are generated in
-		// bit-value order, so a guessable shuffle would leak plaintext
+		// Basic / space-optimized: entries are generated in bit-value
+		// order, so each is sealed directly into a uniformly random slot
+		// (step 1.5). The slot permutation must be cryptographically
+		// unpredictable — a guessable placement would leak plaintext
 		// bits by position.
+		shuf.perm(nEntries, perm[:])
 		for b := 0; b < nEntries; b++ {
 			target := uint8(b)
 			if op == OpWrite {
 				target = newBits
 			}
-			scratch[b], sealErr = secretbox.AppendSealLabel(scratch[b][:0], olds[b][:], news[target][:])
-			if sealErr != nil {
-				return sealErr
+			slot := perm[b]
+			if err := sealer.SealInto(slots[slot*entryLen:(slot+1)*entryLen], olds[b][:], news[target][:]); err != nil {
+				return err
 			}
-		}
-		shuf.shuffle(nEntries, func(i, j int) {
-			scratch[i], scratch[j] = scratch[j], scratch[i]
-		})
-		for _, ctext := range scratch[:nEntries] {
-			w.Raw(ctext)
 		}
 	}
 	return nil
@@ -451,27 +514,46 @@ func (p *LBLProxy) appendAccessTable(w *wire.Writer, key string, op Op, newValue
 // integrity check: every returned label must be one the proxy could
 // have generated.
 func (p *LBLProxy) recover(op Op, key string, newValue []byte, ctNew uint64, resp []byte) ([]byte, error) {
+	return p.recoverWorkers(op, key, newValue, ctNew, resp, tableWorkers(p.cfg.Groups()))
+}
+
+// recoverWorkers is recover with an explicit fan-out: group ranges are
+// recovered across workers, each with a cloned label generator. Ranges
+// are aligned to whole value bytes because setGroupBits read-modify-
+// writes its byte — two workers must never share one.
+func (p *LBLProxy) recoverWorkers(op Op, key string, newValue []byte, ctNew uint64, resp []byte, workers int) ([]byte, error) {
 	cfg := p.cfg
-	y := cfg.Mode.Y()
 	groups := cfg.Groups()
 	if len(resp) != groups*prf.Size {
 		return nil, fmt.Errorf("%w: response has %d bytes, want %d", ErrTampered, len(resp), groups*prf.Size)
 	}
 	gen := p.prf.LabelGen(key)
 	value := make([]byte, cfg.ValueSize)
-	var got prf.Output
-	for g := 0; g < groups; g++ {
-		copy(got[:], resp[g*prf.Size:])
-		matched := false
-		for b := 0; b < cfg.Mode.entries(); b++ {
-			if got.Equal(gen.Label(g, uint8(b), ctNew)) {
-				setGroupBits(value, g, y, uint8(b))
-				matched = true
-				break
-			}
+	if workers > cfg.ValueSize {
+		workers = cfg.ValueSize
+	}
+	if workers <= 1 {
+		if err := p.recoverRange(value, resp, gen, ctNew, 0, groups); err != nil {
+			return nil, err
 		}
-		if !matched {
-			return nil, fmt.Errorf("%w: group %d label unrecognized", ErrTampered, g)
+	} else {
+		groupsPerByte := 8 / cfg.Mode.Y()
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			b0 := cfg.ValueSize * wk / workers
+			b1 := cfg.ValueSize * (wk + 1) / workers
+			wg.Add(1)
+			go func(wk, g0, g1 int) {
+				defer wg.Done()
+				errs[wk] = p.recoverRange(value, resp, gen.Clone(), ctNew, g0, g1)
+			}(wk, b0*groupsPerByte, b1*groupsPerByte)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if op == OpWrite {
@@ -483,6 +565,30 @@ func (p *LBLProxy) recover(op Op, key string, newValue []byte, ctNew uint64, res
 		}
 	}
 	return value, nil
+}
+
+// recoverRange recovers groups [g0, g1) of value from the response
+// labels (§5.4 check included).
+func (p *LBLProxy) recoverRange(value, resp []byte, gen *prf.LabelGen, ctNew uint64, g0, g1 int) error {
+	cfg := p.cfg
+	y := cfg.Mode.Y()
+	nEntries := cfg.Mode.entries()
+	var got prf.Output
+	for g := g0; g < g1; g++ {
+		copy(got[:], resp[g*prf.Size:])
+		matched := false
+		for b := 0; b < nEntries; b++ {
+			if got.Equal(gen.Label(g, uint8(b), ctNew)) {
+				setGroupBits(value, g, y, uint8(b))
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("%w: group %d label unrecognized", ErrTampered, g)
+		}
+	}
+	return nil
 }
 
 // A BatchOp is one operation of an AccessBatch. For OpWrite, Value must
@@ -647,36 +753,41 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 	sw.Lap(p.mx.batchAcquire)
 	p.mx.batchKeys.Add(int64(len(idxs)))
 
-	// Build every key's ek‖table segment in parallel — each builder has
-	// its own writer and shuffler — then splice the segments into the
-	// frame. Table construction is the proxy's dominant CPU cost (2·ℓ
-	// PRFs plus 2^y·ℓ/y seals per key, §6.3.3), so it must not serialize
-	// behind a single core when the concurrent fallback would not.
-	segments := make([][]byte, len(idxs))
-	buildErrs := make([]error, len(idxs))
-	forEachBatched(len(idxs), func(i int) {
-		op := ops[idxs[i]]
-		sw := wire.NewWriter(prf.Size + cfg.TableBytes())
-		ek := p.prf.EncodeKey(op.Key)
-		sw.Raw(ek[:])
-		buildErrs[i] = p.appendAccessTable(sw, op.Key, op.Op, op.Value, entries[i].ct, newCryptoShuffler())
-		segments[i] = sw.Bytes()
-	})
-	for _, err := range buildErrs {
-		if err != nil {
-			return stats, err
-		}
-	}
-	sw.Lap(p.mx.batchBuild)
-
-	w := wire.NewWriter(cfg.BatchRequestBytes(len(idxs)))
+	// Build every key's ek‖table segment in parallel, sealing directly
+	// into the frame: segments are fixed-size, so each builder owns a
+	// precomputed byte range of the pooled request buffer — no per-key
+	// writers, no splice pass. Table construction is the proxy's
+	// dominant CPU cost (2·ℓ PRFs plus 2^y·ℓ/y seals per key, §6.3.3),
+	// so it must not serialize behind a single core when the concurrent
+	// fallback would not. The batch already fans out across keys; inner
+	// per-table workers only multiply up to the core count when the
+	// batch is smaller than the machine.
+	w := wire.GetWriter(cfg.BatchRequestBytes(len(idxs)))
 	w.Byte(byte(cfg.Mode))
 	w.Uvarint(uint64(groups))
 	w.Uvarint(uint64(cfg.Mode.entryLen()))
 	w.Uvarint(uint64(len(idxs)))
-	for _, seg := range segments {
-		w.Raw(seg)
+	segLen := prf.Size + cfg.TableBytes()
+	segs := w.Extend(len(idxs) * segLen)
+	inner := runtime.GOMAXPROCS(0) / len(idxs)
+	if inner < 1 {
+		inner = 1
 	}
+	buildErrs := make([]error, len(idxs))
+	forEachBatched(len(idxs), func(i int) {
+		op := ops[idxs[i]]
+		seg := segs[i*segLen : (i+1)*segLen]
+		ek := p.prf.EncodeKey(op.Key)
+		copy(seg, ek[:])
+		buildErrs[i] = p.buildAccessTable(seg[prf.Size:], op.Key, op.Op, op.Value, entries[i].ct, inner)
+	})
+	for _, err := range buildErrs {
+		if err != nil {
+			wire.PutWriter(w)
+			return stats, err
+		}
+	}
+	sw.Lap(p.mx.batchBuild)
 	stats.PrepBytes = w.Len()
 
 	id := p.client.NextID()
@@ -687,16 +798,20 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 			// The whole chunk is ambiguous. Park the same round on every
 			// key, sharing the request bytes; each key settles its own
 			// slice of the outcome on its next access (replays of one id
-			// dedup to a single execution server-side).
+			// dedup to a single execution server-side). The parked
+			// rounds keep the request bytes — w stays out of the pool.
 			for i, e := range entries {
 				op := ops[idxs[i]]
 				e.pending = &pendingRound{id: id, msgType: MsgLBLAccessBatch, req: req,
 					batch: true, pos: i, op: op.Op, value: pendingValue(op.Op, op.Value)}
 			}
 			p.mx.pendingSaved.Add(int64(len(entries)))
+			return stats, err
 		}
+		wire.PutWriter(w)
 		return stats, err
 	}
+	wire.PutWriter(w)
 	sw.Lap(p.mx.batchRPC)
 	stats.RespBytes = len(resp)
 
@@ -730,7 +845,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 			return
 		}
 		op := ops[idxs[i]]
-		recovered[i], recoverErrs[i] = p.recover(op.Op, op.Key, op.Value, entries[i].ct+1, labelSlices[i])
+		recovered[i], recoverErrs[i] = p.recoverWorkers(op.Op, op.Key, op.Value, entries[i].ct+1, labelSlices[i], inner)
 	})
 	sw.Lap(p.mx.batchRecover)
 

@@ -120,71 +120,110 @@ func readGeometry(r *wire.Reader) (tableGeometry, error) {
 // failures below must carry it.
 const staleTableMarker = "stale access table"
 
+// recPool recycles server-side record buffers: each successful access
+// displaces the store's previous record slice — same length, exclusively
+// ours once the update commits — which becomes a later access's
+// new-record buffer. Steady-state record churn then allocates nothing.
+var recPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // accessOne executes steps 2.1–2.2 of §5.2 for one key: atomically
 // decrypt the table entries the stored labels open and install the
-// recovered new labels, returning them as the response.
-func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table []byte) ([]byte, error) {
+// recovered new labels. The new labels are written to labelsOut, which
+// must be groups × prf.Size bytes and is owned by the caller — batch
+// handlers point workers at disjoint ranges of one response-sized
+// buffer.
+func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table, labelsOut []byte) error {
 	if s.mx.enabled {
 		defer s.mx.access.Since(time.Now())
 	}
 	mode, groups, entryLen, nEntries := geo.mode, geo.groups, geo.entryLen, geo.nEntries
-	resp := make([]byte, 0, groups*prf.Size)
+	// Trial decryptions are counted locally and published once per
+	// access: a per-entry atomic add is a cross-core cacheline ping-pong
+	// when batch workers run in parallel.
+	var attempts int64
+	var plainBuf [prf.Size + 1]byte
+	plain := plainBuf[:mode.entryPlainLen()]
+	bp := recPool.Get().(*[]byte)
+	applied := false
 	err := s.store.Update(encKey, func(old []byte) ([]byte, error) {
 		rec, err := parseLBLRecord(old, mode, groups)
 		if err != nil {
 			return nil, err
 		}
-		newRec := make([]byte, len(old))
+		newRec := *bp
+		if cap(newRec) < len(old) {
+			newRec = make([]byte, len(old))
+		} else {
+			newRec = newRec[:len(old)]
+		}
+		*bp = newRec
 		newRec[0] = byte(mode)
 		newLabels := newRec[1 : 1+groups*prf.Size]
 		var newDbits []byte
 		if mode.hasDbits() {
 			newDbits = newRec[1+groups*prf.Size:]
 		}
-		scratch := make([]byte, 0, mode.entryPlainLen())
+		sealer := secretbox.NewLabelSealer()
 		for g := 0; g < groups; g++ {
 			stored := rec.labels[g*prf.Size : (g+1)*prf.Size]
 			entries := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
-			var plain []byte
+			// Every trial in a group opens under the same stored label,
+			// so the pad is derived once and each trial is a tag
+			// comparison — up to 2^y−1 hashes saved per group on the
+			// try-all path.
+			opener, oerr := sealer.Opener(stored)
+			if oerr != nil {
+				return nil, oerr
+			}
 			if mode.hasDbits() {
 				// Point-and-permute: exactly one decryption, at the
 				// stored entry index.
 				d := int(rec.dbits[g]) & (nEntries - 1)
-				s.decryptAttempts.Add(1)
-				plain, err = secretbox.AppendOpenLabel(scratch[:0], stored, entries[d*entryLen:(d+1)*entryLen])
-				if err != nil {
+				attempts++
+				if derr := opener.OpenInto(plain, entries[d*entryLen:(d+1)*entryLen]); derr != nil {
 					return nil, fmt.Errorf("core: %s: group %d entry %d undecryptable", staleTableMarker, g, d)
 				}
 				newDbits[g] = plain[prf.Size]
 			} else {
-				// Try each shuffled entry; authenticated encryption
+				// Try each shuffled entry; the recognition tag
 				// identifies the one our label opens (§5.2 step 2.1).
-				plain = nil
+				hit := false
 				for e := 0; e < nEntries; e++ {
-					s.decryptAttempts.Add(1)
-					p, derr := secretbox.AppendOpenLabel(scratch[:0], stored, entries[e*entryLen:(e+1)*entryLen])
-					if derr == nil {
-						plain = p
+					attempts++
+					if derr := opener.OpenInto(plain, entries[e*entryLen:(e+1)*entryLen]); derr == nil {
+						hit = true
 						break
 					}
 				}
-				if plain == nil {
+				if !hit {
 					return nil, fmt.Errorf("core: %s: group %d: no table entry decryptable", staleTableMarker, g)
 				}
 			}
 			copy(newLabels[g*prf.Size:], plain[:prf.Size])
 		}
-		resp = append(resp, newLabels...)
+		copy(labelsOut, newLabels)
+		// Hand the store the new record; the displaced old slice is
+		// recycled below once the update commits.
+		*bp = old
+		applied = true
 		return newRec, nil
 	})
+	if err != nil && applied {
+		// The closure succeeded but journaling or the durability wait
+		// failed; the store may retain either buffer, so recycle
+		// neither.
+		*bp = nil
+	}
+	recPool.Put(bp)
 	if errors.Is(err, kvstore.ErrNotFound) {
-		return nil, ErrNotFound
+		return ErrNotFound
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.ops.Add(1)
-	return resp, nil
+	s.decryptAttempts.Add(attempts)
+	return nil
 }
 
 func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
@@ -204,7 +243,13 @@ func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
-	return s.accessOne(string(encKey), geo, table)
+	// The response is retained by the transport's at-most-once dedup
+	// cache, so it must be freshly allocated, never pooled.
+	labels := make([]byte, geo.groups*prf.Size)
+	if err := s.accessOne(string(encKey), geo, table, labels); err != nil {
+		return nil, err
+	}
+	return labels, nil
 }
 
 // maxBatchAccesses bounds one batch frame's key count, limiting the
@@ -244,11 +289,11 @@ func (s *LBLServer) handleAccessBatch(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	type result struct {
-		labels []byte
-		err    error
-	}
-	results := make([]result, n)
+	// One label buffer for the whole batch: workers write into disjoint
+	// per-key ranges, so the fan-out costs one allocation rather than n.
+	stride := geo.groups * prf.Size
+	labelsBuf := make([]byte, n*stride)
+	errs := make([]error, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -264,22 +309,23 @@ func (s *LBLServer) handleAccessBatch(payload []byte) ([]byte, error) {
 				if i >= n {
 					return
 				}
-				labels, err := s.accessOne(keys[i], geo, tables[i])
-				results[i] = result{labels: labels, err: err}
+				errs[i] = s.accessOne(keys[i], geo, tables[i], labelsBuf[i*stride:(i+1)*stride])
 			}
 		}()
 	}
 	wg.Wait()
 
-	out := wire.NewWriter(n * (1 + geo.groups*prf.Size))
-	for i := range results {
-		if results[i].err != nil {
+	// Like handleAccess, the assembled response is retained by the
+	// transport's dedup cache — not poolable.
+	out := wire.NewWriter(n * (1 + stride))
+	for i := range errs {
+		if errs[i] != nil {
 			out.Byte(1)
-			out.String(results[i].err.Error())
+			out.String(errs[i].Error())
 			continue
 		}
 		out.Byte(0)
-		out.Raw(results[i].labels)
+		out.Raw(labelsBuf[i*stride : (i+1)*stride])
 	}
 	return out.Bytes(), nil
 }

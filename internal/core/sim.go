@@ -79,43 +79,44 @@ func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
 	w.Uvarint(uint64(groups))
 	w.Uvarint(uint64(entryLen))
 
+	// Scratch shared across groups: the valid entry's plaintext, one
+	// junk-key buffer, the all-zeros junk plaintext, and the slot
+	// permutation. Entries are sealed directly into the frame at
+	// permuted slots, mirroring the real proxy's build — per group only
+	// the retained new label allocates.
 	shuf := newCryptoShuffler()
+	sealer := secretbox.NewLabelSealer()
+	table := w.Extend(cfg.TableBytes())
+	plain := make([]byte, plainLen)
+	junkKey := make([]byte, prf.Size)
+	zeroPlain := make([]byte, plainLen)
+	var perm [16]int
 	for g := 0; g < groups; g++ {
 		nl, err := randomLabel()
 		if err != nil {
 			return nil, err
 		}
-		entries := make([][]byte, 0, nEntries)
+		// Like the real proxy's step 1.5, the simulator's entry order
+		// must be cryptographically unpredictable — the single openable
+		// entry is generated first, so a guessable placement would
+		// distinguish simulated transcripts.
+		shuf.perm(nEntries, perm[:])
+		slots := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
 		// One valid entry: Enc_{ol}(nl ‖ pad).
-		plain := make([]byte, plainLen)
 		copy(plain, nl)
-		valid, err := secretbox.SealLabel(labels[g], plain)
-		if err != nil {
+		if err := sealer.SealInto(slots[perm[0]*entryLen:(perm[0]+1)*entryLen], labels[g], plain); err != nil {
 			return nil, err
 		}
-		entries = append(entries, valid)
 		// 2^y − 1 entries of zeros under fresh labels the server
 		// cannot open.
 		for e := 1; e < nEntries; e++ {
-			junkKey, err := randomLabel()
-			if err != nil {
+			if _, err := rand.Read(junkKey); err != nil {
 				return nil, err
 			}
-			junk, err := secretbox.SealLabel(junkKey, make([]byte, plainLen))
-			if err != nil {
+			slot := perm[e]
+			if err := sealer.SealInto(slots[slot*entryLen:(slot+1)*entryLen], junkKey, zeroPlain); err != nil {
 				return nil, err
 			}
-			entries = append(entries, junk)
-		}
-		// Like the real proxy's step 1.5, the simulator's entry order
-		// must be cryptographically unpredictable — the single openable
-		// entry sits at index 0 before this shuffle, so a guessable
-		// permutation would distinguish simulated transcripts.
-		shuf.shuffle(len(entries), func(i, j int) {
-			entries[i], entries[j] = entries[j], entries[i]
-		})
-		for _, e := range entries {
-			w.Raw(e)
 		}
 		// The simulator's server now stores the new label.
 		labels[g] = nl

@@ -149,6 +149,16 @@ func (p *PRF) LabelGen(key string) *LabelGen {
 	return &LabelGen{block: block}
 }
 
+// Clone returns an independent generator over the same object's label
+// schedule. The underlying AES block cipher is stateless after key
+// expansion and is shared; only the scratch buffers are per-instance.
+// Cloning therefore skips the HMAC key derivation and AES key schedule
+// of LabelGen — the parallel table build hands one clone to each of its
+// workers, and the clones derive labels concurrently.
+func (g *LabelGen) Clone() *LabelGen {
+	return &LabelGen{block: g.block}
+}
+
 // labelBlock packs (domain, bits, group, ct) injectively into one AES
 // block: byte 0 carries the domain tag and bit pattern, bytes 1–7 the
 // group index, bytes 8–15 the counter.

@@ -2,6 +2,7 @@ package prf
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -127,5 +128,55 @@ func TestQuickEncodeKeyInjectiveish(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCloneSameSchedule(t *testing.T) {
+	p := NewRandom()
+	gen := p.LabelGen("obj")
+	clone := gen.Clone()
+	for g := 0; g < 64; g++ {
+		for b := uint8(0); b < 4; b++ {
+			if gen.Label(g, b, 7) != clone.Label(g, b, 7) {
+				t.Fatalf("clone label (%d,%d) diverges", g, b)
+			}
+		}
+		if gen.PermuteBits(g, 7) != clone.PermuteBits(g, 7) {
+			t.Fatalf("clone permute bits %d diverge", g)
+		}
+	}
+}
+
+func TestCloneConcurrentUse(t *testing.T) {
+	// Clones must be independently usable in parallel: each carries its
+	// own scratch over the shared (stateless) block cipher. Run under
+	// -race this is the whole point.
+	p := NewRandom()
+	gen := p.LabelGen("obj")
+	want := gen.Label(3, 1, 9)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := gen.Clone()
+			for i := 0; i < 500; i++ {
+				if c.Label(3, 1, 9) != want {
+					t.Error("concurrent clone produced wrong label")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLabelZeroAllocs(t *testing.T) {
+	p := NewRandom()
+	gen := p.LabelGen("obj")
+	if allocs := testing.AllocsPerRun(200, func() {
+		gen.Label(5, 1, 42)
+	}); allocs != 0 {
+		t.Errorf("Label allocates %v times per op, want 0", allocs)
 	}
 }

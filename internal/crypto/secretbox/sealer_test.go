@@ -1,0 +1,160 @@
+package secretbox
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func randBytes(t *testing.T, n int) []byte {
+	t.Helper()
+	p := make([]byte, n)
+	if _, err := rand.Read(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The in-place sealer must be byte-compatible with SealLabel: both sides
+// of the wire may mix the two code paths across versions.
+func TestLabelSealerMatchesSealLabel(t *testing.T) {
+	label := randBytes(t, 16)
+	for _, n := range []int{0, 1, 16, MaxLabelPlaintext} {
+		plaintext := randBytes(t, n)
+		want, err := SealLabel(label, plaintext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewLabelSealer()
+		got := make([]byte, n+LabelTagSize)
+		if err := s.SealInto(got, label, plaintext); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("plaintext len %d: SealInto = %x, SealLabel = %x", n, got, want)
+		}
+	}
+}
+
+func TestLabelOpenerRoundTripAndCompat(t *testing.T) {
+	label := randBytes(t, 16)
+	plaintext := randBytes(t, 17)
+	sealed, err := SealLabel(label, plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewLabelSealer()
+	o, err := s.Opener(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(plaintext))
+	if err := o.OpenInto(got, sealed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Errorf("OpenInto = %x, want %x", got, plaintext)
+	}
+	// And the symmetric direction: OpenLabel opens SealInto output.
+	sealed2 := make([]byte, len(plaintext)+LabelTagSize)
+	if err := s.SealInto(sealed2, label, plaintext); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := OpenLabel(label, sealed2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, plaintext) {
+		t.Errorf("OpenLabel(SealInto) = %x, want %x", got2, plaintext)
+	}
+}
+
+func TestLabelOpenerRejects(t *testing.T) {
+	label := randBytes(t, 16)
+	plaintext := randBytes(t, 16)
+	s := NewLabelSealer()
+	sealed := make([]byte, len(plaintext)+LabelTagSize)
+	if err := s.SealInto(sealed, label, plaintext); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(plaintext))
+
+	wrong, err := s.Opener(randBytes(t, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.OpenInto(dst, sealed); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("wrong label: err = %v, want ErrDecrypt", err)
+	}
+
+	right, err := s.Opener(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x01
+		// Flips in the pad-covered prefix change the plaintext, not the
+		// tag; only tag flips are detectable — same contract as
+		// OpenLabel, which the §5.4 proxy-side integrity check covers.
+		if i >= len(plaintext) {
+			if err := right.OpenInto(dst, mut); !errors.Is(err, ErrDecrypt) {
+				t.Errorf("tag flip at %d: err = %v, want ErrDecrypt", i, err)
+			}
+		}
+	}
+
+	if err := right.OpenInto(dst, sealed[:LabelTagSize-1]); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("short input: err = %v, want ErrDecrypt", err)
+	}
+	if err := right.OpenInto(make([]byte, len(plaintext)+1), sealed); err == nil {
+		t.Error("mis-sized dst accepted")
+	}
+}
+
+func TestLabelSealerSizeChecks(t *testing.T) {
+	s := NewLabelSealer()
+	buf := make([]byte, 64)
+	if err := s.SealInto(buf[:16+LabelTagSize], make([]byte, 15), make([]byte, 16)); err == nil {
+		t.Error("short label accepted")
+	}
+	if err := s.SealInto(buf, make([]byte, 16), make([]byte, MaxLabelPlaintext+1)); err == nil {
+		t.Error("oversized plaintext accepted")
+	}
+	if err := s.SealInto(buf[:10], make([]byte, 16), make([]byte, 16)); err == nil {
+		t.Error("mis-sized dst accepted")
+	}
+	if _, err := s.Opener(make([]byte, 8)); err == nil {
+		t.Error("Opener accepted short label")
+	}
+}
+
+// The sealer/opener pair exists to make the table-build and
+// trial-decryption hot loops allocation-free; pin that property.
+func TestLabelSealerZeroAllocs(t *testing.T) {
+	label := randBytes(t, 16)
+	plaintext := randBytes(t, 17)
+	s := NewLabelSealer()
+	dst := make([]byte, len(plaintext)+LabelTagSize)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := s.SealInto(dst, label, plaintext); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("SealInto allocates %v times per op, want 0", allocs)
+	}
+
+	out := make([]byte, len(plaintext))
+	if allocs := testing.AllocsPerRun(200, func() {
+		o, err := s.Opener(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.OpenInto(out, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Opener+OpenInto allocates %v times per op, want 0", allocs)
+	}
+}

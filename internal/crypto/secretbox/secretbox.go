@@ -174,3 +174,88 @@ func AppendOpenLabel(dst, label, sealed []byte) ([]byte, error) {
 	}
 	return dst, nil
 }
+
+// A LabelSealer is the allocation-free fast path for bulk label
+// sealing: it keeps the domain-separation prefix preloaded in a
+// reusable hash input and writes ciphertexts into caller-owned slots
+// instead of appending. LBL-ORTOA's table build seals 2^y·ℓ/y
+// fixed-size entries per access into precomputed offsets of one
+// request buffer; with a sealer that inner loop performs zero
+// allocations. Output bytes are identical to SealLabel's, so the wire
+// format is unchanged.
+//
+// A LabelSealer is NOT safe for concurrent use (it carries the hash
+// input scratch); each table-build or recovery worker owns one.
+type LabelSealer struct {
+	in [len(labelDomain) + 16]byte
+}
+
+// NewLabelSealer returns a ready sealer. The zero value is not usable.
+func NewLabelSealer() LabelSealer {
+	var s LabelSealer
+	copy(s.in[:], labelDomain)
+	return s
+}
+
+// pad derives the one-time pad-and-tag block for label, reusing the
+// sealer's preloaded hash input.
+func (s *LabelSealer) pad(label []byte) [sha256.Size]byte {
+	copy(s.in[len(labelDomain):], label)
+	return sha256.Sum256(s.in[:])
+}
+
+// SealInto writes the SealLabel ciphertext of plaintext under the
+// 16-byte one-time label into dst, which must be exactly
+// len(plaintext)+LabelTagSize bytes. It allocates nothing.
+func (s *LabelSealer) SealInto(dst, label, plaintext []byte) error {
+	if len(label) != 16 {
+		return fmt.Errorf("secretbox: label must be 16 bytes, got %d", len(label))
+	}
+	if len(plaintext) > MaxLabelPlaintext {
+		return fmt.Errorf("secretbox: label plaintext %d exceeds %d bytes", len(plaintext), MaxLabelPlaintext)
+	}
+	if len(dst) != len(plaintext)+LabelTagSize {
+		return fmt.Errorf("secretbox: seal slot is %d bytes, want %d", len(dst), len(plaintext)+LabelTagSize)
+	}
+	pad := s.pad(label)
+	subtle.XORBytes(dst, plaintext, pad[:len(plaintext)])
+	copy(dst[len(plaintext):], pad[sha256.Size-LabelTagSize:])
+	return nil
+}
+
+// A LabelOpener amortizes trial decryption under one label. LBL-ORTOA's
+// server holds a single stored label per group and tries up to 2^y
+// table entries against it; the label's pad — the one SHA-256 in the
+// construction — need only be computed once for all of those trials,
+// where calling OpenLabel per entry would recompute it each time.
+type LabelOpener struct {
+	pad [sha256.Size]byte
+}
+
+// Opener derives the trial-decryption state for a 16-byte label.
+func (s *LabelSealer) Opener(label []byte) (LabelOpener, error) {
+	if len(label) != 16 {
+		return LabelOpener{}, fmt.Errorf("secretbox: label must be 16 bytes, got %d", len(label))
+	}
+	return LabelOpener{pad: s.pad(label)}, nil
+}
+
+// OpenInto attempts to open sealed into dst, which must be exactly
+// len(sealed)-LabelTagSize bytes. It returns ErrDecrypt (with dst
+// untouched) when the opener's label does not match — the common case
+// for the server's trial decryption — and allocates nothing on any
+// path.
+func (o *LabelOpener) OpenInto(dst, sealed []byte) error {
+	n := len(sealed) - LabelTagSize
+	if n < 0 || n > MaxLabelPlaintext {
+		return ErrDecrypt
+	}
+	if len(dst) != n {
+		return fmt.Errorf("secretbox: open slot is %d bytes, want %d", len(dst), n)
+	}
+	if subtle.ConstantTimeCompare(sealed[n:], o.pad[sha256.Size-LabelTagSize:]) != 1 {
+		return ErrDecrypt
+	}
+	subtle.XORBytes(dst, sealed[:n], o.pad[:n])
+	return nil
+}

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ortoa/internal/core"
+)
+
+// This file implements the "bench" experiment: machine-readable
+// microbenchmarks of the two LBL-ORTOA CPU kernels (table build and
+// recover/apply) across worker counts, written as JSON so CI and the
+// perf baseline (BENCH_5.json) can compare runs mechanically.
+
+// A BenchPoint is one measured kernel configuration.
+type BenchPoint struct {
+	Workers     int     `json:"workers"`
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// A BenchReport is the bench experiment's JSON document.
+type BenchReport struct {
+	ValueSize  int          `json:"value_size"`
+	Mode       string       `json:"mode"`
+	NumCPU     int          `json:"cpus_available"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	TableBuild []BenchPoint `json:"table_build"`
+	Recover    []BenchPoint `json:"recover"`
+	// TableBuildSpeedup8w is ops/s at 8 workers over ops/s at 1 worker.
+	// It only reflects multicore scaling when cpus_available >= 8;
+	// regenerate with `make bench-json` on the target hardware.
+	TableBuildSpeedup8w float64 `json:"table_build_speedup_8w_vs_1w"`
+	Note                string  `json:"note,omitempty"`
+}
+
+// benchWorkerCounts are the fan-outs BENCH_5.json records.
+var benchWorkerCounts = []int{1, 4, 8}
+
+// measureKernel times ops calls of run, returning throughput, latency
+// quantiles, and heap churn per op.
+func measureKernel(ops int, run func() error) (BenchPoint, error) {
+	lat := make([]time.Duration, ops)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		t0 := time.Now()
+		if err := run(); err != nil {
+			return BenchPoint{}, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(ops-1))
+		return float64(lat[i]) / float64(time.Microsecond)
+	}
+	return BenchPoint{
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		P50Micros:   q(0.50),
+		P99Micros:   q(0.99),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}, nil
+}
+
+// Bench measures the table-build and recover kernels at 1 KiB values
+// in basic mode (the ISSUE-5 baseline configuration) across worker
+// counts, and writes the JSON report to opt.BenchOut if set.
+func Bench(opt Options) (*Table, error) {
+	valueSize := 1024
+	buildOps := 300
+	recoverWindows := 6
+	window := 32
+	if opt.Quick {
+		valueSize = 64
+		buildOps = 30
+		recoverWindows = 2
+		window = 8
+	}
+	cfg := core.LBLConfig{ValueSize: valueSize, Mode: core.LBLBasic}
+
+	report := BenchReport{
+		ValueSize:  valueSize,
+		Mode:       cfg.Mode.String(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if report.NumCPU < 8 {
+		report.Note = fmt.Sprintf("only %d CPU(s) available: multi-worker points measure goroutine overhead, not parallel speedup; regenerate on >=8 cores for the scaling claim", report.NumCPU)
+	}
+
+	// Worker counts above GOMAXPROCS cannot run in parallel; raise the
+	// limit for the duration so an 8-worker point on an 8-core box
+	// actually uses 8 cores.
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	for _, workers := range benchWorkerCounts {
+		if workers > prevProcs {
+			runtime.GOMAXPROCS(workers)
+		}
+		k, err := core.NewTableBuildKernel(cfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		k.Op() // warm the writer pool and page in the table
+		pt, err := measureKernel(buildOps, k.Op)
+		if err != nil {
+			return nil, err
+		}
+		pt.Workers = workers
+		report.TableBuild = append(report.TableBuild, pt)
+
+		rk, err := core.NewRecoverKernel(cfg, window, workers)
+		if err != nil {
+			return nil, err
+		}
+		rlat := make([]BenchPoint, 0, recoverWindows)
+		for w := 0; w < recoverWindows; w++ {
+			if err := rk.Prepare(); err != nil {
+				return nil, err
+			}
+			rp, err := measureKernel(rk.Window(), rk.Op)
+			if err != nil {
+				return nil, err
+			}
+			rlat = append(rlat, rp)
+		}
+		// Merge the windows: total ops over total time, worst quantiles.
+		var merged BenchPoint
+		merged.Workers = workers
+		var totalSec float64
+		for _, rp := range rlat {
+			merged.Ops += rp.Ops
+			totalSec += float64(rp.Ops) / rp.OpsPerSec
+			merged.BytesPerOp += rp.BytesPerOp * float64(rp.Ops)
+			merged.AllocsPerOp += rp.AllocsPerOp * float64(rp.Ops)
+			if rp.P50Micros > merged.P50Micros {
+				merged.P50Micros = rp.P50Micros
+			}
+			if rp.P99Micros > merged.P99Micros {
+				merged.P99Micros = rp.P99Micros
+			}
+		}
+		merged.OpsPerSec = float64(merged.Ops) / totalSec
+		merged.BytesPerOp /= float64(merged.Ops)
+		merged.AllocsPerOp /= float64(merged.Ops)
+		report.Recover = append(report.Recover, merged)
+		runtime.GOMAXPROCS(prevProcs)
+	}
+
+	if len(report.TableBuild) >= 3 && report.TableBuild[0].OpsPerSec > 0 {
+		report.TableBuildSpeedup8w = report.TableBuild[2].OpsPerSec / report.TableBuild[0].OpsPerSec
+	}
+
+	if opt.BenchOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(opt.BenchOut, blob, 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID:      "bench",
+		Title:   fmt.Sprintf("LBL kernel microbenchmarks (%dB values, %s)", valueSize, report.Mode),
+		Columns: []string{"kernel", "workers", "ops/s", "p50 us", "p99 us", "B/op", "allocs/op"},
+	}
+	for _, pt := range report.TableBuild {
+		t.AddRow("table-build", fmt.Sprint(pt.Workers), fmt.Sprintf("%.0f", pt.OpsPerSec),
+			fmt.Sprintf("%.0f", pt.P50Micros), fmt.Sprintf("%.0f", pt.P99Micros),
+			fmt.Sprintf("%.0f", pt.BytesPerOp), fmt.Sprintf("%.1f", pt.AllocsPerOp))
+	}
+	for _, pt := range report.Recover {
+		t.AddRow("recover", fmt.Sprint(pt.Workers), fmt.Sprintf("%.0f", pt.OpsPerSec),
+			fmt.Sprintf("%.0f", pt.P50Micros), fmt.Sprintf("%.0f", pt.P99Micros),
+			fmt.Sprintf("%.0f", pt.BytesPerOp), fmt.Sprintf("%.1f", pt.AllocsPerOp))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("table-build speedup 8w vs 1w: %.2fx on %d CPU(s)", report.TableBuildSpeedup8w, report.NumCPU))
+	if report.Note != "" {
+		t.Notes = append(t.Notes, report.Note)
+	}
+	return t, nil
+}

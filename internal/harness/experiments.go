@@ -23,6 +23,9 @@ type Options struct {
 	// Concurrency overrides the client thread count (0 = default 32,
 	// the paper's default).
 	Concurrency int
+	// BenchOut, when non-empty, is a path the "bench" experiment writes
+	// its machine-readable JSON report to (see BENCH_5.json).
+	BenchOut string
 }
 
 func (o Options) keys() int {

@@ -38,6 +38,7 @@ var Experiments = []Experiment{
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},
 	{"stages", "measured LBL per-stage latency breakdown (Fig 3c companion)", Stages},
+	{"bench", "LBL kernel microbenchmarks with JSON output (perf baseline)", Bench},
 }
 
 // Lookup returns the experiment with the given id.

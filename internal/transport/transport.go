@@ -112,9 +112,20 @@ func Ambiguous(err error) bool {
 	return !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrClosed)
 }
 
+// maxPooledFrameBuf caps the coalesce buffers the frame pool retains;
+// rare multi-megabyte batch frames are left to the garbage collector
+// rather than pinned for the process lifetime.
+const maxPooledFrameBuf = 4 << 20
+
+// frameBufPool recycles the per-frame coalesce buffer of writeFrame.
+// net.Conn.Write must not retain its argument past return, so the
+// buffer's ownership round-trips cleanly: taken, filled, written,
+// returned. The pool stores *[]byte to avoid boxing on Put.
+var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // writeFrame emits one frame as exactly one conn.Write call: header
-// and payload are coalesced into a single buffer. One write per frame
-// costs large frames an extra copy, but it buys two things: one
+// and payload are coalesced into a single pooled buffer. One write per
+// frame costs large frames an extra copy, but it buys two things: one
 // syscall (and one TCP segment under TCP_NODELAY) for the common small
 // frame, and frame-atomic failure semantics — a transport whose writes
 // can be dropped whole (netsim partitions, a userspace proxy's queue
@@ -134,10 +145,14 @@ func writeFrame(w io.Writer, session, id uint64, msgType, flags byte, payload []
 		_, err := w.Write(hdr[:])
 		return err
 	}
-	buf := make([]byte, 0, headerSize+len(payload))
-	buf = append(buf, hdr[:]...)
+	bp := frameBufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], hdr[:]...)
 	buf = append(buf, payload...)
+	*bp = buf
 	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledFrameBuf {
+		frameBufPool.Put(bp)
+	}
 	return err
 }
 
@@ -282,7 +297,6 @@ func (s *Server) Serve(l net.Listener) error {
 			conn.Close() // raced with Close; refuse the connection
 			continue
 		}
-		s.conns.Add(1)
 		go func() {
 			defer s.conns.Done()
 			defer s.untrack(conn)
@@ -300,6 +314,10 @@ func (s *Server) track(conn net.Conn) bool {
 		return false
 	}
 	s.open[conn] = struct{}{}
+	// The shutdown WaitGroup is incremented under the same lock that
+	// Close's closed-flag flip takes: an Add after the flip cannot
+	// happen, so Add never races Close's Wait.
+	s.conns.Add(1)
 	if m := s.metrics.Load(); m != nil {
 		m.connsOpen.Inc()
 	}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Decode errors.
@@ -37,6 +38,37 @@ type Writer struct {
 // NewWriter returns a Writer with capacity pre-allocated for n bytes.
 func NewWriter(n int) *Writer {
 	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// maxPooledWriter caps the buffers the writer pool retains; outliers
+// (multi-megabyte batch frames) are left to the garbage collector
+// rather than pinned for the process lifetime.
+const maxPooledWriter = 4 << 20
+
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// GetWriter returns a pooled Writer with at least n bytes of capacity,
+// reset to empty. Hot encode paths (one frame per access) use the pool
+// so steady-state framing allocates nothing; release with PutWriter.
+func GetWriter(n int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < n {
+		w.buf = make([]byte, 0, n)
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not retain w or any
+// slice aliasing its buffer (Bytes, Extend results) past this call; a
+// message that outlives the call (e.g. one parked for at-most-once
+// replay) must simply not be released.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledWriter {
+		return
+	}
+	writerPool.Put(w)
 }
 
 // Bytes returns the encoded message. The slice aliases the Writer's
@@ -95,6 +127,23 @@ func (w *Writer) String(s string) {
 
 // Raw appends p verbatim with no length prefix.
 func (w *Writer) Raw(p []byte) { w.buf = append(w.buf, p...) }
+
+// Extend appends n bytes to the buffer and returns the appended region
+// for the caller to fill in place — the zero-copy path for encoders
+// that write directly into a frame (e.g. the parallel LBL table build,
+// which seals entries into precomputed offsets). The region's contents
+// are unspecified (the buffer may be pooled); the caller must overwrite
+// every byte before the message is sent. The returned slice aliases the
+// Writer's buffer and is invalidated by further writes.
+func (w *Writer) Extend(n int) []byte {
+	l := len(w.buf)
+	if n <= cap(w.buf)-l {
+		w.buf = w.buf[:l+n]
+	} else {
+		w.buf = append(w.buf, make([]byte, n)...)
+	}
+	return w.buf[l : l+n]
+}
 
 // Append passes the writer's buffer to f, which must only extend it by
 // appending; the returned slice replaces the buffer. It lets encoders

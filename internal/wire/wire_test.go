@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -181,5 +182,64 @@ func TestQuickFixedWidthRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	w := NewWriter(8)
+	w.Byte(0xAA)
+	region := w.Extend(4)
+	if len(region) != 4 {
+		t.Fatalf("Extend returned %d bytes, want 4", len(region))
+	}
+	copy(region, []byte{1, 2, 3, 4})
+	w.Byte(0xBB)
+	want := []byte{0xAA, 1, 2, 3, 4, 0xBB}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Errorf("Bytes = %x, want %x", w.Bytes(), want)
+	}
+	// Growth path: extending beyond capacity must still return a
+	// writable window of the final buffer.
+	w2 := NewWriter(2)
+	w2.Byte(7)
+	r2 := w2.Extend(100)
+	r2[99] = 42
+	if got := w2.Bytes(); len(got) != 101 || got[0] != 7 || got[100] != 42 {
+		t.Errorf("grown Extend: len=%d first=%d last=%d", len(got), got[0], got[100])
+	}
+}
+
+func TestWriterPoolReuse(t *testing.T) {
+	w := GetWriter(64)
+	w.Raw(bytes.Repeat([]byte{0xFF}, 64))
+	PutWriter(w)
+	// A pooled writer comes back empty regardless of prior contents.
+	w2 := GetWriter(32)
+	if w2.Len() != 0 {
+		t.Errorf("pooled writer not reset: len=%d", w2.Len())
+	}
+	PutWriter(w2)
+	// Oversized buffers must not be pinned by the pool.
+	big := GetWriter(maxPooledWriter + 1)
+	PutWriter(big) // must not panic; buffer is dropped
+	PutWriter(nil) // tolerated
+}
+
+// The batched-frame hot path — get a pooled writer, extend, fill,
+// release — must be allocation-free in steady state.
+func TestWriterPoolZeroAllocs(t *testing.T) {
+	const frame = 4096
+	// Warm the pool (and pin to one P so the same pooled writer is seen
+	// by every iteration).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	PutWriter(GetWriter(frame))
+	if allocs := testing.AllocsPerRun(200, func() {
+		w := GetWriter(frame)
+		region := w.Extend(frame)
+		region[0] = 1
+		region[frame-1] = 2
+		PutWriter(w)
+	}); allocs != 0 {
+		t.Errorf("pooled frame encode allocates %v times per op, want 0", allocs)
 	}
 }
