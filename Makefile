@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke crash experiments
+.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke aggregate-smoke crash experiments
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ bench-json:
 bench-smoke:
 	$(GO) test -run XXX -bench 'Kernel1KiB|LBLBuildRequest|SealLabel|OpenLabel' -benchtime 5x ./internal/core/ ./internal/crypto/secretbox/
 	$(GO) run ./cmd/ortoa-bench -experiment bench -quick
+
+# aggregate-smoke runs the cross-session aggregation experiment in
+# quick mode: 64 single-key sessions through the coalescing window vs
+# the per-request path over a simulated London link (DESIGN.md §12).
+aggregate-smoke:
+	$(GO) run ./cmd/ortoa-bench -experiment aggregate -quick
 
 # crash runs the kill/restart durability experiment at full scale:
 # 50 seeded crash/recovery cycles under the group-commit WAL, the

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ortoa"
+	"ortoa/internal/core"
 	"ortoa/internal/obs"
 	"ortoa/internal/workload"
 )
@@ -40,8 +41,11 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", 0, "per-attempt deadline for server RPCs, e.g. 500ms (0 disables)")
 	retries := flag.Int("retries", 0, "total attempts per server RPC; at-most-once retries (<2 disables)")
 	loadSynthetic := flag.Int("load-synthetic", 0, "bulk-load N synthetic records at startup")
-	statePath := flag.String("state", "", "LBL access-counter state file (restored at startup, saved on SIGINT)")
+	statePath := flag.String("state", "", "LBL access-counter state file (restored at startup, saved on shutdown)")
 	stateEvery := flag.Duration("state-interval", 0, "also save -state crash-atomically this often, bounding the counter-loss window (0 disables)")
+	aggWindow := flag.Duration("agg-window", 0, "coalesce concurrent client accesses into shared batch round trips, waiting at most this long per window (LBL; 0 disables)")
+	aggMaxBatch := flag.Int("agg-max-batch", 0, "dispatch an aggregation window early at this many accesses (0 = default 64)")
+	aggMaxPending := flag.Int("agg-max-pending", 0, "reject client accesses beyond this many admitted-but-unanswered (0 = default 4x max-batch)")
 	reconcileScan := flag.Int("reconcile-scan", 0, "probe up to N counter steps to reconcile after crash desync, e.g. when resuming from a stale -state snapshot (LBL; 0 disables)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
@@ -118,36 +122,69 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("proxying protocol=%s server=%s on %s", *protocol, *serverAddr, l.Addr())
+	if *aggWindow > 0 {
+		maxBatch := *aggMaxBatch
+		if maxBatch <= 0 {
+			maxBatch = core.DefaultAggMaxBatch
+		}
+		log.Printf("aggregating client accesses: window=%s max-batch=%d", *aggWindow, maxBatch)
+	}
 
+	stopSaver := make(chan struct{})
 	if *statePath != "" && *stateEvery > 0 {
 		// Periodic crash-atomic saves bound the counter state lost to a
 		// proxy crash to one interval; -reconcile-scan closes the
-		// remaining gap on restart.
+		// remaining gap on restart. The ticker is stopped on shutdown;
+		// SaveState itself serializes against the final shutdown save.
+		ticker := time.NewTicker(*stateEvery)
 		go func() {
-			for range time.Tick(*stateEvery) {
-				if err := client.SaveState(*statePath); err != nil {
-					log.Printf("saving counter state: %v", err)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := client.SaveState(*statePath); err != nil {
+						log.Printf("saving counter state: %v", err)
+					}
+				case <-stopSaver:
+					return
 				}
 			}
 		}()
 	}
 
+	serveErr := make(chan error, 1)
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-		<-sig
-		if *statePath != "" {
-			if err := client.SaveState(*statePath); err != nil {
-				log.Printf("saving counter state: %v", err)
-			} else {
-				log.Printf("saved LBL counters to %s", *statePath)
-			}
-		}
-		l.Close()
-		os.Exit(0)
+		serveErr <- client.ServeProxyOptions(l, ortoa.ProxyServeOptions{
+			AggWindow:     *aggWindow,
+			AggMaxBatch:   *aggMaxBatch,
+			AggMaxPending: *aggMaxPending,
+		})
 	}()
 
-	if err := client.ServeProxy(l); err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s; draining", s)
+	case err := <-serveErr:
 		log.Printf("proxy stopped: %v", err)
+	}
+	close(stopSaver)
+
+	// Graceful shutdown: Close stops the listener, drains accepted
+	// client connections (in-flight accesses complete) and flushes
+	// aggregation windows before releasing the server connections —
+	// only then is the final counter snapshot taken, so it reflects
+	// every acknowledged access. Returning (not os.Exit) lets the
+	// deferred admin.Close run.
+	if err := client.Close(); err != nil {
+		log.Printf("closing client: %v", err)
+	}
+	if *statePath != "" {
+		if err := client.SaveState(*statePath); err != nil {
+			log.Printf("saving counter state: %v", err)
+		} else {
+			log.Printf("saved LBL counters to %s", *statePath)
+		}
 	}
 }

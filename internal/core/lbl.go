@@ -637,11 +637,74 @@ func (p *LBLProxy) AccessBatch(ops []BatchOp) ([][]byte, AccessStats, error) {
 		}
 	}
 
+	all := make([]int, len(ops))
+	for i := range all {
+		all[i] = i
+	}
+	values := make([][]byte, len(ops))
+	firstErr := p.accessBatchIndices(ops, all, values, make([]error, len(ops)), &stats)
+	return values, stats, firstErr
+}
+
+// A BatchResult is one access's outcome within a batched round: the
+// value (the stored value for a read, the written value echoed for a
+// write) or that access's individual error.
+type BatchResult struct {
+	Value []byte
+	Err   error
+}
+
+// AccessBatchResults is AccessBatch with per-access outcomes instead
+// of first-error-wins: every access's value or error is reported at
+// its own index, and an invalid op (unknown op code, wrong write
+// size) fails only itself — the rest of the batch still runs. It
+// exists for front ends that multiplex independent sessions into one
+// frame (the Aggregator): one session's unloaded key must not fail
+// its window mates.
+func (p *LBLProxy) AccessBatchResults(ops []BatchOp) ([]BatchResult, AccessStats) {
+	var stats AccessStats
+	results := make([]BatchResult, len(ops))
+	if p.client == nil {
+		err := fmt.Errorf("core: LBL proxy has no server connection")
+		for i := range results {
+			results[i].Err = err
+		}
+		return results, stats
+	}
+	valid := make([]int, 0, len(ops))
+	for i := range ops {
+		switch ops[i].Op {
+		case OpRead:
+			valid = append(valid, i)
+		case OpWrite:
+			if len(ops[i].Value) != p.cfg.ValueSize {
+				results[i].Err = fmt.Errorf("batch op %d (%q): %w", i, ops[i].Key, ErrValueSize)
+				continue
+			}
+			valid = append(valid, i)
+		default:
+			results[i].Err = fmt.Errorf("core: batch op %d: unknown op %d", i, ops[i].Op)
+		}
+	}
+	values := make([][]byte, len(ops))
+	errs := make([]error, len(ops))
+	p.accessBatchIndices(ops, valid, values, errs, &stats)
+	for _, i := range valid {
+		results[i] = BatchResult{Value: values[i], Err: errs[i]}
+	}
+	return results, stats
+}
+
+// accessBatchIndices runs the accesses ops[include...] through the
+// wave/chunk pipeline, filling values and errs at the original
+// indices, and returns the first error in chunk-processing order.
+// Callers have already validated the included ops.
+func (p *LBLProxy) accessBatchIndices(ops []BatchOp, include []int, values [][]byte, errs []error, stats *AccessStats) error {
 	// Wave w holds the w-th occurrence of each key, so duplicate keys
 	// never share a frame (their counters must advance between them).
-	occurrence := make(map[string]int, len(ops))
+	occurrence := make(map[string]int, len(include))
 	var waves [][]int
-	for i := range ops {
+	for _, i := range include {
 		w := occurrence[ops[i].Key]
 		occurrence[ops[i].Key] = w + 1
 		if w == len(waves) {
@@ -655,7 +718,6 @@ func (p *LBLProxy) AccessBatch(ops []BatchOp) ([][]byte, AccessStats, error) {
 		maxPerCall = 1
 	}
 
-	values := make([][]byte, len(ops))
 	var firstErr error
 	for _, wave := range waves {
 		// Deterministic lock order: counters are acquired in sorted key
@@ -666,7 +728,7 @@ func (p *LBLProxy) AccessBatch(ops []BatchOp) ([][]byte, AccessStats, error) {
 			if end > len(wave) {
 				end = len(wave)
 			}
-			st, err := p.accessBatchChunk(ops, wave[start:end], values)
+			st, err := p.accessBatchChunk(ops, wave[start:end], values, errs)
 			stats.PrepBytes += st.PrepBytes
 			stats.RespBytes += st.RespBytes
 			if err != nil && firstErr == nil {
@@ -674,7 +736,7 @@ func (p *LBLProxy) AccessBatch(ops []BatchOp) ([][]byte, AccessStats, error) {
 			}
 		}
 	}
-	return values, stats, firstErr
+	return firstErr
 }
 
 // batchWorkers returns the worker count for the CPU-bound stages of a
@@ -723,11 +785,21 @@ func forEachBatched(n int, fn func(i int)) {
 // accessBatchChunk performs one MsgLBLAccessBatch RPC for the accesses
 // ops[idxs...], whose keys are unique and sorted. It fills values at
 // the original indices and commits the counter of every access the
-// server completed.
-func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) (AccessStats, error) {
+// server completed. Per-access failures are recorded in errs at the
+// original indices; a failure before the frame is sent (or a
+// transport failure of the frame itself) fails every access in the
+// chunk, since none of them ran.
+func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, errs []error) (AccessStats, error) {
 	var stats AccessStats
 	cfg := p.cfg
 	groups := cfg.Groups()
+	failChunk := func(err error) {
+		for _, idx := range idxs {
+			if errs[idx] == nil {
+				errs[idx] = err
+			}
+		}
+	}
 
 	sw := obs.StartWatch(p.mx.enabled)
 	entries := make([]*counterEntry, len(idxs))
@@ -746,6 +818,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 	for i, idx := range idxs {
 		if entries[i].pending != nil {
 			if err := p.resolvePending(ops[idx].Key, entries[i]); err != nil {
+				failChunk(err)
 				return stats, err
 			}
 		}
@@ -784,6 +857,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 	for _, err := range buildErrs {
 		if err != nil {
 			wire.PutWriter(w)
+			failChunk(err)
 			return stats, err
 		}
 	}
@@ -806,9 +880,11 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 					batch: true, pos: i, op: op.Op, value: pendingValue(op.Op, op.Value)}
 			}
 			p.mx.pendingSaved.Add(int64(len(entries)))
+			failChunk(err)
 			return stats, err
 		}
 		wire.PutWriter(w)
+		failChunk(err)
 		return stats, err
 	}
 	wire.PutWriter(w)
@@ -833,7 +909,9 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 		}
 	}
 	if err := r.Finish(); err != nil {
-		return stats, fmt.Errorf("%w: malformed batch response: %v", ErrTampered, err)
+		err = fmt.Errorf("%w: malformed batch response: %v", ErrTampered, err)
+		failChunk(err)
+		return stats, err
 	}
 
 	// Second pass, parallel: recover each value from its labels (2^y·ℓ/y
@@ -855,14 +933,16 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte) 
 		if failed[i] {
 			// Per-key failure: the server left this record untouched,
 			// so the counter must not advance.
+			errs[idx] = fmt.Errorf("core: batch access %q: %w", op.Key, &transport.RemoteError{Msg: remoteMsgs[i]})
 			if firstErr == nil {
-				firstErr = fmt.Errorf("core: batch access %q: %w", op.Key, &transport.RemoteError{Msg: remoteMsgs[i]})
+				firstErr = errs[idx]
 			}
 			continue
 		}
 		if recoverErrs[i] != nil {
+			errs[idx] = fmt.Errorf("core: batch access %q: %w", op.Key, recoverErrs[i])
 			if firstErr == nil {
-				firstErr = fmt.Errorf("core: batch access %q: %w", op.Key, recoverErrs[i])
+				firstErr = errs[idx]
 			}
 			continue
 		}

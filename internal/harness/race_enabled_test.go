@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in, so
+// measured-throughput assertions can stand down: instrumentation
+// multiplies CPU-bound stage costs and invalidates timing claims.
+const raceEnabled = true

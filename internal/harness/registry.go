@@ -33,6 +33,7 @@ var Experiments = []Experiment{
 	{"ablation-fhe-relin", "FHE-ORTOA with vs without relinearization (extension)", FHERelinAblation},
 	{"ablation-zipf", "LBL-ORTOA under Zipfian key skew (extension)", ZipfAblation},
 	{"batch", "batched access pipeline vs concurrent singles (extension)", BatchPipeline},
+	{"aggregate", "cross-session aggregation window vs per-request proxying (extension)", Aggregate},
 	{"chaos", "mixed workload under injected transport faults (robustness extension)", Chaos},
 	{"crash", "repeated kill/restart under durable-on-ack group commit (robustness extension)", Crash},
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},

@@ -366,6 +366,19 @@ type Client struct {
 	// §8.2-style range reads over primary keys.
 	dirMu     sync.RWMutex
 	directory []string
+
+	// saveMu serializes SaveState writers: WriteFileAtomic's temporary
+	// name is deterministic, so two concurrent saves of one path would
+	// race on the same temp file.
+	saveMu sync.Mutex
+
+	// proxyMu guards the proxy front ends started by ServeProxy, so
+	// Close can stop their listeners, drain accepted end-user
+	// connections, and flush aggregation windows.
+	proxyMu     sync.Mutex
+	proxySrvs   []*transport.Server
+	proxyAggs   []*core.Aggregator
+	proxyClosed bool
 }
 
 // NewClient connects a client using dial (e.g. a net.Dialer bound to
@@ -683,15 +696,21 @@ func (c *Client) ReadRange(start string, limit int) ([]KVPair, error) {
 	if limit <= 0 {
 		return nil, nil
 	}
+	return c.ReadBatch(c.rangeKeys(start, limit))
+}
+
+// rangeKeys returns up to limit directory keys at or after start, in
+// sorted order — the directory walk ReadRange (and the sharded
+// merge) rides on.
+func (c *Client) rangeKeys(start string, limit int) []string {
 	c.dirMu.RLock()
+	defer c.dirMu.RUnlock()
 	idx := sort.SearchStrings(c.directory, start)
 	end := idx + limit
 	if end > len(c.directory) {
 		end = len(c.directory)
 	}
-	keys := append([]string(nil), c.directory[idx:end]...)
-	c.dirMu.RUnlock()
-	return c.ReadBatch(keys)
+	return append([]string(nil), c.directory[idx:end]...)
 }
 
 // SaveState persists trusted-side protocol state that cannot be
@@ -702,10 +721,14 @@ func (c *Client) ReadRange(start string, limit int) ([]KVPair, error) {
 // can save unconditionally. Counters saved mid-traffic may trail the
 // server by the in-flight window; a client resuming from such a
 // snapshot needs ClientConfig.ReconcileScan to close the gap.
+// Concurrent SaveState calls (for example a periodic saver racing a
+// shutdown save) serialize internally.
 func (c *Client) SaveState(path string) error {
 	if c.lblProxy == nil {
 		return nil
 	}
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
 	return vfs.WriteFileAtomic(vfs.OS{}, path, c.lblProxy.SaveCounters)
 }
 
@@ -725,16 +748,87 @@ func (c *Client) LoadState(path string) error {
 
 // ServeProxy exposes this trusted client as a network proxy: end
 // users connect to l and route oblivious accesses through it (the
-// deployment model of §2.1). It blocks until Close.
+// deployment model of §2.1). It blocks until Close, which stops the
+// listener and drains accepted end-user connections.
 func (c *Client) ServeProxy(l net.Listener) error {
+	return c.ServeProxyOptions(l, ProxyServeOptions{})
+}
+
+// ProxyServeOptions tunes a proxy front end started with
+// ServeProxyOptions. The zero value proxies each end-user request as
+// its own access round trip.
+type ProxyServeOptions struct {
+	// AggWindow, when positive, turns on cross-session access
+	// aggregation (ProtocolLBL only): concurrent end-user requests are
+	// coalesced into shared MsgLBLAccessBatch round trips. A window
+	// dispatches at most AggWindow after its first access arrives —
+	// the latency each access may pay to buy the amortization.
+	AggWindow time.Duration
+	// AggMaxBatch dispatches a window early once it holds this many
+	// accesses (default core DefaultAggMaxBatch, 64).
+	AggMaxBatch int
+	// AggMaxPending bounds admitted-but-unanswered accesses; arrivals
+	// beyond it are rejected with an overload error instead of
+	// queueing unboundedly (default 4×AggMaxBatch).
+	AggMaxPending int
+}
+
+// ServeProxyOptions is ServeProxy with explicit front-end options.
+// It blocks until Close.
+func (c *Client) ServeProxyOptions(l net.Listener, opts ProxyServeOptions) error {
+	accessor := c.accessor
+	var agg *core.Aggregator
+	if opts.AggWindow > 0 {
+		if c.lblProxy == nil {
+			return fmt.Errorf("ortoa: access aggregation requires ProtocolLBL")
+		}
+		agg = core.NewAggregator(core.AggregatorConfig{
+			Window:     opts.AggWindow,
+			MaxBatch:   opts.AggMaxBatch,
+			MaxPending: opts.AggMaxPending,
+		}, c.lblProxy)
+		agg.Instrument(c.metrics)
+		accessor = agg
+	}
 	ts := transport.NewServer()
 	ts.Instrument(c.metrics)
-	core.RegisterProxyService(ts, c.accessor)
+	core.RegisterProxyService(ts, accessor)
+	c.proxyMu.Lock()
+	if c.proxyClosed {
+		c.proxyMu.Unlock()
+		if agg != nil {
+			agg.Close()
+		}
+		return transport.ErrClosed
+	}
+	c.proxySrvs = append(c.proxySrvs, ts)
+	if agg != nil {
+		c.proxyAggs = append(c.proxyAggs, agg)
+	}
+	c.proxyMu.Unlock()
 	return ts.Serve(l)
 }
 
-// Close releases the client's connections.
-func (c *Client) Close() error { return c.rpc.Close() }
+// Close shuts the client down gracefully: proxy front ends started
+// with ServeProxy stop accepting, accepted end-user connections drain
+// (their in-flight accesses complete and are answered), aggregation
+// windows flush, and only then are the connections to the server
+// released. Close is idempotent and safe to call concurrently with
+// serving.
+func (c *Client) Close() error {
+	c.proxyMu.Lock()
+	srvs, aggs := c.proxySrvs, c.proxyAggs
+	c.proxySrvs, c.proxyAggs = nil, nil
+	c.proxyClosed = true
+	c.proxyMu.Unlock()
+	for _, ts := range srvs {
+		ts.Close()
+	}
+	for _, agg := range aggs {
+		agg.Close()
+	}
+	return c.rpc.Close()
+}
 
 // A ProxyClient is an end-user handle that routes requests through a
 // trusted proxy started with ServeProxy. It holds no secrets.

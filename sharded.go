@@ -3,6 +3,7 @@ package ortoa
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 )
 
@@ -120,6 +121,35 @@ func (s *ShardedClient) ReadBatch(keys []string) ([]KVPair, error) {
 	default:
 		return out, nil
 	}
+}
+
+// ReadRange reads up to limit consecutive keys starting at start
+// (inclusive) in global primary-key order, like Client.ReadRange but
+// across the partition: each shard contributes its next candidates
+// from its own key directory, the candidates merge into one sorted
+// run, and the first limit of them are fetched with ReadBatch — so
+// the range costs at most one round trip per touched shard. Hash
+// partitioning scatters consecutive keys across shards, which is
+// exactly why the merge (rather than any single shard's directory)
+// defines the global order.
+func (s *ShardedClient) ReadRange(start string, limit int) ([]KVPair, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	// Each shard's next `limit` keys ≥ start together cover the global
+	// next `limit`: every global candidate lives on some shard, and no
+	// shard needs to contribute more than limit of them. Keys are
+	// unique across shards (each key has one owning shard), so the
+	// merged run has no duplicates.
+	var candidates []string
+	for _, c := range s.shards {
+		candidates = append(candidates, c.rangeKeys(start, limit)...)
+	}
+	sort.Strings(candidates)
+	if len(candidates) > limit {
+		candidates = candidates[:limit]
+	}
+	return s.ReadBatch(candidates)
 }
 
 // WriteBatch obliviously writes many entries, one batched call per

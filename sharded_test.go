@@ -244,3 +244,68 @@ func TestShardedValidation(t *testing.T) {
 		t.Error("accepted mismatched value sizes")
 	}
 }
+
+// TestShardedReadRange checks that range reads hold across the
+// partition: consecutive keys scatter over shards (FNV placement),
+// and the merged result must still be the globally ordered run — in
+// particular across shard boundaries, where the next key lives on a
+// different shard than its predecessor.
+func TestShardedReadRange(t *testing.T) {
+	const total = 40
+	sc := newShardedDeployment(t, 3)
+	data := map[string][]byte{}
+	var keys []string
+	for i := 0; i < total; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		data[k] = []byte{byte(i)}
+		keys = append(keys, k)
+	}
+	if err := sc.Load(data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the interesting case needs consecutive keys on
+	// different shards, which FNV placement gives many of here.
+	straddles := false
+	for i := 1; i < total; i++ {
+		if sc.shardIndex(keys[i-1]) != sc.shardIndex(keys[i]) {
+			straddles = true
+			break
+		}
+	}
+	if !straddles {
+		t.Fatal("test data never crosses a shard boundary; pick different keys")
+	}
+
+	check := func(start string, limit int, want []string) {
+		t.Helper()
+		pairs, err := sc.ReadRange(start, limit)
+		if err != nil {
+			t.Fatalf("ReadRange(%q, %d): %v", start, limit, err)
+		}
+		if len(pairs) != len(want) {
+			t.Fatalf("ReadRange(%q, %d) returned %d pairs, want %d", start, limit, len(pairs), len(want))
+		}
+		for i, p := range pairs {
+			if p.Key != want[i] {
+				t.Fatalf("ReadRange(%q, %d)[%d] = %q, want %q (global order broken)", start, limit, i, p.Key, want[i])
+			}
+			wantByte := data[want[i]][0]
+			if p.Value[0] != wantByte {
+				t.Errorf("ReadRange(%q, %d)[%d] value = %v, want %d", start, limit, i, p.Value, wantByte)
+			}
+		}
+	}
+
+	check("key-000", 7, keys[0:7])    // from the first key
+	check("key-010", 11, keys[10:21]) // interior run
+	check("key-0105", 4, keys[11:15]) // start between keys rounds up
+	check("key-035", 20, keys[35:])   // limit past the end truncates
+	check("zzz", 5, nil)              // start past every key
+	check("key-020", 1, keys[20:21])  // single key
+	if pairs, err := sc.ReadRange("key-000", 0); err != nil || pairs != nil {
+		t.Errorf("ReadRange limit 0 = %v, %v, want nil, nil", pairs, err)
+	}
+	// The whole keyspace in one range.
+	check("", total, keys)
+}
