@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke aggregate-smoke crash experiments
+.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke crash experiments
 
 build:
 	$(GO) build ./...
@@ -39,10 +39,23 @@ bench-json:
 	$(GO) run ./cmd/ortoa-bench -experiment bench -bench-out BENCH_5.json
 
 # bench-smoke is the CI benchmark gate: one short pass over the kernel
-# and hot-path benchmarks, checking they still run (not their timings).
+# and hot-path benchmarks, checking they still run, plus a full-shape
+# bench run gated against the checked-in BENCH_5.json baseline: the
+# experiment fails on a >25% ops/s drop. The gate only arms when this
+# host matches the baseline's recorded value size and CPU count (so a
+# differently-sized CI runner skips the comparison with a note instead
+# of failing on hardware differences).
 bench-smoke:
 	$(GO) test -run XXX -bench 'Kernel1KiB|LBLBuildRequest|SealLabel|OpenLabel' -benchtime 5x ./internal/core/ ./internal/crypto/secretbox/
-	$(GO) run ./cmd/ortoa-bench -experiment bench -quick
+	$(GO) run ./cmd/ortoa-bench -experiment bench -bench-baseline BENCH_5.json
+
+# trace-smoke runs the one-trace Fig 3c experiment: a traced LBL
+# workload must yield a complete cross-process span tree whose stage
+# spans sum to the end-to-end span within 1%, with zero obliviousness
+# shape violations while tracing is on (DESIGN.md §13). The experiment
+# self-audits; a zero exit is the assertion.
+trace-smoke:
+	$(GO) run ./cmd/ortoa-bench -experiment trace -quick
 
 # aggregate-smoke runs the cross-session aggregation experiment in
 # quick mode: 64 single-key sessions through the coalescing window vs

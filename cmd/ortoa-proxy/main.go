@@ -49,7 +49,8 @@ func main() {
 	reconcileScan := flag.Int("reconcile-scan", 0, "probe up to N counter steps to reconcile after crash desync, e.g. when resuming from a stale -state snapshot (LBL; 0 disables)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, and /debug/pprof on this address (e.g. :7092)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, /trace, and /debug/pprof on this address (e.g. :7092)")
+	traceBuffer := flag.Int("trace-buffer", 4096, "retain this many finished trace spans for /trace; 0 disables tracing (needs -metrics-addr)")
 	flag.Parse()
 
 	keys, err := ortoa.LoadOrGenerateKeys(*keysPath)
@@ -79,6 +80,7 @@ func main() {
 		ReconcileScan: *reconcileScan,
 		FHE:           ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
 		Metrics:       reg,
+		TraceBuffer:   *traceBuffer,
 	}, func() (net.Conn, error) { return net.Dial("tcp", *serverAddr) })
 	if err != nil {
 		log.Fatal(err)

@@ -42,7 +42,8 @@ func main() {
 	enclaveCost := flag.Duration("enclave-cost", 0, "simulated per-ecall enclave transition cost (tee)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, and /debug/pprof on this address (e.g. :7091)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, /trace, and /debug/pprof on this address (e.g. :7091)")
+	traceBuffer := flag.Int("trace-buffer", 4096, "retain this many finished trace spans for /trace; 0 disables tracing (needs -metrics-addr)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -62,6 +63,7 @@ func main() {
 		EnclaveTransition: *enclaveCost,
 		FHE:               ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
 		Metrics:           reg,
+		TraceBuffer:       *traceBuffer,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ortoa/internal/obs"
+	"ortoa/internal/obs/trace"
 )
 
 // Aggregation defaults; see AggregatorConfig.
@@ -27,7 +30,7 @@ var ErrAggregatorClosed = errors.New("core: aggregator closed")
 // reporting each access's outcome individually. *LBLProxy implements
 // it via AccessBatchResults.
 type BatchAccessor interface {
-	AccessBatchResults(ops []BatchOp) ([]BatchResult, AccessStats)
+	AccessBatchResults(ctx context.Context, ops []BatchOp) ([]BatchResult, AccessStats)
 }
 
 // AggregatorConfig tunes an Aggregator.
@@ -85,6 +88,7 @@ func (c AggregatorConfig) maxPending() int {
 type Aggregator struct {
 	cfg     AggregatorConfig
 	backend BatchAccessor
+	tracer  atomic.Pointer[trace.Tracer]
 
 	mu      sync.Mutex
 	cur     *aggWindow // open window accepting arrivals, nil if none
@@ -101,8 +105,10 @@ type Aggregator struct {
 // An aggWaiter is one admitted access: its op and the buffered
 // channel its session blocks on.
 type aggWaiter struct {
-	op BatchOp
-	ch chan BatchResult
+	op       BatchOp
+	ch       chan BatchResult
+	admitted time.Time   // when the access joined the window
+	sp       *trace.Span // agg_session span, ended when the result is delivered
 }
 
 // An aggWindow is one open or in-flight aggregation window. waiters
@@ -111,7 +117,8 @@ type aggWaiter struct {
 type aggWindow struct {
 	waiters    []aggWaiter
 	timer      *time.Timer
-	dispatched bool // detached from the aggregator; owned by its leader
+	sp         *trace.Span // agg_window span, opened with the window
+	dispatched bool        // detached from the aggregator; owned by its leader
 }
 
 // NewAggregator returns an aggregator dispatching to backend. Window
@@ -129,6 +136,16 @@ func NewAggregator(cfg AggregatorConfig, backend BatchAccessor) *Aggregator {
 // request. AccessStats is zero: the frame's preparation and response
 // bytes belong to the shared batch, not to any single access.
 func (a *Aggregator) Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
+	return a.AccessContext(context.Background(), op, key, newValue)
+}
+
+// AccessContext is Access with a caller context. When ctx carries a
+// trace span (a traced end-user request through the proxy front end),
+// the access's agg_session span — its wait for the window plus the
+// shared round trip — is recorded in that request's own trace;
+// otherwise it parents on the window's agg_window span, so the window
+// trace shows one window span parenting its N session spans.
+func (a *Aggregator) AccessContext(ctx context.Context, op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
 	var stats AccessStats
 	ch := make(chan BatchResult, 1)
 	a.mu.Lock()
@@ -149,11 +166,18 @@ func (a *Aggregator) Access(op Op, key string, newValue []byte) ([]byte, AccessS
 	w := a.cur
 	if w == nil {
 		// First access of a new window: arm the time trigger.
-		w = &aggWindow{}
+		w = &aggWindow{sp: a.tracer.Load().StartRoot("agg_window")}
 		w.timer = time.AfterFunc(a.cfg.Window, func() { a.timerFire(w) })
 		a.cur = w
 	}
-	w.waiters = append(w.waiters, aggWaiter{op: BatchOp{Op: op, Key: key, Value: newValue}, ch: ch})
+	var sp *trace.Span
+	if p := trace.FromContext(ctx); p != nil {
+		sp = p.Child("agg_session")
+	} else {
+		sp = w.sp.Child("agg_session")
+	}
+	w.waiters = append(w.waiters, aggWaiter{op: BatchOp{Op: op, Key: key, Value: newValue},
+		ch: ch, admitted: time.Now(), sp: sp})
 	full := len(w.waiters) >= a.cfg.maxBatch()
 	if full {
 		a.detachLocked(w)
@@ -167,6 +191,14 @@ func (a *Aggregator) Access(op Op, key string, newValue []byte) ([]byte, AccessS
 	}
 	res := <-ch
 	return res.Value, stats, res.Err
+}
+
+// TraceWith attaches a tracer: subsequent windows record agg_window
+// spans parenting their sessions' agg_session spans.
+func (a *Aggregator) TraceWith(t *trace.Tracer) {
+	if t != nil {
+		a.tracer.Store(t)
+	}
 }
 
 // timerFire is the window's time trigger. It races the size trigger
@@ -207,13 +239,40 @@ func (a *Aggregator) dispatch(w *aggWindow) {
 		// bucket k holds windows that coalesced ~2^k accesses.
 		a.mx.windowSize.Observe(time.Duration(n))
 	}
-	results, _ := a.backend.AccessBatchResults(ops)
+	// The batch executes under the window's span: the proxy-side stage
+	// tree and the server's decrypt span join the window trace, shared
+	// by all n sessions.
+	dispatchedAt := time.Now()
+	results, _ := a.backend.AccessBatchResults(trace.ContextWith(context.Background(), w.sp), ops)
+	rpcDone := time.Now()
 	a.mu.Lock()
 	a.pending -= n
 	if a.mx.enabled {
 		a.mx.queueDepth.Set(int64(a.pending))
 	}
 	a.mu.Unlock()
+	for i := range w.waiters {
+		w.waiters[i].sp.End()
+		if a.mx.enabled {
+			// Slowlog attribution: the time an access spent waiting for
+			// window mates is coalescing latency, not server time — it is
+			// reported as its own stage, never folded into the rpc stage.
+			wait := dispatchedAt.Sub(w.waiters[i].admitted)
+			total := wait + rpcDone.Sub(dispatchedAt)
+			if a.mx.slow.Worthy(total) {
+				a.mx.slow.Record(obs.Trace{
+					At:    w.waiters[i].admitted,
+					Label: fmt.Sprintf("window=%d key=%s", n, traceLabel([]byte(ops[i].Key))),
+					Total: total,
+					Stages: []obs.Stage{
+						{Name: "window_wait", D: wait},
+						{Name: "batch_rpc", D: rpcDone.Sub(dispatchedAt)},
+					},
+				})
+			}
+		}
+	}
+	w.sp.End()
 	for i := range w.waiters {
 		w.waiters[i].ch <- results[i]
 	}
@@ -273,6 +332,7 @@ type aggObs struct {
 	enabled    bool
 	windowSize *obs.Histogram // accesses coalesced per dispatched window
 	queueDepth *obs.Gauge     // admitted accesses awaiting an answer
+	slow       *obs.SlowLog   // slowest aggregated accesses, window metadata attached
 }
 
 // Instrument registers the aggregator's metrics (ortoa_agg_*) with
@@ -291,5 +351,6 @@ func (a *Aggregator) Instrument(reg *obs.Registry) {
 			"accesses coalesced per dispatched window (integer count on the duration scale)"),
 		queueDepth: reg.Gauge("ortoa_agg_queue_depth",
 			"admitted accesses waiting in the open window or in flight"),
+		slow: reg.SlowLog("agg_access", 32),
 	}
 }

@@ -2,12 +2,16 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"ortoa/internal/obs"
 )
 
 // sortExchanges orders observations the way observedRun does, so
@@ -153,7 +157,7 @@ func TestAggregatorWindowCloseRacesArrivals(t *testing.T) {
 // op's key as its value.
 type stubBatch struct{}
 
-func (stubBatch) AccessBatchResults(ops []BatchOp) ([]BatchResult, AccessStats) {
+func (stubBatch) AccessBatchResults(_ context.Context, ops []BatchOp) ([]BatchResult, AccessStats) {
 	res := make([]BatchResult, len(ops))
 	for i := range ops {
 		res[i] = BatchResult{Value: []byte(ops[i].Key)}
@@ -257,7 +261,7 @@ func TestAccessBatchResultsPerOpErrors(t *testing.T) {
 		"alpha": {1, 0, 0, 0},
 		"beta":  {2, 0, 0, 0},
 	})
-	res, _ := proxy.AccessBatchResults([]BatchOp{
+	res, _ := proxy.AccessBatchResults(context.Background(), []BatchOp{
 		{Op: OpRead, Key: "alpha"},
 		{Op: OpWrite, Key: "beta", Value: []byte{9}}, // wrong size
 		{Op: OpRead, Key: "missing"},
@@ -363,4 +367,53 @@ func TestObliviousnessAggregatedWindow(t *testing.T) {
 	assertIdenticalViews(t, aggReads, natural)
 	// Aggregated reads vs aggregated writes: identical.
 	assertIdenticalViews(t, aggReads, aggWrites)
+}
+
+// TestAggregatorSlowlogWindowMetadata checks the slowlog attribution
+// fix: an aggregated access's entry names the window it rode
+// (window=N) and reports coalescing latency as its own window_wait
+// stage plus a batch_rpc stage — the wait is never folded into rpc.
+func TestAggregatorSlowlogWindowMetadata(t *testing.T) {
+	const n = 4
+	_, _, agg := newAggRig(t, n, 4, AggregatorConfig{Window: time.Hour, MaxBatch: n})
+	reg := obs.NewRegistry()
+	agg.Instrument(reg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := agg.Access(OpRead, fmt.Sprintf("key-%02d", i), nil); err != nil {
+				t.Errorf("session %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	slow := reg.SlowLog("agg_access", 32)
+	entries := slow.Entries()
+	if len(entries) != n {
+		t.Fatalf("slowlog retained %d entries, want %d", len(entries), n)
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.Label, fmt.Sprintf("window=%d", n)) {
+			t.Fatalf("entry label %q missing window size", e.Label)
+		}
+		stages := map[string]time.Duration{}
+		var sum time.Duration
+		for _, s := range e.Stages {
+			stages[s.Name] = s.D
+			sum += s.D
+		}
+		if _, ok := stages["window_wait"]; !ok {
+			t.Fatalf("entry %q has no window_wait stage: %+v", e.Label, e.Stages)
+		}
+		if _, ok := stages["batch_rpc"]; !ok {
+			t.Fatalf("entry %q has no batch_rpc stage: %+v", e.Label, e.Stages)
+		}
+		if sum != e.Total {
+			t.Fatalf("entry %q stages sum to %v but total is %v: latency misattributed", e.Label, sum, e.Total)
+		}
+	}
 }

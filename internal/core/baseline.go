@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,7 +31,7 @@ func (s *BaselineServer) Register(ts *transport.Server) {
 	ts.Handle(MsgBaselinePut, s.handlePut)
 }
 
-func (s *BaselineServer) handleGet(payload []byte) ([]byte, error) {
+func (s *BaselineServer) handleGet(_ context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	encKey := r.Raw(prf.Size)
 	if err := r.Err(); err != nil {
@@ -46,7 +47,7 @@ func (s *BaselineServer) handleGet(payload []byte) ([]byte, error) {
 	return v, err
 }
 
-func (s *BaselineServer) handlePut(payload []byte) ([]byte, error) {
+func (s *BaselineServer) handlePut(_ context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	encKey := r.Raw(prf.Size)
 	sealed := r.BytesCopy()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -245,7 +246,7 @@ func TestLBLTamperDetection(t *testing.T) {
 	// random bytes of the correct length.
 	r := newRig(t)
 	cfg := LBLConfig{ValueSize: 4, Mode: LBLPointPermute}
-	r.server.Handle(MsgLBLAccess, func(payload []byte) ([]byte, error) {
+	r.server.Handle(MsgLBLAccess, func(_ context.Context, payload []byte) ([]byte, error) {
 		return make([]byte, cfg.Groups()*prf.Size), nil // forged all-zero labels
 	})
 	proxy, err := NewLBLProxy(cfg, prf.NewRandom(), r.client)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"ortoa/internal/fhe"
 	"ortoa/internal/kvstore"
 	"ortoa/internal/obs"
+	"ortoa/internal/obs/trace"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
 )
@@ -81,7 +83,7 @@ func (s *FHEServer) Register(ts *transport.Server) {
 
 // handleSetRelin installs an evaluation key. It is public-key
 // material: holding it does not help the server decrypt.
-func (s *FHEServer) handleSetRelin(payload []byte) ([]byte, error) {
+func (s *FHEServer) handleSetRelin(_ context.Context, payload []byte) ([]byte, error) {
 	rlk, err := s.params.UnmarshalRelinKey(payload)
 	if err != nil {
 		return nil, err
@@ -98,7 +100,9 @@ func (s *FHEServer) relinKey() *fhe.RelinKey {
 	return s.rlk
 }
 
-func (s *FHEServer) handleAccess(payload []byte) ([]byte, error) {
+func (s *FHEServer) handleAccess(ctx context.Context, payload []byte) ([]byte, error) {
+	sp := trace.StartChild(ctx, "server_fhe_eval")
+	defer sp.End()
 	if s.mx.enabled {
 		defer s.mx.eval.Since(time.Now())
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ortoa/internal/crypto/prf"
@@ -39,7 +40,7 @@ func FuzzLBLServerPayload(f *testing.F) {
 	f.Add(make([]byte, 17))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		// Errors are expected; panics are bugs.
-		srv.handleAccess(payload) //nolint:errcheck
+		srv.handleAccess(context.Background(), payload) //nolint:errcheck
 	})
 }
 
@@ -53,7 +54,7 @@ func FuzzTEEServerPayload(f *testing.F) {
 	f.Add([]byte("0123456789abcdef\x05aaaaa\x05bbbbb"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		srv.handleAccess(payload) //nolint:errcheck
+		srv.handleAccess(context.Background(), payload) //nolint:errcheck
 	})
 }
 
@@ -65,7 +66,7 @@ func FuzzLoaderPayload(f *testing.F) {
 		// Reconstruct the loader handler logic through a server the
 		// same way RegisterLoader does, via a direct call.
 		handler := loaderHandler(store)
-		handler(payload) //nolint:errcheck
+		handler(context.Background(), payload) //nolint:errcheck
 	})
 }
 

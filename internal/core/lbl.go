@@ -13,6 +13,7 @@ import (
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
 	"ortoa/internal/obs"
+	"ortoa/internal/obs/trace"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
 )
@@ -184,7 +185,29 @@ type LBLProxy struct {
 	prf      *prf.PRF
 	counters *counterTable
 	client   *transport.Client
+	tracer   atomic.Pointer[trace.Tracer]
 	mx       lblProxyObs
+}
+
+// TraceWith attaches a tracer: subsequent accesses record per-stage
+// span trees, and their trace ids ride the request frames so the
+// server's spans join the same trace.
+func (p *LBLProxy) TraceWith(t *trace.Tracer) {
+	if t != nil {
+		p.tracer.Store(t)
+	}
+}
+
+// traceStart opens the root span for one proxy-side operation: a child
+// of the caller's span when the request arrived traced (the proxy front
+// end's server_handle span), else a fresh root from the proxy's own
+// tracer, else nil no-op spans throughout.
+func (p *LBLProxy) traceStart(ctx context.Context, name string) (*trace.Span, context.Context) {
+	if sp := trace.FromContext(ctx); sp != nil {
+		c := sp.Child(name)
+		return c, trace.ContextWith(ctx, c)
+	}
+	return p.tracer.Load().Start(ctx, name)
 }
 
 // NewLBLProxy returns a proxy using f as its PRF and client to reach
@@ -247,6 +270,13 @@ func (p *LBLProxy) BuildRecord(key string, value []byte) (encKey string, record 
 // (exactly ValueSize bytes) replaces the stored value; the returned
 // slice echoes the written value.
 func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
+	return p.AccessContext(context.Background(), op, key, newValue)
+}
+
+// AccessContext is Access with a caller context: cancellation plus the
+// active trace span, under which the whole proxy-side stage tree
+// (counter_acquire, table_build, rpc, label_recover) is recorded.
+func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
 	var stats AccessStats
 	if op == OpWrite && len(newValue) != p.cfg.ValueSize {
 		return nil, stats, ErrValueSize
@@ -254,10 +284,13 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	if p.client == nil {
 		return nil, stats, fmt.Errorf("core: LBL proxy has no server connection")
 	}
+	root, ctx := p.traceStart(ctx, "lbl_access")
+	defer root.End()
 
 	// Per-key serialization: the label schedule is counter-indexed,
 	// so a key's accesses must not interleave (see counterTable).
 	sw := obs.StartWatch(p.mx.enabled)
+	spAcq := root.Child("counter_acquire")
 	entry := p.counters.acquire(key)
 	defer entry.mu.Unlock()
 	if entry.pending != nil {
@@ -265,10 +298,12 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 		// (at-most-once replay, see pending.go) before building a table
 		// at a counter value that may already be stale.
 		if err := p.resolvePending(key, entry); err != nil {
+			spAcq.End()
 			p.mx.errors.Inc()
 			return nil, stats, err
 		}
 	}
+	spAcq.End()
 	dAcquire := sw.Lap(p.mx.acquire)
 
 	var dBuild, dRPC time.Duration
@@ -278,19 +313,24 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 		// steady state. It is released after the RPC settles — except
 		// when the round is parked for at-most-once replay, which
 		// retains the bytes.
+		spBuild := root.Child("table_build")
 		reqW := wire.GetWriter(p.cfg.RequestBytesPerAccess())
 		err := p.buildRequestInto(reqW, op, key, newValue, entry.ct)
 		if err != nil {
+			spBuild.End()
 			wire.PutWriter(reqW)
 			p.mx.errors.Inc()
 			return nil, stats, err
 		}
 		req := reqW.Bytes()
+		spBuild.End()
 		dBuild += sw.Lap(p.mx.build)
 		stats.PrepBytes = len(req)
 
 		id := p.client.NextID()
-		resp, err = p.client.CallContextID(context.Background(), id, MsgLBLAccess, req)
+		spRPC := root.Child("rpc")
+		resp, err = p.client.CallContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccess, req)
+		spRPC.End()
 		if err == nil {
 			wire.PutWriter(reqW)
 			break
@@ -326,7 +366,9 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	dRPC += sw.Lap(p.mx.rpc)
 	stats.RespBytes = len(resp)
 
+	spRec := root.Child("label_recover")
 	value, err := p.recover(op, key, newValue, entry.ct+1, resp)
+	spRec.End()
 	if err != nil {
 		p.mx.errors.Inc()
 		return nil, stats, err
@@ -335,7 +377,7 @@ func (p *LBLProxy) Access(op Op, key string, newValue []byte) ([]byte, AccessSta
 	entry.ct++ // commit the counter only after a successful round
 	if p.mx.enabled {
 		total := dAcquire + dBuild + dRPC + dRecover
-		p.mx.e2e.Observe(total)
+		p.mx.e2e.ObserveExemplar(total, root.TraceID())
 		if p.mx.slow.Worthy(total) {
 			ek := p.prf.EncodeKey(key)
 			p.mx.slow.Record(obs.Trace{
@@ -642,7 +684,7 @@ func (p *LBLProxy) AccessBatch(ops []BatchOp) ([][]byte, AccessStats, error) {
 		all[i] = i
 	}
 	values := make([][]byte, len(ops))
-	firstErr := p.accessBatchIndices(ops, all, values, make([]error, len(ops)), &stats)
+	firstErr := p.accessBatchIndices(context.Background(), ops, all, values, make([]error, len(ops)), &stats)
 	return values, stats, firstErr
 }
 
@@ -661,7 +703,7 @@ type BatchResult struct {
 // exists for front ends that multiplex independent sessions into one
 // frame (the Aggregator): one session's unloaded key must not fail
 // its window mates.
-func (p *LBLProxy) AccessBatchResults(ops []BatchOp) ([]BatchResult, AccessStats) {
+func (p *LBLProxy) AccessBatchResults(ctx context.Context, ops []BatchOp) ([]BatchResult, AccessStats) {
 	var stats AccessStats
 	results := make([]BatchResult, len(ops))
 	if p.client == nil {
@@ -688,7 +730,7 @@ func (p *LBLProxy) AccessBatchResults(ops []BatchOp) ([]BatchResult, AccessStats
 	}
 	values := make([][]byte, len(ops))
 	errs := make([]error, len(ops))
-	p.accessBatchIndices(ops, valid, values, errs, &stats)
+	p.accessBatchIndices(ctx, ops, valid, values, errs, &stats)
 	for _, i := range valid {
 		results[i] = BatchResult{Value: values[i], Err: errs[i]}
 	}
@@ -699,7 +741,7 @@ func (p *LBLProxy) AccessBatchResults(ops []BatchOp) ([]BatchResult, AccessStats
 // wave/chunk pipeline, filling values and errs at the original
 // indices, and returns the first error in chunk-processing order.
 // Callers have already validated the included ops.
-func (p *LBLProxy) accessBatchIndices(ops []BatchOp, include []int, values [][]byte, errs []error, stats *AccessStats) error {
+func (p *LBLProxy) accessBatchIndices(ctx context.Context, ops []BatchOp, include []int, values [][]byte, errs []error, stats *AccessStats) error {
 	// Wave w holds the w-th occurrence of each key, so duplicate keys
 	// never share a frame (their counters must advance between them).
 	occurrence := make(map[string]int, len(include))
@@ -728,7 +770,7 @@ func (p *LBLProxy) accessBatchIndices(ops []BatchOp, include []int, values [][]b
 			if end > len(wave) {
 				end = len(wave)
 			}
-			st, err := p.accessBatchChunk(ops, wave[start:end], values, errs)
+			st, err := p.accessBatchChunk(ctx, ops, wave[start:end], values, errs)
 			stats.PrepBytes += st.PrepBytes
 			stats.RespBytes += st.RespBytes
 			if err != nil && firstErr == nil {
@@ -789,8 +831,10 @@ func forEachBatched(n int, fn func(i int)) {
 // original indices; a failure before the frame is sent (or a
 // transport failure of the frame itself) fails every access in the
 // chunk, since none of them ran.
-func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, errs []error) (AccessStats, error) {
+func (p *LBLProxy) accessBatchChunk(ctx context.Context, ops []BatchOp, idxs []int, values [][]byte, errs []error) (AccessStats, error) {
 	var stats AccessStats
+	root, ctx := p.traceStart(ctx, "lbl_access_batch")
+	defer root.End()
 	cfg := p.cfg
 	groups := cfg.Groups()
 	failChunk := func(err error) {
@@ -802,6 +846,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, 
 	}
 
 	sw := obs.StartWatch(p.mx.enabled)
+	spAcq := root.Child("counter_acquire")
 	entries := make([]*counterEntry, len(idxs))
 	for i, idx := range idxs {
 		entries[i] = p.counters.acquire(ops[idx].Key)
@@ -823,6 +868,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, 
 			}
 		}
 	}
+	spAcq.End()
 	sw.Lap(p.mx.batchAcquire)
 	p.mx.batchKeys.Add(int64(len(idxs)))
 
@@ -835,6 +881,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, 
 	// fallback would not. The batch already fans out across keys; inner
 	// per-table workers only multiply up to the core count when the
 	// batch is smaller than the machine.
+	spBuild := root.Child("table_build")
 	w := wire.GetWriter(cfg.BatchRequestBytes(len(idxs)))
 	w.Byte(byte(cfg.Mode))
 	w.Uvarint(uint64(groups))
@@ -856,17 +903,21 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, 
 	})
 	for _, err := range buildErrs {
 		if err != nil {
+			spBuild.End()
 			wire.PutWriter(w)
 			failChunk(err)
 			return stats, err
 		}
 	}
+	spBuild.End()
 	sw.Lap(p.mx.batchBuild)
 	stats.PrepBytes = w.Len()
 
 	id := p.client.NextID()
 	req := w.Bytes()
-	resp, err := p.client.CallContextID(context.Background(), id, MsgLBLAccessBatch, req)
+	spRPC := root.Child("rpc")
+	resp, err := p.client.CallContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccessBatch, req)
+	spRPC.End()
 	if err != nil {
 		if transport.Ambiguous(err) {
 			// The whole chunk is ambiguous. Park the same round on every
@@ -916,6 +967,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, 
 
 	// Second pass, parallel: recover each value from its labels (2^y·ℓ/y
 	// PRF comparisons per key in the worst case).
+	spRec := root.Child("label_recover")
 	recovered := make([][]byte, len(idxs))
 	recoverErrs := make([]error, len(idxs))
 	forEachBatched(len(idxs), func(i int) {
@@ -925,6 +977,7 @@ func (p *LBLProxy) accessBatchChunk(ops []BatchOp, idxs []int, values [][]byte, 
 		op := ops[idxs[i]]
 		recovered[i], recoverErrs[i] = p.recoverWorkers(op.Op, op.Key, op.Value, entries[i].ct+1, labelSlices[i], inner)
 	})
+	spRec.End()
 	sw.Lap(p.mx.batchRecover)
 
 	var firstErr error

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/crypto/secretbox"
 	"ortoa/internal/kvstore"
+	"ortoa/internal/obs/trace"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
 )
@@ -226,7 +228,7 @@ func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table, labelsOut
 	return nil
 }
 
-func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
+func (s *LBLServer) handleAccess(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	encKey := r.Raw(prf.Size)
 	if err := r.Err(); err != nil {
@@ -243,6 +245,8 @@ func (s *LBLServer) handleAccess(payload []byte) ([]byte, error) {
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
+	sp := trace.StartChild(ctx, "server_decrypt")
+	defer sp.End()
 	// The response is retained by the transport's at-most-once dedup
 	// cache, so it must be freshly allocated, never pooled.
 	labels := make([]byte, geo.groups*prf.Size)
@@ -263,7 +267,7 @@ const maxBatchAccesses = 1 << 16
 // string). Work and response shape depend only on the table geometry
 // and key count, never on operation types, so a batch leaks exactly as
 // much as n single accesses: nothing beyond "n objects were accessed".
-func (s *LBLServer) handleAccessBatch(payload []byte) ([]byte, error) {
+func (s *LBLServer) handleAccessBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	geo, err := readGeometry(r)
 	if err != nil {
@@ -276,6 +280,8 @@ func (s *LBLServer) handleAccessBatch(payload []byte) ([]byte, error) {
 	if n <= 0 || n > maxBatchAccesses {
 		return nil, fmt.Errorf("core: implausible batch size %d", n)
 	}
+	sp := trace.StartChild(ctx, "server_decrypt")
+	defer sp.End()
 	keys := make([]string, n)
 	tables := make([][]byte, n)
 	for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ortoa/internal/kvstore"
@@ -13,6 +14,14 @@ import (
 // client→proxy RPC stub, so workloads and experiments are written once.
 type Accessor interface {
 	Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error)
+}
+
+// A ContextAccessor is an Accessor that can additionally thread a
+// context through the access — cancellation plus the active trace
+// span. The proxy front end type-asserts for it so an inbound traced
+// request's span parents the whole proxy-side span tree.
+type ContextAccessor interface {
+	AccessContext(ctx context.Context, op Op, key string, newValue []byte) ([]byte, AccessStats, error)
 }
 
 // A KV is one record for bulk loading.
@@ -29,7 +38,7 @@ func RegisterLoader(ts *transport.Server, store *kvstore.Store) {
 }
 
 func loaderHandler(store *kvstore.Store) transport.HandlerFunc {
-	return func(payload []byte) ([]byte, error) {
+	return func(_ context.Context, payload []byte) ([]byte, error) {
 		r := wire.NewReader(payload)
 		n := int(r.Uvarint())
 		if err := r.Err(); err != nil {
@@ -79,7 +88,8 @@ func BulkLoad(client *transport.Client, records []KV) error {
 // untrusted-network clients can route requests through the proxy
 // (§2.1's client→proxy→server deployment).
 func RegisterProxyService(ts *transport.Server, accessor Accessor) {
-	ts.Handle(MsgClientAccess, func(payload []byte) ([]byte, error) {
+	ctxAccessor, _ := accessor.(ContextAccessor)
+	ts.Handle(MsgClientAccess, func(ctx context.Context, payload []byte) ([]byte, error) {
 		r := wire.NewReader(payload)
 		op := Op(r.Byte())
 		key := r.String()
@@ -93,7 +103,13 @@ func RegisterProxyService(ts *transport.Server, accessor Accessor) {
 		if op != OpRead && op != OpWrite {
 			return nil, fmt.Errorf("core: unknown op %d", op)
 		}
-		out, _, err := accessor.Access(op, key, value)
+		var out []byte
+		var err error
+		if ctxAccessor != nil {
+			out, _, err = ctxAccessor.AccessContext(ctx, op, key, value)
+		} else {
+			out, _, err = accessor.Access(op, key, value)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"ortoa/internal/crypto/prf"
+	"ortoa/internal/wire"
+)
+
+// ShapeClassify is the transport.ShapeClassifier for the ORTOA message
+// set: it maps each access frame to the public parameters its length
+// is allowed to depend on, so the ShapeAuditor can pin "all access
+// frames of a given class are byte-identical in length" as a live
+// invariant (§2.2, §5.3.2).
+//
+//   - MsgLBLAccess / MsgLBLAccessBatch: class folds the table geometry
+//     (mode, group count, entry length — all in the clear in the frame)
+//     and the batch size. Requests are strict; single-access responses
+//     (a fixed block of labels) are strict too, while batch responses
+//     carry per-key error strings and are only distribution-tracked.
+//   - MsgTEEAccess: fixed-size sealed request and response per
+//     deployment; strict both ways.
+//   - Everything else is observed but never length-checked: MsgClientAccess
+//     is the client→proxy hop inside the trust boundary, where request
+//     lengths legitimately differ between reads and writes; the 2RTT
+//     baseline leaks operation types by design; FHE ciphertext sizes
+//     vary with degree growth; loads and setup messages are unbounded.
+func ShapeClassify(msgType byte, payload []byte) (class uint64, strictReq, strictResp bool) {
+	switch msgType {
+	case MsgLBLAccess:
+		r := wire.NewReader(payload)
+		r.Raw(prf.Size)
+		geo, err := readGeometry(r)
+		if err != nil {
+			return 0, false, false
+		}
+		return lblShapeClass(geo, 1), true, true
+	case MsgLBLAccessBatch:
+		r := wire.NewReader(payload)
+		geo, err := readGeometry(r)
+		n := r.Uvarint()
+		if err != nil || r.Err() != nil {
+			return 0, false, false
+		}
+		return lblShapeClass(geo, n), true, false
+	case MsgTEEAccess:
+		return 0, true, true
+	}
+	return 0, false, false
+}
+
+// lblShapeClass packs the public geometry parameters and batch size
+// into one class value. Collisions would only ever merge classes —
+// which can produce a false alarm, never mask a real divergence — and
+// the fields are small enough that the packing is collision-free for
+// every realistic configuration.
+func lblShapeClass(geo tableGeometry, n uint64) uint64 {
+	return uint64(geo.mode)<<56 ^ uint64(geo.groups)<<32 ^ uint64(geo.entryLen)<<24 ^ n
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"ortoa/internal/crypto/secretbox"
 	"ortoa/internal/kvstore"
 	"ortoa/internal/obs"
+	"ortoa/internal/obs/trace"
 	"ortoa/internal/tee"
 	"ortoa/internal/transport"
 	"ortoa/internal/wire"
@@ -101,7 +103,7 @@ func (s *TEEServer) Register(ts *transport.Server) {
 }
 
 // handleAttest returns the enclave's report over the caller's nonce.
-func (s *TEEServer) handleAttest(payload []byte) ([]byte, error) {
+func (s *TEEServer) handleAttest(_ context.Context, payload []byte) ([]byte, error) {
 	if len(payload) != 16 {
 		return nil, errors.New("core: attestation nonce must be 16 bytes")
 	}
@@ -120,14 +122,16 @@ func (s *TEEServer) handleAttest(payload []byte) ([]byte, error) {
 // inside the attested secure channel (RA-TLS) so the host never sees
 // the key. The simulation documents the boundary rather than
 // encrypting against the simulated host.
-func (s *TEEServer) handleProvision(payload []byte) ([]byte, error) {
+func (s *TEEServer) handleProvision(_ context.Context, payload []byte) ([]byte, error) {
 	if err := s.enclave.Provision(payload); err != nil {
 		return nil, err
 	}
 	return nil, nil
 }
 
-func (s *TEEServer) handleAccess(payload []byte) ([]byte, error) {
+func (s *TEEServer) handleAccess(ctx context.Context, payload []byte) ([]byte, error) {
+	sp := trace.StartChild(ctx, "server_ecall")
+	defer sp.End()
 	if s.mx.enabled {
 		defer s.mx.access.Since(time.Now())
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"ortoa/internal/crypto/prf"
 	"ortoa/internal/kvstore"
 	"ortoa/internal/netsim"
+	"ortoa/internal/obs"
 	"ortoa/internal/transport"
 	"ortoa/internal/workload"
 )
@@ -41,10 +43,10 @@ type gatedBatchAccessor struct {
 	next  core.BatchAccessor
 }
 
-func (g gatedBatchAccessor) AccessBatchResults(ops []core.BatchOp) ([]core.BatchResult, core.AccessStats) {
+func (g gatedBatchAccessor) AccessBatchResults(ctx context.Context, ops []core.BatchOp) ([]core.BatchResult, core.AccessStats) {
 	g.slots <- struct{}{}
 	defer func() { <-g.slots }()
-	return g.next.AccessBatchResults(ops)
+	return g.next.AccessBatchResults(ctx, ops)
 }
 
 // aggRig is one end-to-end deployment for the aggregate experiment:
@@ -60,7 +62,7 @@ type aggRig struct {
 	sessions []*core.RemoteAccessor
 }
 
-func newAggRig(sessions, valueSize int, aggregated bool) (*aggRig, error) {
+func newAggRig(sessions, valueSize int, aggregated bool, reg *obs.Registry) (*aggRig, error) {
 	r := &aggRig{}
 	fail := func(err error) (*aggRig, error) {
 		r.Close()
@@ -75,6 +77,7 @@ func newAggRig(sessions, valueSize int, aggregated bool) (*aggRig, error) {
 	// simulation artifact.
 	store := kvstore.New()
 	r.serverTS = transport.NewServer()
+	r.serverTS.AuditShape(obs.NewShapeAuditor(reg, "server"), core.ShapeClassify)
 	core.RegisterLoader(r.serverTS, store)
 	core.NewLBLServer(store).Register(r.serverTS)
 	serverLn := netsim.Listen(netsim.Link{RTT: netsim.London.RTT})
@@ -85,6 +88,7 @@ func newAggRig(sessions, valueSize int, aggregated bool) (*aggRig, error) {
 		return fail(err)
 	}
 	r.rpc = rpc
+	rpc.AuditShape(obs.NewShapeAuditor(reg, "proxy"), core.ShapeClassify)
 	proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: valueSize, Mode: core.LBLPointPermute}, prf.NewRandom(), rpc)
 	if err != nil {
 		return fail(err)
@@ -178,7 +182,11 @@ func Aggregate(opt Options) (*Table, error) {
 	}
 
 	run := func(sessions int, aggregated bool) (tput, rpcsPerOp, coalesce float64, err error) {
-		r, err := newAggRig(sessions, paperValueSize, aggregated)
+		// A fresh registry per rig: the shape auditor pins frame lengths
+		// per deployment, and every window size must stay byte-identical
+		// within its class across the whole run.
+		reg := obs.NewRegistry()
+		r, err := newAggRig(sessions, paperValueSize, aggregated, reg)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -222,6 +230,9 @@ func Aggregate(opt Options) (*Table, error) {
 		if r.agg != nil {
 			coalesce = r.agg.Stats().CoalesceRatio()
 		}
+		if vp, vs := shapeViolations(reg); vp+vs != 0 {
+			return 0, 0, 0, fmt.Errorf("obliviousness shape violations: proxy=%d server=%d", vp, vs)
+		}
 		return tput, rpcsPerOp, coalesce, nil
 	}
 
@@ -244,6 +255,7 @@ func Aggregate(opt Options) (*Table, error) {
 		fmt.Sprintf("both paths share a %d-slot proxy→server round-trip budget; aggregation packs a whole window into one slot", fallbackWindow),
 		fmt.Sprintf("aggregation window: %s or %s accesses, whichever closes first", aggWindowLen, "MaxBatch=sessions"),
 		"RTT-only link (no per-connection bandwidth), as in the batch experiment: netsim meters bandwidth per connection, which would gift the per-request path unshared aggregate bandwidth",
-		"sessions gain from aggregation once they outnumber the round-trip budget; at sessions <= budget the window only adds its wait")
+		"sessions gain from aggregation once they outnumber the round-trip budget; at sessions <= budget the window only adds its wait",
+		"shape auditor: 0 length violations — every batch frame of a given window size was byte-identical, aggregated or not")
 	return t, nil
 }

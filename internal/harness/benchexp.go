@@ -46,6 +46,76 @@ type BenchReport struct {
 // benchWorkerCounts are the fan-outs BENCH_5.json records.
 var benchWorkerCounts = []int{1, 4, 8}
 
+// benchRegressionPct is the CI perf gate: a kernel point whose ops/s
+// dropped more than this far below the checked-in baseline fails the
+// bench experiment (when the run is comparable to the baseline at
+// all — see compareBenchBaseline).
+const benchRegressionPct = 25.0
+
+// compareBenchBaseline checks report against the baseline JSON at
+// path. It returns notes describing the comparison and an error when
+// any kernel point regressed beyond benchRegressionPct. The gate only
+// arms when the runs are actually comparable: same value size (quick
+// mode measures 64B kernels, the baseline 1024B — numbers from
+// different shapes mean nothing) and same CPU count (a 2-core CI
+// runner is not slower code, it is a smaller machine). Incomparable
+// runs produce a skip note, not a pass.
+func compareBenchBaseline(path string, report BenchReport) ([]string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	if base.ValueSize != report.ValueSize {
+		return []string{fmt.Sprintf("baseline %s measures %dB values, this run %dB: regression gate skipped (never compare quick to full)",
+			path, base.ValueSize, report.ValueSize)}, nil
+	}
+	if base.NumCPU != report.NumCPU {
+		return []string{fmt.Sprintf("baseline %s recorded on %d CPU(s), this host has %d: regression gate skipped (different machine, not different code)",
+			path, base.NumCPU, report.NumCPU)}, nil
+	}
+
+	index := func(pts []BenchPoint) map[int]BenchPoint {
+		m := make(map[int]BenchPoint, len(pts))
+		for _, pt := range pts {
+			m[pt.Workers] = pt
+		}
+		return m
+	}
+	var worst float64
+	var worstAt string
+	check := func(kernel string, basePts, gotPts []BenchPoint) {
+		baseBy := index(basePts)
+		for _, got := range gotPts {
+			b, ok := baseBy[got.Workers]
+			if !ok || b.OpsPerSec <= 0 {
+				continue
+			}
+			drop := 100 * (b.OpsPerSec - got.OpsPerSec) / b.OpsPerSec
+			if drop > worst {
+				worst = drop
+				worstAt = fmt.Sprintf("%s@%dw (%.0f -> %.0f ops/s)", kernel, got.Workers, b.OpsPerSec, got.OpsPerSec)
+			}
+		}
+	}
+	check("table-build", base.TableBuild, report.TableBuild)
+	check("recover", base.Recover, report.Recover)
+
+	note := fmt.Sprintf("vs baseline %s: worst ops/s drop %.1f%% at %s (gate: %.0f%%)",
+		path, worst, worstAt, benchRegressionPct)
+	if worstAt == "" {
+		note = fmt.Sprintf("vs baseline %s: no overlapping kernel points", path)
+	}
+	if worst > benchRegressionPct {
+		return []string{note}, fmt.Errorf("harness: bench regression: ops/s dropped %.1f%% at %s (gate: %.0f%%)",
+			worst, worstAt, benchRegressionPct)
+	}
+	return []string{note}, nil
+}
+
 // measureKernel times ops calls of run, returning throughput, latency
 // quantiles, and heap churn per op.
 func measureKernel(ops int, run func() error) (BenchPoint, error) {
@@ -199,6 +269,16 @@ func Bench(opt Options) (*Table, error) {
 		fmt.Sprintf("table-build speedup 8w vs 1w: %.2fx on %d CPU(s)", report.TableBuildSpeedup8w, report.NumCPU))
 	if report.Note != "" {
 		t.Notes = append(t.Notes, report.Note)
+	}
+	if opt.BenchBaseline != "" {
+		notes, err := compareBenchBaseline(opt.BenchBaseline, report)
+		t.Notes = append(t.Notes, notes...)
+		if err != nil {
+			// Render the table before failing so the regressed numbers are
+			// visible in the CI log, not just the error line.
+			t.Render(os.Stderr) //nolint:errcheck
+			return nil, err
+		}
 	}
 	return t, nil
 }

@@ -206,6 +206,10 @@ func Chaos(opt Options) (*Table, error) {
 	if fs.Total() == 0 {
 		t.Notes = append(t.Notes, "warning: fault plan injected nothing; increase ops for a meaningful run")
 	}
+	if vp, vs := shapeViolations(reg); vp+vs != 0 {
+		return nil, fmt.Errorf("harness: obliviousness shape violations under faults: proxy=%d server=%d", vp, vs)
+	}
+	t.Notes = append(t.Notes, "shape auditor: 0 length violations on either side — retried and replayed frames stayed byte-identical to first sends")
 	return t, nil
 }
 

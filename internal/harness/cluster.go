@@ -65,8 +65,14 @@ type Config struct {
 	// Metrics, when non-nil, instruments every shard's store,
 	// transport, and protocol sides against one shared registry (series
 	// aggregate across shards). The stages experiment uses it to read
-	// per-stage latency breakdowns.
+	// per-stage latency breakdowns. Metrics also arms the obliviousness
+	// shape auditors on both sides of every shard's link.
 	Metrics *obs.Registry
+	// TraceBuffer, when positive, turns on distributed tracing
+	// (requires Metrics): proxies and servers retain up to this many
+	// finished spans each, and span context crosses the simulated WAN
+	// in the frame headers' fixed-size trace field.
+	TraceBuffer int
 	// Durability, when non-nil, backs every shard store with a
 	// crash-faulty filesystem and a WAL under the given fsync policy,
 	// enabling Restart (kill-without-flush + recovery). LBL only.
@@ -109,6 +115,8 @@ type shard struct {
 	// reads it, so reconnects find the reborn server.
 	listener atomic.Pointer[netsim.Listener]
 
+	auds clusterAuditors
+
 	mu       sync.Mutex // guards the restartable fields below
 	store    *kvstore.Store
 	lblSrv   *core.LBLServer
@@ -138,8 +146,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("harness: Durability requires %s (got %s)", SystemLBL, cfg.System)
 	}
 	c := &Cluster{cfg: cfg}
+	auds := clusterAuditors{
+		server: obs.NewShapeAuditor(cfg.Metrics, "server"),
+		proxy:  obs.NewShapeAuditor(cfg.Metrics, "proxy"),
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(cfg, i)
+		sh, err := newShard(cfg, i, auds)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -153,8 +165,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-func newShard(cfg Config, idx int) (*shard, error) {
-	sh := &shard{link: cfg.Link, dur: cfg.Durability}
+// clusterAuditors is the per-process shape-auditor pair every shard's
+// transport endpoints share: one deployment, one violations counter
+// per side.
+type clusterAuditors struct {
+	server *obs.ShapeAuditor
+	proxy  *obs.ShapeAuditor
+}
+
+func newShard(cfg Config, idx int, auds clusterAuditors) (*shard, error) {
+	sh := &shard{link: cfg.Link, dur: cfg.Durability, auds: auds}
 	ok := false
 	defer func() {
 		if !ok {
@@ -192,6 +212,10 @@ func newShard(cfg Config, idx int) (*shard, error) {
 	sh.store = store
 	srv := transport.NewServer()
 	srv.Instrument(cfg.Metrics)
+	srv.AuditShape(auds.server, core.ShapeClassify)
+	if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
+		srv.SetTracer(cfg.Metrics.Tracer("server", cfg.TraceBuffer))
+	}
 	listener := netsim.Listen(cfg.Link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close
 	sh.srv = srv
@@ -210,6 +234,10 @@ func newShard(cfg Config, idx int) (*shard, error) {
 		return nil, err
 	}
 	client.Instrument(cfg.Metrics)
+	client.AuditShape(auds.proxy, core.ShapeClassify)
+	if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
+		client.SetTracer(cfg.Metrics.Tracer("proxy", cfg.TraceBuffer))
+	}
 	sh.rpc = client
 
 	switch cfg.System {
@@ -226,6 +254,9 @@ func newShard(cfg Config, idx int) (*shard, error) {
 			return nil, err
 		}
 		proxy.Instrument(cfg.Metrics)
+		if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
+			proxy.TraceWith(cfg.Metrics.Tracer("proxy", cfg.TraceBuffer))
+		}
 		sh.accessor = proxy
 		sh.lblSrv = lblSrv
 	case SystemTEE:
@@ -290,6 +321,7 @@ func (c *Cluster) Restart(i int) error {
 	sh.replayed += sh.store.WALReplayed() // retire the dead store's count
 	lblSrv := core.NewLBLServer(store)
 	srv := transport.NewServer()
+	srv.AuditShape(sh.auds.server, core.ShapeClassify)
 	lblSrv.Register(srv)
 	listener := netsim.Listen(sh.link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close

@@ -39,6 +39,7 @@ var Experiments = []Experiment{
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},
 	{"stages", "measured LBL per-stage latency breakdown (Fig 3c companion)", Stages},
+	{"trace", "Fig 3c breakdown from one cross-process distributed trace (observability extension)", TraceBreakdown},
 	{"bench", "LBL kernel microbenchmarks with JSON output (perf baseline)", Bench},
 }
 

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -13,11 +15,14 @@ import (
 //	/metrics       Prometheus text exposition of reg
 //	/healthz       health probe: 200 "ok", or 503 listing failed checks
 //	/slowlog       slowest retained requests, stage by stage
+//	/trace         retained spans as JSON (?trace=<hex id>&limit=&offset=)
 //	/debug/pprof/  the standard Go profiling handlers
 //
 // ortoa-proxy and ortoa-server serve it on -metrics-addr; tests and
-// embedded deployments can mount it on any server.
+// embedded deployments can mount it on any server. Mounting also
+// registers the Go runtime metrics (runtime.go) on reg.
 func AdminMux(reg *Registry) *http.ServeMux {
+	RegisterRuntimeMetrics(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -50,12 +55,105 @@ func AdminMux(reg *Registry) *http.ServeMux {
 			l.WriteText(w) //nolint:errcheck // client disconnects only
 		}
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeTraceJSON(w, reg, r.URL.Query().Get("trace"),
+			r.URL.Query().Get("limit"), r.URL.Query().Get("offset"))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// traceSpanJSON is one span in the /trace document. Ids render as
+// zero-padded hex so they can be pasted between daemons' /trace
+// endpoints and matched against histogram exemplars.
+type traceSpanJSON struct {
+	TraceID    string `json:"trace_id"`
+	SpanID     string `json:"span_id"`
+	ParentID   string `json:"parent_id,omitempty"`
+	Name       string `json:"name"`
+	Process    string `json:"process"`
+	Start      string `json:"start"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+type traceDocJSON struct {
+	Total  int             `json:"total"`
+	Offset int             `json:"offset"`
+	Limit  int             `json:"limit"`
+	Spans  []traceSpanJSON `json:"spans"`
+}
+
+// writeTraceJSON renders the registry's retained spans, optionally
+// filtered to one trace id (hex, with or without zero padding) and
+// paginated by limit/offset over the start-time-sorted span list.
+func writeTraceJSON(w http.ResponseWriter, reg *Registry, traceFilter, limitStr, offsetStr string) {
+	var want uint64
+	if traceFilter != "" {
+		id, err := strconv.ParseUint(traceFilter, 16, 64)
+		if err != nil || id == 0 {
+			http.Error(w, fmt.Sprintf("bad trace id %q: want hex", traceFilter), http.StatusBadRequest)
+			return
+		}
+		want = id
+	}
+	limit := 256
+	if limitStr != "" {
+		n, err := strconv.Atoi(limitStr)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad limit %q", limitStr), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	offset := 0
+	if offsetStr != "" {
+		n, err := strconv.Atoi(offsetStr)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad offset %q", offsetStr), http.StatusBadRequest)
+			return
+		}
+		offset = n
+	}
+
+	records := reg.TraceRecords()
+	if want != 0 {
+		kept := records[:0]
+		for _, rec := range records {
+			if rec.TraceID == want {
+				kept = append(kept, rec)
+			}
+		}
+		records = kept
+	}
+	doc := traceDocJSON{Total: len(records), Offset: offset, Limit: limit, Spans: []traceSpanJSON{}}
+	if offset < len(records) {
+		page := records[offset:]
+		if len(page) > limit {
+			page = page[:limit]
+		}
+		for _, rec := range page {
+			s := traceSpanJSON{
+				TraceID:    fmt.Sprintf("%016x", rec.TraceID),
+				SpanID:     fmt.Sprintf("%016x", rec.SpanID),
+				Name:       rec.Name,
+				Process:    rec.Process,
+				Start:      rec.Start.Format(time.RFC3339Nano),
+				DurationNS: int64(rec.Duration),
+			}
+			if rec.ParentID != 0 {
+				s.ParentID = fmt.Sprintf("%016x", rec.ParentID)
+			}
+			doc.Spans = append(doc.Spans, s)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client disconnects only
 }
 
 // ServeAdmin listens on addr and serves AdminMux(reg) until the

@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ortoa/internal/obs/trace"
 )
 
 // A Counter is a monotonically increasing atomic counter. The zero
@@ -111,6 +113,10 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64 // nanoseconds
 	buckets [histBuckets]atomic.Uint64
+	// exemplars holds one recent trace id per bucket (0 = none),
+	// written by ObserveExemplar so a slow bucket on /metrics links
+	// straight to the /trace span tree that landed in it.
+	exemplars [histBuckets]atomic.Uint64
 }
 
 // Observe records one duration sample.
@@ -129,6 +135,29 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[idx].Add(1)
 	h.sum.Add(ns)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one sample like Observe and, when traceID is
+// nonzero, attaches it as the bucket's exemplar — the most recent
+// trace to land in that latency bucket. Slow-bucket exemplars are how
+// an operator goes from "p99 regressed" to one concrete span tree.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	if traceID == 0 {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.exemplars[idx].Store(traceID)
 }
 
 // Since records the elapsed time from start. It is shorthand for
@@ -282,6 +311,14 @@ type Registry struct {
 
 	healthMu sync.Mutex
 	health   map[string]func() error
+
+	hookMu sync.Mutex
+	hooks  []func()
+
+	tracerMu sync.Mutex
+	tracers  map[string]*trace.Tracer
+
+	runtimeOnce sync.Once // RegisterRuntimeMetrics idempotence
 }
 
 // NewRegistry returns an empty registry.
@@ -417,6 +454,71 @@ func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() in
 	r.metrics[name] = &metric{name: name, help: help, kind: kind, fn: fn}
 }
 
+// OnScrape registers fn to run at the start of every WritePrometheus
+// call, before the metric snapshot is taken — for metrics that are
+// cheaper to refresh per scrape than per event (runtime.ReadMemStats).
+// No-op on a nil registry.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.hookMu.Unlock()
+}
+
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	hooks := r.hooks
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// Tracer returns the span tracer registered under the given process
+// name, creating it with the given ring capacity if needed. Components
+// instrumented against the same registry share the tracer, so every
+// shard's proxy feeds one /trace buffer. Returns nil on a nil
+// registry; a nil tracer starts nil (no-op) spans.
+func (r *Registry) Tracer(process string, capacity int) *trace.Tracer {
+	if r == nil {
+		return nil
+	}
+	r.tracerMu.Lock()
+	defer r.tracerMu.Unlock()
+	if r.tracers == nil {
+		r.tracers = make(map[string]*trace.Tracer)
+	}
+	if t, ok := r.tracers[process]; ok {
+		return t
+	}
+	t := trace.NewTracer(process, capacity)
+	r.tracers[process] = t
+	return t
+}
+
+// TraceRecords returns every retained span across all of the
+// registry's tracers, sorted by start time — the /trace endpoint's
+// data source.
+func (r *Registry) TraceRecords() []trace.SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.tracerMu.Lock()
+	tracers := make([]*trace.Tracer, 0, len(r.tracers))
+	for _, t := range r.tracers {
+		tracers = append(tracers, t)
+	}
+	r.tracerMu.Unlock()
+	var out []trace.SpanRecord
+	for _, t := range tracers {
+		out = append(out, t.Snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
 // SlowLog returns the slow-request trace log registered under name,
 // creating it with the given capacity if needed. Returns nil on a nil
 // registry.
@@ -483,6 +585,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Scrape hooks refresh pull-model metrics (runtime stats) and may
+	// register series, so they run before the snapshot below.
+	r.runScrapeHooks()
 	// Snapshot metric structs under the lock: registerFunc may still be
 	// chaining fn callbacks while a scrape is in flight.
 	r.mu.Lock()
@@ -550,7 +655,14 @@ func writeHistogram(w io.Writer, m *metric) error {
 		}
 		cum += c
 		le := float64(bucketUpper(i)) / float64(time.Second)
-		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q%s %d\n", base, bucketLabels, fmtFloat(le), suf, cum); err != nil {
+		// OpenMetrics-style exemplar: link the bucket to a recent trace
+		// id when one was attached. Untraced histograms render exactly
+		// as before.
+		exemplar := ""
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			exemplar = fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex, fmtFloat(le))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q%s %d%s\n", base, bucketLabels, fmtFloat(le), suf, cum, exemplar); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics exports the Go runtime's vitals on reg:
+//
+//	go_goroutines            current goroutine count
+//	go_gomaxprocs            scheduler parallelism limit
+//	go_cpus_available        runtime.NumCPU
+//	go_heap_alloc_bytes      live heap bytes
+//	go_heap_sys_bytes        heap bytes obtained from the OS
+//	go_gc_cycles_total       completed GC cycles
+//	go_gc_pause_seconds      histogram of recent stop-the-world pauses
+//
+// The point is honesty in benchmark artifacts (ROADMAP): a BENCH_*.json
+// or /metrics scrape now carries the CPU budget it actually ran under,
+// so 1-CPU numbers can no longer masquerade as multicore results.
+//
+// Memory and GC stats refresh once per scrape via an OnScrape hook —
+// one runtime.ReadMemStats per /metrics request, nothing on any hot
+// path. Safe to call more than once; only the first call registers.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.runtimeOnce.Do(func() { registerRuntimeMetrics(reg) })
+}
+
+func registerRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "currently live goroutines",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_gomaxprocs", "GOMAXPROCS: max simultaneously executing OS threads",
+		func() int64 { return int64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("go_cpus_available", "logical CPUs visible to the process",
+		func() int64 { return int64(runtime.NumCPU()) })
+
+	heapAlloc := reg.Gauge("go_heap_alloc_bytes", "bytes of live heap objects")
+	heapSys := reg.Gauge("go_heap_sys_bytes", "heap bytes obtained from the OS")
+	gcCycles := reg.Counter("go_gc_cycles_total", "completed GC cycles")
+	gcPause := reg.Histogram("go_gc_pause_seconds", "recent stop-the-world GC pause durations")
+
+	// The refresh drains MemStats.PauseNs — a 256-entry ring indexed by
+	// NumGC — into the pause histogram, tracking the last cycle seen so
+	// each pause is observed exactly once however often /metrics is hit.
+	var mu sync.Mutex
+	var lastNumGC uint32
+	reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+
+		mu.Lock()
+		defer mu.Unlock()
+		if ms.NumGC > lastNumGC {
+			gcCycles.Add(int64(ms.NumGC - lastNumGC))
+			first := lastNumGC
+			if ms.NumGC-first > uint32(len(ms.PauseNs)) {
+				first = ms.NumGC - uint32(len(ms.PauseNs))
+			}
+			for n := first; n < ms.NumGC; n++ {
+				gcPause.Observe(time.Duration(ms.PauseNs[n%uint32(len(ms.PauseNs))]))
+			}
+			lastNumGC = ms.NumGC
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package oram
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -72,7 +73,7 @@ func (s *Server) readPathLocked(leaf uint32) []byte {
 	return w.Bytes()
 }
 
-func (s *Server) handleReadPath(payload []byte) ([]byte, error) {
+func (s *Server) handleReadPath(_ context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	leaf, err := s.parseLeaf(r)
 	if err != nil {
@@ -112,7 +113,7 @@ func (s *Server) installLocked(leaf uint32, buckets [][]byte) {
 	}
 }
 
-func (s *Server) handleWritePath(payload []byte) ([]byte, error) {
+func (s *Server) handleWritePath(_ context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	leaf, err := s.parseLeaf(r)
 	if err != nil {
@@ -133,7 +134,7 @@ func (s *Server) handleWritePath(payload []byte) ([]byte, error) {
 
 // handleAccessPath is the one-round fused operation (§8): return the
 // old path and install the new one atomically.
-func (s *Server) handleAccessPath(payload []byte) ([]byte, error) {
+func (s *Server) handleAccessPath(_ context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	leaf, err := s.parseLeaf(r)
 	if err != nil {

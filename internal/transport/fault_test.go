@@ -35,10 +35,10 @@ func TestOversizedRequestRejected(t *testing.T) {
 
 func TestOversizedResponseBecomesRemoteError(t *testing.T) {
 	s := NewServer()
-	s.Handle(msgCount, func(p []byte) ([]byte, error) {
+	s.Handle(msgCount, func(_ context.Context, p []byte) ([]byte, error) {
 		return make([]byte, MaxFrameSize), nil
 	})
-	s.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(msgEcho, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	l := netsim.Listen(netsim.Loopback)
 	go s.Serve(l)
 	defer s.Close()
@@ -60,7 +60,7 @@ func TestOversizedResponseBecomesRemoteError(t *testing.T) {
 func TestCallTimeoutOnStalledServer(t *testing.T) {
 	s := NewServer()
 	block := make(chan struct{})
-	s.Handle(msgSlow, func(p []byte) ([]byte, error) { <-block; return nil, nil })
+	s.Handle(msgSlow, func(_ context.Context, p []byte) ([]byte, error) { <-block; return nil, nil })
 	l := netsim.Listen(netsim.Loopback)
 	go s.Serve(l)
 	defer s.Close()
@@ -87,7 +87,7 @@ func TestCallTimeoutOnStalledServer(t *testing.T) {
 func TestCallContextCancellation(t *testing.T) {
 	s := NewServer()
 	block := make(chan struct{})
-	s.Handle(msgSlow, func(p []byte) ([]byte, error) { <-block; return nil, nil })
+	s.Handle(msgSlow, func(_ context.Context, p []byte) ([]byte, error) { <-block; return nil, nil })
 	l := netsim.Listen(netsim.Loopback)
 	go s.Serve(l)
 	defer s.Close()
@@ -111,7 +111,7 @@ func TestRetryReplaysWithoutReexecuting(t *testing.T) {
 	plan := &netsim.FaultPlan{BlackholeProb: 1, MaxFaults: 1}
 	s := NewServer()
 	var execs atomic.Int64
-	s.Handle(msgCount, func(p []byte) ([]byte, error) {
+	s.Handle(msgCount, func(_ context.Context, p []byte) ([]byte, error) {
 		execs.Add(1)
 		return append([]byte("ok:"), p...), nil
 	})
@@ -158,7 +158,7 @@ func TestReconnectAfterReset(t *testing.T) {
 	// the retry must complete through it.
 	plan := &netsim.FaultPlan{ResetProb: 1, MaxFaults: 1}
 	s := NewServer()
-	s.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(msgEcho, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	l := netsim.Listen(netsim.Link{Fault: plan})
 	go s.Serve(l)
 	defer s.Close()
@@ -251,7 +251,7 @@ func TestServeConnTearsDownOnWriteError(t *testing.T) {
 	// not left accepting requests: the client's pending call then fails
 	// fast via its read loop instead of hanging forever.
 	s := NewServer()
-	s.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(msgEcho, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	inner := netsim.Listen(netsim.Loopback)
 	go s.Serve(&writeFailListener{inner})
 	defer s.Close()

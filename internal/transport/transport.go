@@ -4,9 +4,14 @@
 // A frame is:
 //
 //	[4B little-endian frame length][8B session id][8B request id]
-//	[1B message type][1B flags][payload]
+//	[16B trace ref][1B message type][1B flags][payload]
 //
 // where the length covers everything after the length field itself.
+// The trace ref (wire.TraceRefLen) carries distributed-tracing span
+// context — trace id and parent span id — and is all zeros when the
+// request is untraced; being fixed-size and always present, it never
+// changes frame lengths and so cannot leak operation types through the
+// transcript shape (DESIGN.md §13). Responses echo the request's ref.
 // Requests and responses share the format; FlagResponse distinguishes
 // them and FlagError marks a response whose payload is an error string.
 // Multiple requests may be in flight on one connection; responses are
@@ -39,6 +44,8 @@ import (
 	"time"
 
 	"ortoa/internal/obs"
+	"ortoa/internal/obs/trace"
+	"ortoa/internal/wire"
 )
 
 // Frame flags.
@@ -51,7 +58,7 @@ const (
 // or abuse. LBL tables for multi-kilobyte values fit comfortably.
 const MaxFrameSize = 64 << 20 // 64 MiB
 
-const headerSize = 4 + 8 + 8 + 1 + 1
+const headerSize = 4 + 8 + 8 + wire.TraceRefLen + 1 + 1
 
 // minFrameLen is the smallest valid value of the length field: the
 // header bytes it covers (everything after the length field itself).
@@ -131,7 +138,7 @@ var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // can be dropped whole (netsim partitions, a userspace proxy's queue
 // overflow) then loses complete frames, never a frame's tail, so the
 // peer's framing stays intact across every injected fault.
-func writeFrame(w io.Writer, session, id uint64, msgType, flags byte, payload []byte) error {
+func writeFrame(w io.Writer, session, id uint64, tr trace.SpanContext, msgType, flags byte, payload []byte) error {
 	if len(payload) > MaxFrameSize-minFrameLen {
 		return ErrFrameTooLarge
 	}
@@ -139,8 +146,9 @@ func writeFrame(w io.Writer, session, id uint64, msgType, flags byte, payload []
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(minFrameLen+len(payload)))
 	binary.LittleEndian.PutUint64(hdr[4:12], session)
 	binary.LittleEndian.PutUint64(hdr[12:20], id)
-	hdr[20] = msgType
-	hdr[21] = flags
+	wire.PutTraceRef(hdr[20:20+wire.TraceRefLen], tr.TraceID, tr.SpanID)
+	hdr[36] = msgType
+	hdr[37] = flags
 	if len(payload) == 0 {
 		_, err := w.Write(hdr[:])
 		return err
@@ -156,29 +164,42 @@ func writeFrame(w io.Writer, session, id uint64, msgType, flags byte, payload []
 	return err
 }
 
-func readFrame(r io.Reader) (session, id uint64, msgType, flags byte, payload []byte, err error) {
+func readFrame(r io.Reader) (session, id uint64, tr trace.SpanContext, msgType, flags byte, payload []byte, err error) {
 	var hdr [headerSize]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, 0, 0, nil, err
+		return 0, 0, trace.SpanContext{}, 0, 0, nil, err
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
 	if length < minFrameLen || length > MaxFrameSize {
-		return 0, 0, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
+		return 0, 0, trace.SpanContext{}, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
 	}
 	session = binary.LittleEndian.Uint64(hdr[4:12])
 	id = binary.LittleEndian.Uint64(hdr[12:20])
-	msgType = hdr[20]
-	flags = hdr[21]
+	tr.TraceID, tr.SpanID = wire.TraceRef(hdr[20 : 20+wire.TraceRefLen])
+	msgType = hdr[36]
+	flags = hdr[37]
 	payload = make([]byte, length-minFrameLen)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, 0, 0, nil, err
+		return 0, 0, trace.SpanContext{}, 0, 0, nil, err
 	}
-	return session, id, msgType, flags, payload, nil
+	return session, id, tr, msgType, flags, payload, nil
 }
 
 // A HandlerFunc serves one request payload and returns the response
-// payload. Returning an error sends a RemoteError to the caller.
-type HandlerFunc func(payload []byte) ([]byte, error)
+// payload. Returning an error sends a RemoteError to the caller. ctx
+// carries the request's trace span (if the frame was traced and the
+// server has a tracer); handlers start children of it via
+// trace.StartChild and otherwise ignore it.
+type HandlerFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// A ShapeClassifier maps a request payload to its obliviousness shape
+// class for the ShapeAuditor: frames of the same message type and
+// class must be byte-identical in length whichever operation they
+// carry. class partitions legitimately different sizes (batch size);
+// strictReq/strictResp say whether the request/response length is
+// pinned within the class. Unclassified message types return
+// (0, false, false) and feed only the length distributions.
+type ShapeClassifier func(msgType byte, payload []byte) (class uint64, strictReq, strictResp bool)
 
 // An Observer sees exactly what a network adversary at the server
 // sees: the message type and the request/response payload sizes of
@@ -210,7 +231,12 @@ type Server struct {
 	conns    sync.WaitGroup
 	lns      []net.Listener
 	metrics  atomic.Pointer[serverMetrics]
+	tracer   atomic.Pointer[trace.Tracer]
 	dedup    *dedupCache
+
+	shapeMu       sync.RWMutex
+	shapeAud      *obs.ShapeAuditor
+	shapeClassify ShapeClassifier
 
 	connMu sync.Mutex
 	open   map[net.Conn]struct{}
@@ -259,6 +285,41 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		connsOpen:      reg.Gauge("ortoa_transport_server_open_connections", "currently open client connections"),
 		dedupHits:      reg.Counter("ortoa_transport_server_dedup_hits_total", "retried requests answered from the at-most-once cache without re-execution"),
 	})
+}
+
+// SetTracer installs a span tracer: every traced request frame starts
+// a server-side span joined to the caller's trace, passed to the
+// handler via ctx. A nil tracer (the default) disables server spans.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.tracer.Store(t)
+}
+
+// AuditShape installs a continuous obliviousness shape auditor on the
+// server: every exchanged frame is classified by classify and its
+// payload length checked against the class's pinned length (shape.go).
+// Error responses are observed but never length-checked — their
+// payload is an error string, not protocol output.
+func (s *Server) AuditShape(a *obs.ShapeAuditor, classify ShapeClassifier) {
+	if a == nil || classify == nil {
+		return
+	}
+	s.shapeMu.Lock()
+	s.shapeAud, s.shapeClassify = a, classify
+	s.shapeMu.Unlock()
+}
+
+// auditExchange records one request/response pair with the shape
+// auditor, if installed.
+func (s *Server) auditExchange(msgType byte, payload, resp []byte, flags byte) {
+	s.shapeMu.RLock()
+	a, classify := s.shapeAud, s.shapeClassify
+	s.shapeMu.RUnlock()
+	if a == nil {
+		return
+	}
+	class, strictReq, strictResp := classify(msgType, payload)
+	a.Observe("in", msgType, class, strictReq, len(payload))
+	a.Observe("out", msgType, class, strictResp && flags&flagError == 0, len(resp))
 }
 
 // SetObserver installs an adversary's-eye traffic observer, invoked
@@ -343,7 +404,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var pending sync.WaitGroup
 	defer pending.Wait()
 	for {
-		sid, id, msgType, _, payload, err := readFrame(conn)
+		sid, id, tr, msgType, _, payload, err := readFrame(conn)
 		if err != nil {
 			return // closed, draining, or corrupt; stop reading
 		}
@@ -355,14 +416,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
-			flags, resp := s.respond(sid, id, msgType, payload, m)
+			flags, resp := s.respond(sid, id, tr, msgType, payload, m)
 			if m != nil {
 				m.framesOut.Inc()
 				m.bytesOut.Add(int64(headerSize + len(resp)))
 			}
 			s.observe(msgType, len(payload), len(resp))
+			s.auditExchange(msgType, payload, resp, flags)
 			wmu.Lock()
-			werr := writeFrame(conn, sid, id, msgType, flags, resp)
+			// Responses echo the request's trace ref, so a traced
+			// caller can stitch both directions into one trace.
+			werr := writeFrame(conn, sid, id, tr, msgType, flags, resp)
 			wmu.Unlock()
 			if werr != nil {
 				// A connection that cannot carry responses must not keep
@@ -379,7 +443,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // replay if this (session, id) already completed, otherwise one
 // handler execution whose outcome is cached before it is written, so a
 // response lost on the wire can still be replayed to a retry.
-func (s *Server) respond(sid, id uint64, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
+func (s *Server) respond(sid, id uint64, tr trace.SpanContext, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
 	var sess *dedupSession
 	var entry *dedupEntry
 	if sid != 0 {
@@ -389,7 +453,10 @@ func (s *Server) respond(sid, id uint64, msgType byte, payload []byte, m *server
 			// Retry of an in-flight or completed request: wait for the
 			// one execution and replay its outcome (the verbatim
 			// response, or ReplayEvicted if only the fact of execution
-			// survived eviction).
+			// survived eviction). No new span: the retried frame carries
+			// the original trace ref, so the replayed response already
+			// belongs to the original trace; the handler's one execution
+			// recorded its span then.
 			<-entry.done
 			if m != nil {
 				m.dedupHits.Inc()
@@ -400,6 +467,13 @@ func (s *Server) respond(sid, id uint64, msgType byte, payload []byte, m *server
 	if m != nil {
 		m.inflight.Inc()
 	}
+	ctx := context.Background()
+	var sp *trace.Span
+	if t := s.tracer.Load(); t != nil {
+		if sp = t.StartRemote(tr, "server_handle"); sp != nil {
+			ctx = trace.ContextWith(ctx, sp)
+		}
+	}
 	sw := obs.StartWatch(m != nil)
 	h, ok := s.handler(msgType)
 	var resp []byte
@@ -407,12 +481,13 @@ func (s *Server) respond(sid, id uint64, msgType byte, payload []byte, m *server
 	if !ok {
 		flags |= flagError
 		resp = []byte(fmt.Sprintf("no handler for message type %d", msgType))
-	} else if out, herr := h(payload); herr != nil {
+	} else if out, herr := h(ctx, payload); herr != nil {
 		flags |= flagError
 		resp = []byte(herr.Error())
 	} else {
 		resp = out
 	}
+	sp.End()
 	if len(resp) > MaxFrameSize-minFrameLen {
 		// An oversized response would fail the frame write and tear the
 		// connection down; surface it to the caller as an error instead.
@@ -578,6 +653,11 @@ type Client struct {
 	reqID   atomic.Uint64
 	closed  atomic.Bool
 	metrics atomic.Pointer[clientMetrics]
+	tracer  atomic.Pointer[trace.Tracer]
+
+	shapeMu       sync.RWMutex
+	shapeAud      *obs.ShapeAuditor
+	shapeClassify ShapeClassifier
 
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
@@ -590,8 +670,18 @@ type clientConn struct {
 
 	mu      sync.Mutex
 	conn    net.Conn
-	pending map[uint64]chan result
+	pending map[uint64]pendingCall
 	dead    error // non-nil while disconnected; cleared by reconnect
+}
+
+// A pendingCall is one in-flight request on a connection. Besides the
+// result channel it remembers the request's shape class, so the
+// response frame can be audited against the same class on arrival.
+type pendingCall struct {
+	ch         chan result
+	msgType    byte
+	class      uint64
+	strictResp bool
 }
 
 type result struct {
@@ -635,7 +725,7 @@ func DialOptions(dial func() (net.Conn, error), opts Options) (*Client, error) {
 			c.Close()
 			return nil, fmt.Errorf("transport: dial conn %d: %w", i, err)
 		}
-		cc := &clientConn{client: c, conn: nc, pending: make(map[uint64]chan result)}
+		cc := &clientConn{client: c, conn: nc, pending: make(map[uint64]pendingCall)}
 		go cc.readLoop(nc)
 		c.conns = append(c.conns, cc)
 	}
@@ -663,6 +753,33 @@ func (c *Client) Instrument(reg *obs.Registry) {
 		reconnects:    reg.Counter("ortoa_transport_client_reconnects_total", "pooled connections restored by the redial loop"),
 		retries:       reg.Counter("ortoa_transport_client_retries_total", "call attempts beyond the first (at-most-once, same request id)"),
 	})
+}
+
+// SetTracer installs a span tracer used when a call's context carries
+// no span of its own: each attempt then starts a fresh root trace.
+// Calls whose ctx already carries a span (the proxy's rpc stage)
+// always join that trace regardless of this tracer.
+func (c *Client) SetTracer(t *trace.Tracer) {
+	c.tracer.Store(t)
+}
+
+// AuditShape installs a continuous obliviousness shape auditor on the
+// client: request payloads are classified and length-checked as they
+// are sent, responses as they arrive (matched to their request's
+// class). Error responses are observed but never length-checked.
+func (c *Client) AuditShape(a *obs.ShapeAuditor, classify ShapeClassifier) {
+	if a == nil || classify == nil {
+		return
+	}
+	c.shapeMu.Lock()
+	c.shapeAud, c.shapeClassify = a, classify
+	c.shapeMu.Unlock()
+}
+
+func (c *Client) shape() (*obs.ShapeAuditor, ShapeClassifier) {
+	c.shapeMu.RLock()
+	defer c.shapeMu.RUnlock()
+	return c.shapeAud, c.shapeClassify
 }
 
 // NextID reserves a fresh request id. Combined with CallContextID it
@@ -734,18 +851,30 @@ func (c *Client) callRetry(ctx context.Context, id uint64, msgType byte, payload
 }
 
 // attempt issues one try of a call on the next live pooled connection,
-// bounded by the per-attempt CallTimeout.
+// bounded by the per-attempt CallTimeout. Each attempt gets its own
+// span — a child of the caller's span when ctx carries one, a fresh
+// root when only the client's own tracer is set — and the attempt's
+// span context rides the frame header, so retries reuse the request id
+// AND the trace id: a response replayed from the server's dedup cache
+// lands in the original trace.
 func (c *Client) attempt(ctx context.Context, id uint64, msgType byte, payload []byte) ([]byte, error) {
 	cc := c.pickConn()
 	if cc == nil {
 		return nil, ErrNoLiveConns
 	}
+	sp := trace.StartChild(ctx, "transport_attempt")
+	if sp == nil {
+		if t := c.tracer.Load(); t != nil {
+			sp = t.StartRoot("transport_attempt")
+		}
+	}
+	defer sp.End()
 	if c.opts.CallTimeout > 0 {
 		actx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 		defer cancel()
 		ctx = actx
 	}
-	return cc.call(ctx, id, msgType, payload)
+	return cc.call(ctx, id, sp.Context(), msgType, payload)
 }
 
 // pickConn returns the next live connection in round-robin order, or
@@ -821,8 +950,14 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func (cc *clientConn) call(ctx context.Context, id uint64, msgType byte, payload []byte) ([]byte, error) {
-	ch := make(chan result, 1)
+func (cc *clientConn) call(ctx context.Context, id uint64, tr trace.SpanContext, msgType byte, payload []byte) ([]byte, error) {
+	pc := pendingCall{ch: make(chan result, 1), msgType: msgType}
+	aud, classify := cc.client.shape()
+	if aud != nil {
+		var strictReq bool
+		pc.class, strictReq, pc.strictResp = classify(msgType, payload)
+		aud.Observe("out", msgType, pc.class, strictReq, len(payload))
+	}
 	cc.mu.Lock()
 	if cc.dead != nil {
 		err := cc.dead
@@ -830,11 +965,11 @@ func (cc *clientConn) call(ctx context.Context, id uint64, msgType byte, payload
 		return nil, err
 	}
 	conn := cc.conn
-	cc.pending[id] = ch
+	cc.pending[id] = pc
 	cc.mu.Unlock()
 
 	cc.wmu.Lock()
-	err := writeFrame(conn, cc.client.session, id, msgType, 0, payload)
+	err := writeFrame(conn, cc.client.session, id, tr, msgType, 0, payload)
 	cc.wmu.Unlock()
 	if err != nil {
 		cc.mu.Lock()
@@ -846,7 +981,7 @@ func (cc *clientConn) call(ctx context.Context, id uint64, msgType byte, payload
 	cc.client.calls.Add(1)
 
 	select {
-	case res := <-ch:
+	case res := <-pc.ch:
 		return res.payload, res.err
 	case <-ctx.Done():
 		cc.mu.Lock()
@@ -860,23 +995,27 @@ func (cc *clientConn) call(ctx context.Context, id uint64, msgType byte, payload
 // fails, then hands the clientConn to the redial loop.
 func (cc *clientConn) readLoop(conn net.Conn) {
 	for {
-		_, id, _, flags, payload, err := readFrame(conn)
+		_, id, _, _, flags, payload, err := readFrame(conn)
 		if err != nil {
 			cc.lost(conn, fmt.Errorf("transport: connection lost: %w", err))
 			return
 		}
 		cc.client.bytesReceived.Add(int64(headerSize + len(payload)))
 		cc.mu.Lock()
-		ch, ok := cc.pending[id]
+		pc, ok := cc.pending[id]
 		delete(cc.pending, id)
 		cc.mu.Unlock()
 		if !ok {
 			continue // response to an abandoned or already-retried call
 		}
+		if aud, _ := cc.client.shape(); aud != nil {
+			strict := pc.strictResp && flags&flagError == 0
+			aud.Observe("in", pc.msgType, pc.class, strict, len(payload))
+		}
 		if flags&flagError != 0 {
-			ch <- result{err: &RemoteError{Msg: string(payload)}}
+			pc.ch <- result{err: &RemoteError{Msg: string(payload)}}
 		} else {
-			ch <- result{payload: payload}
+			pc.ch <- result{payload: payload}
 		}
 	}
 }
@@ -893,8 +1032,8 @@ func (cc *clientConn) lost(conn net.Conn, err error) {
 		return
 	}
 	cc.dead = err
-	for id, ch := range cc.pending {
-		ch <- result{err: err}
+	for id, pc := range cc.pending {
+		pc.ch <- result{err: err}
 		delete(cc.pending, id)
 	}
 	cc.mu.Unlock()

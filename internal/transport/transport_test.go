@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -23,9 +24,9 @@ const (
 func startTestServer(t *testing.T, link netsim.Link) (*Server, *netsim.Listener) {
 	t.Helper()
 	s := NewServer()
-	s.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
-	s.Handle(msgFail, func(p []byte) ([]byte, error) { return nil, errors.New("handler exploded") })
-	s.Handle(msgSlow, func(p []byte) ([]byte, error) {
+	s.Handle(msgEcho, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	s.Handle(msgFail, func(_ context.Context, p []byte) ([]byte, error) { return nil, errors.New("handler exploded") })
+	s.Handle(msgSlow, func(_ context.Context, p []byte) ([]byte, error) {
 		time.Sleep(50 * time.Millisecond)
 		return append([]byte("slow:"), p...), nil
 	})
@@ -180,7 +181,7 @@ func TestServerCloseDrainsInflight(t *testing.T) {
 	// does Close return.
 	s := NewServer()
 	started := make(chan struct{})
-	s.Handle(msgSlow, func(p []byte) ([]byte, error) {
+	s.Handle(msgSlow, func(_ context.Context, p []byte) ([]byte, error) {
 		close(started)
 		time.Sleep(50 * time.Millisecond)
 		return []byte("done"), nil
@@ -283,7 +284,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 func TestConnectionLossFailsPending(t *testing.T) {
 	s := NewServer()
 	block := make(chan struct{})
-	s.Handle(msgSlow, func(p []byte) ([]byte, error) {
+	s.Handle(msgSlow, func(_ context.Context, p []byte) ([]byte, error) {
 		<-block
 		return nil, nil
 	})
@@ -353,7 +354,7 @@ func TestOverSimulatedWAN(t *testing.T) {
 
 func TestFrameCorruptionDropsConn(t *testing.T) {
 	s := NewServer()
-	s.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
+	s.Handle(msgEcho, func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	l := netsim.Listen(netsim.Loopback)
 	go s.Serve(l)
 	defer s.Close()

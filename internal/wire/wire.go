@@ -297,3 +297,24 @@ func (r *Reader) Raw(n int) []byte { return r.take(n) }
 func UvarintLen(v uint64) int {
 	return (bits.Len64(v|1) + 6) / 7
 }
+
+// TraceRefLen is the fixed length of the trace reference carried in
+// every transport frame header: an 8-byte trace id followed by an
+// 8-byte parent span id, both little-endian. The field is present —
+// and the same length — whether tracing is enabled or not (all zeros
+// means "untraced"), so span propagation never changes frame sizes and
+// cannot leak operation types through the transcript shape.
+const TraceRefLen = 16
+
+// PutTraceRef encodes a trace reference into dst, which must be at
+// least TraceRefLen bytes.
+func PutTraceRef(dst []byte, traceID, spanID uint64) {
+	binary.LittleEndian.PutUint64(dst[0:8], traceID)
+	binary.LittleEndian.PutUint64(dst[8:16], spanID)
+}
+
+// TraceRef decodes a trace reference from src, which must be at least
+// TraceRefLen bytes.
+func TraceRef(src []byte) (traceID, spanID uint64) {
+	return binary.LittleEndian.Uint64(src[0:8]), binary.LittleEndian.Uint64(src[8:16])
+}

@@ -14,6 +14,7 @@ import (
 	"ortoa/internal/fhe"
 	"ortoa/internal/kvstore"
 	"ortoa/internal/obs"
+	"ortoa/internal/obs/trace"
 	"ortoa/internal/transport"
 	"ortoa/internal/vfs"
 )
@@ -141,7 +142,17 @@ type ServerConfig struct {
 	// Metrics, when non-nil, instruments the server: transport, store,
 	// and protocol handler metrics are registered with it (serve them
 	// with ServeMetrics). Nil runs without observability overhead.
+	// Metrics also arms the continuous obliviousness shape auditor:
+	// every access frame's length is checked online against its class
+	// and divergences fail /healthz.
 	Metrics *obs.Registry
+	// TraceBuffer, when positive, turns on distributed tracing
+	// (requires Metrics): the server retains up to this many finished
+	// spans for /trace, joining traces whose context arrives in request
+	// frame headers. The trace field is part of every frame whether
+	// tracing is on or off, so enabling it changes nothing the server's
+	// network observer can see.
+	TraceBuffer int
 }
 
 // NewMetricsRegistry returns an empty metrics registry to set as
@@ -174,6 +185,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{store: kvstore.New(), ts: transport.NewServer()}
 	s.store.Instrument(cfg.Metrics)
 	s.ts.Instrument(cfg.Metrics)
+	s.ts.AuditShape(obs.NewShapeAuditor(cfg.Metrics, "server"), core.ShapeClassify)
+	if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
+		s.ts.SetTracer(cfg.Metrics.Tracer("server", cfg.TraceBuffer))
+	}
 	core.RegisterLoader(s.ts, s.store)
 	switch cfg.Protocol {
 	case ProtocolLBL, "":
@@ -343,7 +358,14 @@ type ClientConfig struct {
 	// Metrics, when non-nil, instruments the trusted side: transport
 	// and per-stage access metrics are registered with it (serve them
 	// with ServeMetrics). Nil runs without observability overhead.
+	// Metrics also arms the proxy-side obliviousness shape auditor
+	// (see ServerConfig.Metrics).
 	Metrics *obs.Registry
+	// TraceBuffer, when positive, turns on distributed tracing
+	// (requires Metrics): accesses record per-stage span trees, retained
+	// for /trace, and their context rides the fixed-size trace field of
+	// every request frame so the server's spans join the same trace.
+	TraceBuffer int
 }
 
 // A Client is the trusted side of a deployment — the proxy (LBL,
@@ -361,6 +383,8 @@ type Client struct {
 	lblProxy  *core.LBLProxy
 	fheSecret []byte
 	metrics   *obs.Registry
+	tracer    *trace.Tracer
+	shapeAud  *obs.ShapeAuditor
 
 	// directory tracks loaded keys in sorted order, enabling the
 	// §8.2-style range reads over primary keys.
@@ -409,6 +433,12 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 	}
 	c := &Client{protocol: cfg.Protocol, valueSize: cfg.ValueSize, rpc: rpc, metrics: cfg.Metrics}
 	rpc.Instrument(cfg.Metrics)
+	c.shapeAud = obs.NewShapeAuditor(cfg.Metrics, "proxy")
+	rpc.AuditShape(c.shapeAud, core.ShapeClassify)
+	if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
+		c.tracer = cfg.Metrics.Tracer("proxy", cfg.TraceBuffer)
+		rpc.SetTracer(c.tracer)
+	}
 	switch cfg.Protocol {
 	case ProtocolLBL, "":
 		mode, err := cfg.LBLVariant.mode()
@@ -422,6 +452,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 			return nil, err
 		}
 		proxy.Instrument(cfg.Metrics)
+		proxy.TraceWith(c.tracer)
 		c.accessor, c.builder, c.lblProxy = proxy, proxy, proxy
 	case ProtocolTEE:
 		teeClient, err := core.NewTEEClient(core.TEEConfig{ValueSize: cfg.ValueSize}, f, cfg.Keys.DataKey, rpc)
@@ -788,10 +819,15 @@ func (c *Client) ServeProxyOptions(l net.Listener, opts ProxyServeOptions) error
 			MaxPending: opts.AggMaxPending,
 		}, c.lblProxy)
 		agg.Instrument(c.metrics)
+		agg.TraceWith(c.tracer)
 		accessor = agg
 	}
 	ts := transport.NewServer()
 	ts.Instrument(c.metrics)
+	ts.AuditShape(c.shapeAud, core.ShapeClassify)
+	if c.tracer != nil {
+		ts.SetTracer(c.tracer)
+	}
 	core.RegisterProxyService(ts, accessor)
 	c.proxyMu.Lock()
 	if c.proxyClosed {
