@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke crash experiments
+.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke failover-smoke crash experiments
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,15 @@ trace-smoke:
 # the per-request path over a simulated London link (DESIGN.md §12).
 aggregate-smoke:
 	$(GO) run ./cmd/ortoa-bench -experiment aggregate -quick
+
+# failover-smoke runs the multi-proxy high-availability experiment in
+# quick mode: proxy-count scaling plus the kill-and-adopt drill — one
+# proxy is crash-killed mid-workload, survivors adopt its counter
+# ranges through the epoch fence, and the experiment self-audits that
+# no acknowledged write was lost and no obliviousness shape violation
+# occurred (DESIGN.md §14). A zero exit is the assertion.
+failover-smoke:
+	$(GO) run ./cmd/ortoa-bench -experiment failover -quick
 
 # crash runs the kill/restart durability experiment at full scale:
 # 50 seeded crash/recovery cycles under the group-commit WAL, the

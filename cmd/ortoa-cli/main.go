@@ -7,6 +7,12 @@
 //	ortoa-cli -proxy localhost:7002 get key-00000007
 //	ortoa-cli -proxy localhost:7002 put key-00000007 'new value'
 //	ortoa-cli -proxy localhost:7002 -value-size 160 bench -ops 100 -clients 8 -keys 1000
+//
+// Against a multi-proxy deployment, pass every proxy instead: requests
+// route to the proxy owning each key's counter range and fail over to
+// the surviving peers when one dies mid-command:
+//
+//	ortoa-cli -proxies host1:7002,host2:7002,host3:7002 get key-00000007
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,12 +31,22 @@ import (
 	"ortoa/internal/workload"
 )
 
+// A store is what both proxy handles (single ortoa.ProxyClient,
+// failover ortoa.ProxyGroup) expose to the commands below.
+type store interface {
+	Read(key string) ([]byte, error)
+	Write(key string, value []byte) error
+	Close() error
+}
+
 func main() {
 	log.SetPrefix("ortoa-cli: ")
 	log.SetFlags(0)
 
 	proxyAddr := flag.String("proxy", "localhost:7002", "ortoa-proxy address")
+	proxyList := flag.String("proxies", "", "comma-separated addresses of every proxy in a multi-proxy deployment (overrides -proxy; routes to range owners, fails over on proxy death; names must match the proxies' -peers list)")
 	valueSize := flag.Int("value-size", 160, "store's fixed value size (put pads; bench generates)")
+	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-attempt deadline with -proxies, so a dead proxy costs a failover instead of a hang (0 disables)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -37,14 +54,35 @@ func main() {
 		log.Fatal("usage: ortoa-cli [flags] get KEY | put KEY VALUE | bench [bench flags]")
 	}
 
-	dial := func() (net.Conn, error) { return net.Dial("tcp", *proxyAddr) }
+	// connect dials either the one proxy or the failover group.
+	connect := func(conns int) (store, error) {
+		if *proxyList == "" {
+			dial := func() (net.Conn, error) { return net.Dial("tcp", *proxyAddr) }
+			return ortoa.DialProxy(dial, conns)
+		}
+		var members []ortoa.ProxyGroupMember
+		for _, a := range strings.Split(*proxyList, ",") {
+			addr := strings.TrimSpace(a)
+			if addr == "" {
+				continue
+			}
+			members = append(members, ortoa.ProxyGroupMember{
+				Name: addr,
+				Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			})
+		}
+		return ortoa.DialProxyGroup(members, ortoa.ProxyGroupOptions{
+			Conns:       conns,
+			CallTimeout: *callTimeout,
+		})
+	}
 
 	switch args[0] {
 	case "get":
 		if len(args) != 2 {
 			log.Fatal("usage: get KEY")
 		}
-		client, err := ortoa.DialProxy(dial, 1)
+		client, err := connect(1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +96,7 @@ func main() {
 		if len(args) != 3 {
 			log.Fatal("usage: put KEY VALUE")
 		}
-		client, err := ortoa.DialProxy(dial, 1)
+		client, err := connect(1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,19 +106,23 @@ func main() {
 			log.Fatalf("value exceeds fixed size %d", *valueSize)
 		}
 		if err := client.Write(args[1], value); err != nil {
+			if ortoa.Ambiguous(err) {
+				log.Fatalf("outcome unknown (write may have applied; rewriting is safe): %v", err)
+			}
 			log.Fatal(err)
 		}
 		fmt.Println("ok")
 	case "bench":
-		benchCmd(dial, *valueSize, args[1:])
+		benchCmd(connect, *valueSize, args[1:])
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}
 }
 
-// benchCmd drives a closed-loop random workload through the proxy and
-// prints latency/throughput, mirroring the paper's measurement loop.
-func benchCmd(dial func() (net.Conn, error), valueSize int, args []string) {
+// benchCmd drives a closed-loop random workload through the proxy (or
+// proxy group) and prints latency/throughput, mirroring the paper's
+// measurement loop.
+func benchCmd(connect func(conns int) (store, error), valueSize int, args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	ops := fs.Int("ops", 100, "operations per client")
 	clients := fs.Int("clients", 8, "concurrent closed-loop clients")
@@ -88,7 +130,7 @@ func benchCmd(dial func() (net.Conn, error), valueSize int, args []string) {
 	writeFrac := fs.Float64("write-fraction", 0.5, "fraction of writes")
 	fs.Parse(args)
 
-	client, err := ortoa.DialProxy(dial, *clients)
+	client, err := connect(*clients)
 	if err != nil {
 		log.Fatal(err)
 	}

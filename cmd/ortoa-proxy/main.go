@@ -18,6 +18,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +49,9 @@ func main() {
 	aggMaxBatch := flag.Int("agg-max-batch", 0, "dispatch an aggregation window early at this many accesses (0 = default 64)")
 	aggMaxPending := flag.Int("agg-max-pending", 0, "reject client accesses beyond this many admitted-but-unanswered (0 = default 4x max-batch)")
 	reconcileScan := flag.Int("reconcile-scan", 0, "probe up to N counter steps to reconcile after crash desync, e.g. when resuming from a stale -state snapshot (LBL; 0 disables)")
+	peers := flag.String("peers", "", "comma-separated names of every proxy in a multi-proxy deployment, e.g. host1:7002,host2:7002 (LBL; claims this proxy's ring share of counter ranges and enables adoption on fence; requires -self)")
+	self := flag.String("self", "", "this proxy's name within -peers (clients' -proxies member names must match for first-try owner routing)")
+	ranges := flag.String("ranges", "", "comma-separated counter range ids to claim explicitly instead of ring placement, e.g. 0,5,9 (LBL; enables adoption on fence)")
 	fheDegree := flag.Int("fhe-degree", 512, "BFV ring degree (fhe)")
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, /trace, and /debug/pprof on this address (e.g. :7092)")
@@ -56,6 +61,21 @@ func main() {
 	keys, err := ortoa.LoadOrGenerateKeys(*keysPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	multiProxy := *peers != "" || *ranges != ""
+	if multiProxy && ortoa.Protocol(*protocol) != ortoa.ProtocolLBL {
+		log.Fatal("-peers/-ranges (multi-proxy range ownership) require -protocol lbl")
+	}
+	if *peers != "" && *self == "" {
+		log.Fatal("-peers requires -self (this proxy's name within the peer list)")
+	}
+	if multiProxy && *reconcileScan <= 0 {
+		// An adopter rebases a dead peer's counters through the
+		// reconcile spiral; without a scan bound adoption would fence
+		// the ex-owner but never recover the counter positions.
+		*reconcileScan = 4096
+		log.Printf("multi-proxy deployment: defaulting -reconcile-scan to %d", *reconcileScan)
 	}
 
 	var reg *obs.Registry
@@ -78,6 +98,7 @@ func main() {
 		CallTimeout:   *callTimeout,
 		RetryAttempts: *retries,
 		ReconcileScan: *reconcileScan,
+		AutoAdopt:     multiProxy,
 		FHE:           ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
 		Metrics:       reg,
 		TraceBuffer:   *traceBuffer,
@@ -107,6 +128,44 @@ func main() {
 			}
 			log.Printf("restored LBL counters from %s", *statePath)
 		}
+	}
+
+	// Claim range ownership after any counter restore: from the claim
+	// on, every in-flight or retried round from a previous owner of
+	// these ranges is fenced at the server before it can touch a
+	// record, and this proxy's stale counter positions rebase through
+	// -reconcile-scan on first access.
+	switch {
+	case *ranges != "":
+		var rids []uint32
+		for _, f := range strings.Split(*ranges, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(f, 10, 32)
+			if err != nil || id >= ortoa.NumCounterRanges {
+				log.Fatalf("-ranges: %q is not a range id in [0,%d)", f, ortoa.NumCounterRanges)
+			}
+			rids = append(rids, uint32(id))
+		}
+		if err := client.ClaimRanges(rids); err != nil {
+			log.Fatalf("claiming ranges: %v", err)
+		}
+		log.Printf("claimed %d explicit counter ranges", len(rids))
+	case *peers != "":
+		var names []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				names = append(names, p)
+			}
+		}
+		rids, err := client.ClaimOwnedRanges(names, *self)
+		if err != nil {
+			log.Fatalf("claiming owned ranges: %v", err)
+		}
+		log.Printf("claimed %d/%d counter ranges as %q (ring of %d proxies)",
+			len(rids), ortoa.NumCounterRanges, *self, len(names))
 	}
 
 	if *loadSynthetic > 0 {

@@ -69,6 +69,12 @@ const (
 	// design targets (§5.2, §6.3) without changing what the adversary
 	// learns per access.
 	MsgLBLAccessBatch byte = 0x0B
+	// MsgEpochClaim asserts ownership of one counter range in a
+	// multi-proxy deployment: the server bumps the range's fencing
+	// epoch past every epoch it has granted and returns the new one
+	// (epoch.go). Fixed-width request (rangeID ‖ minEpoch) and response
+	// (epoch), so claims are strict shape classes both ways.
+	MsgEpochClaim byte = 0x0C
 )
 
 // Protocol errors.

@@ -111,6 +111,14 @@ type LBLConfig struct {
 	// fails every access with the server's stale rejection, the §5.3.1
 	// behavior. See reconcile.go.
 	ReconcileScan int
+	// AutoAdopt, in multi-proxy deployments, lets the proxy adopt a
+	// counter range on demand: when an access is epoch-fenced (another
+	// proxy owned the range more recently — typically because this
+	// proxy was just handed the range by the router after its owner
+	// died), the proxy claims the range, bumping its epoch, and retries.
+	// The retry then rebases the key's counter through ReconcileScan,
+	// which AutoAdopt therefore requires to be useful. See epoch.go.
+	AutoAdopt bool
 }
 
 // Groups returns the number of label groups per value (ℓ/y).
@@ -133,22 +141,24 @@ func (c LBLConfig) TableBytes() int {
 }
 
 // RequestBytesPerAccess returns the exact access payload size
-// (§5.3.2: 2^y · E_len · ℓ/y table entries plus framing).
+// (§5.3.2: 2^y · E_len · ℓ/y table entries plus framing, including the
+// fixed-width ownership claim of epoch.go).
 func (c LBLConfig) RequestBytesPerAccess() int {
-	return prf.Size + 1 +
+	return prf.Size + lblClaimLen + 1 +
 		wire.UvarintLen(uint64(c.Groups())) +
 		wire.UvarintLen(uint64(c.Mode.entryLen())) +
 		c.TableBytes()
 }
 
 // BatchRequestBytes returns the exact MsgLBLAccessBatch payload size
-// for n accesses: one shared geometry header plus n (key, table) pairs.
+// for n accesses: one shared geometry header plus n (key, claim, table)
+// triples.
 func (c LBLConfig) BatchRequestBytes(n int) int {
 	return 1 +
 		wire.UvarintLen(uint64(c.Groups())) +
 		wire.UvarintLen(uint64(c.Mode.entryLen())) +
 		wire.UvarintLen(uint64(n)) +
-		n*(prf.Size+c.TableBytes())
+		n*(prf.Size+lblClaimLen+c.TableBytes())
 }
 
 func (c LBLConfig) validate() error {
@@ -186,7 +196,12 @@ type LBLProxy struct {
 	counters *counterTable
 	client   *transport.Client
 	tracer   atomic.Pointer[trace.Tracer]
-	mx       lblProxyObs
+	// epochs holds the proxy's last granted epoch per counter range,
+	// stamped into every access frame (epoch.go). All zeros — the
+	// single-proxy state — stamps legacy epoch-0 claims the server
+	// always admits.
+	epochs [NumRanges]atomic.Uint64
+	mx     lblProxyObs
 }
 
 // TraceWith attaches a tracer: subsequent accesses record per-stage
@@ -308,7 +323,16 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 
 	var dBuild, dRPC time.Duration
 	var resp []byte
-	for attempt := 0; ; attempt++ {
+	// Each recovery transition below is bounded per access, and they may
+	// chain: an adoption (fence → claim) typically exposes a
+	// desynchronized counter on its retry (the adopter starts from a
+	// stale or empty snapshot), which reconciliation then rebases. The
+	// allowance is >1 because during a live ownership handoff a peer can
+	// adopt the range back (or advance the counter) between our recovery
+	// step and its retry; the transient resolves within a lap or two.
+	const recoveryAllowance = 3
+	var claimed, reconciled int
+	for {
 		// The request buffer is pooled: framing allocates nothing in
 		// steady state. It is released after the RPC settles — except
 		// when the round is parked for at-most-once replay, which
@@ -347,11 +371,28 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 			return nil, stats, err
 		}
 		wire.PutWriter(reqW)
-		if attempt == 0 && p.cfg.ReconcileScan > 0 && isStaleRound(err) {
+		if claimed < recoveryAllowance && p.cfg.AutoAdopt && isFencedRound(err) {
+			// The range's epoch moved past ours: we are being handed
+			// ownership (or re-learning it after a restart). Claim the
+			// range — fencing out every older owner — and retry at the
+			// granted epoch.
+			claimed++
+			p.mx.fencedRounds.Inc()
+			sw.Lap(p.mx.rpc)
+			if _, cerr := p.ClaimRange(RangeOf(key)); cerr == nil {
+				sw.Lap(nil)
+				continue
+			}
+			p.mx.errors.Inc()
+			return nil, stats, err
+		}
+		if reconciled < recoveryAllowance && p.cfg.ReconcileScan > 0 && isStaleRound(err) {
 			// A fresh stale rejection with no parked round means the
 			// counter and the server's record have desynchronized
-			// (crash recovery on either side). Re-locate the server's
-			// counter and retry this access once at the rebased value.
+			// (crash recovery on either side, or a just-adopted range
+			// whose counters we never held). Re-locate the server's
+			// counter and retry this access at the rebased value.
+			reconciled++
 			sw.Lap(p.mx.rpc)
 			if rerr := p.reconcile(key, entry); rerr == nil {
 				sw.Lap(nil)
@@ -421,6 +462,9 @@ func (p *LBLProxy) buildRequestInto(w *wire.Writer, op Op, key string, newValue 
 	cfg := p.cfg
 	ek := p.prf.EncodeKey(key)
 	w.Raw(ek[:])
+	rid := RangeOf(key)
+	w.Uint32(rid)
+	w.Uint64(p.rangeEpoch(rid))
 	w.Byte(byte(cfg.Mode))
 	w.Uvarint(uint64(cfg.Groups()))
 	w.Uvarint(uint64(cfg.Mode.entryLen()))
@@ -755,7 +799,7 @@ func (p *LBLProxy) accessBatchIndices(ctx context.Context, ops []BatchOp, includ
 		waves[w] = append(waves[w], i)
 	}
 
-	maxPerCall := (maxBatchFrameBytes - 32) / (prf.Size + p.cfg.TableBytes())
+	maxPerCall := (maxBatchFrameBytes - 32) / (prf.Size + lblClaimLen + p.cfg.TableBytes())
 	if maxPerCall < 1 {
 		maxPerCall = 1
 	}
@@ -887,7 +931,7 @@ func (p *LBLProxy) accessBatchChunk(ctx context.Context, ops []BatchOp, idxs []i
 	w.Uvarint(uint64(groups))
 	w.Uvarint(uint64(cfg.Mode.entryLen()))
 	w.Uvarint(uint64(len(idxs)))
-	segLen := prf.Size + cfg.TableBytes()
+	segLen := prf.Size + lblClaimLen + cfg.TableBytes()
 	segs := w.Extend(len(idxs) * segLen)
 	inner := runtime.GOMAXPROCS(0) / len(idxs)
 	if inner < 1 {
@@ -899,7 +943,9 @@ func (p *LBLProxy) accessBatchChunk(ctx context.Context, ops []BatchOp, idxs []i
 		seg := segs[i*segLen : (i+1)*segLen]
 		ek := p.prf.EncodeKey(op.Key)
 		copy(seg, ek[:])
-		buildErrs[i] = p.buildAccessTable(seg[prf.Size:], op.Key, op.Op, op.Value, entries[i].ct, inner)
+		rid := RangeOf(op.Key)
+		putClaim(seg[prf.Size:], rid, p.rangeEpoch(rid))
+		buildErrs[i] = p.buildAccessTable(seg[prf.Size+lblClaimLen:], op.Key, op.Op, op.Value, entries[i].ct, inner)
 	})
 	for _, err := range buildErrs {
 		if err != nil {

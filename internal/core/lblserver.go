@@ -29,6 +29,17 @@ type LBLServer struct {
 
 	ops             atomic.Int64
 	decryptAttempts atomic.Int64
+
+	// epochs is the per-range ownership fence (epoch.go): the highest
+	// epoch claimed for each counter range. In-memory only — a restarted
+	// server relearns epochs from the first frame per range, and fencing
+	// correctness never depends on the server remembering them (the
+	// label schedule itself is the at-most-once guarantee; epochs only
+	// shut out ex-owners promptly).
+	epochs       [NumRanges]atomic.Uint64
+	fencedRounds atomic.Int64
+	epochBumps   atomic.Int64
+	maxEpoch     atomic.Uint64
 }
 
 // NewLBLServer returns a server over store.
@@ -40,6 +51,7 @@ func NewLBLServer(store *kvstore.Store) *LBLServer {
 func (s *LBLServer) Register(ts *transport.Server) {
 	ts.Handle(MsgLBLAccess, s.handleAccess)
 	ts.Handle(MsgLBLAccessBatch, s.handleAccessBatch)
+	ts.Handle(MsgEpochClaim, s.handleEpochClaim)
 }
 
 // Ops returns the number of accesses served.
@@ -231,6 +243,7 @@ func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table, labelsOut
 func (s *LBLServer) handleAccess(ctx context.Context, payload []byte) ([]byte, error) {
 	r := wire.NewReader(payload)
 	encKey := r.Raw(prf.Size)
+	claim := r.Raw(lblClaimLen)
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -243,6 +256,11 @@ func (s *LBLServer) handleAccess(ctx context.Context, payload []byte) ([]byte, e
 		return nil, err
 	}
 	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	// The ownership fence runs before any record work: a fenced round
+	// must leave the store untouched (epoch.go).
+	if err := s.checkEpoch(readClaim(claim)); err != nil {
 		return nil, err
 	}
 	sp := trace.StartChild(ctx, "server_decrypt")
@@ -283,9 +301,11 @@ func (s *LBLServer) handleAccessBatch(ctx context.Context, payload []byte) ([]by
 	sp := trace.StartChild(ctx, "server_decrypt")
 	defer sp.End()
 	keys := make([]string, n)
+	claims := make([][]byte, n)
 	tables := make([][]byte, n)
 	for i := 0; i < n; i++ {
 		keys[i] = string(r.Raw(prf.Size))
+		claims[i] = r.Raw(lblClaimLen)
 		tables[i] = r.Raw(geo.tableBytes())
 	}
 	if err := r.Err(); err != nil {
@@ -314,6 +334,13 @@ func (s *LBLServer) handleAccessBatch(ctx context.Context, payload []byte) ([]by
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				// Per-key fence: one stale-epoch access must not fail
+				// its batch mates, so the fence is a per-key status like
+				// any other access error.
+				if err := s.checkEpoch(readClaim(claims[i])); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = s.accessOne(keys[i], geo, tables[i], labelsBuf[i*stride:(i+1)*stride])
 			}

@@ -57,6 +57,9 @@ type lblProxyObs struct {
 	reconcileProbes *obs.Counter // read-shaped probes sent to re-locate a server counter
 	reconciledKeys  *obs.Counter // keys whose counter was rebased after crash desync
 
+	epochClaims  *obs.Counter // counter ranges claimed (adoption or startup, epoch.go)
+	fencedRounds *obs.Counter // accesses rejected by the server's epoch fence
+
 	slow *obs.SlowLog
 }
 
@@ -96,8 +99,12 @@ func (p *LBLProxy) Instrument(reg *obs.Registry) {
 		reconcileProbes: reg.Counter("ortoa_lbl_reconcile_probes_total", "read-shaped probes sent to re-locate a server counter after crash desync"),
 		reconciledKeys:  reg.Counter("ortoa_lbl_reconciled_keys_total", "keys whose counter was rebased by reconciliation"),
 
+		epochClaims:  reg.Counter("ortoa_lbl_epoch_claims_total", "counter-range ownership claims issued (startup or failover adoption)"),
+		fencedRounds: reg.Counter("ortoa_lbl_fenced_rounds_total", "accesses rejected by the server's epoch fence before adoption"),
+
 		slow: reg.SlowLog("lbl_access", 32),
 	}
+	reg.GaugeFunc("ortoa_lbl_owned_ranges", "counter ranges this proxy has claimed (epoch > 0)", p.OwnedRanges)
 }
 
 // lblServerObs instruments the untrusted LBL server's handler work:
@@ -117,6 +124,12 @@ func (s *LBLServer) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("ortoa_lbl_server_ops_total", "LBL accesses served", s.ops.Load)
 	reg.CounterFunc("ortoa_lbl_server_decrypt_attempts_total",
 		"authenticated decryptions attempted (the cost §10.2 halves)", s.decryptAttempts.Load)
+	reg.CounterFunc("ortoa_lbl_server_fenced_rounds_total",
+		"accesses rejected by the epoch fence (stale range ownership)", s.fencedRounds.Load)
+	reg.CounterFunc("ortoa_lbl_server_epoch_bumps_total",
+		"range-epoch installs (claims plus relearned epochs after restart)", s.epochBumps.Load)
+	reg.GaugeFunc("ortoa_lbl_server_max_epoch",
+		"highest range ownership epoch granted", func() int64 { return int64(s.maxEpoch.Load()) })
 	s.mx = lblServerObs{
 		enabled: true,
 		access:  reg.Histogram("ortoa_lbl_server_access_seconds", "store read + label swap per access (§5.2 steps 2.1–2.2)"),

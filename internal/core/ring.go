@@ -1,0 +1,150 @@
+package core
+
+import "sort"
+
+// Counter-range partitioning for multi-proxy deployments. The LBL
+// proxy's only irreplaceable state is the per-key access counter
+// (§5.3.1); running N proxies therefore means partitioning counter
+// OWNERSHIP, not data — every proxy holds the same PRF secret and can
+// serve any key, but at any moment exactly one proxy should be
+// advancing a given key's counter, or two proxies would race the same
+// label schedule. Keys are folded into a fixed number of counter
+// ranges, and a consistent-hash ring maps each range to the proxy that
+// currently owns it. Ownership is enforced by the server's epoch fence
+// (epoch.go): the ring is a routing hint, the fence is the guarantee.
+
+// NumRanges is the fixed size of the counter-range partition space.
+// Ranges — not raw keys — are the unit of ownership, epoch fencing,
+// and failover handoff, so the space must be stable across membership
+// changes; 64 ranges keep the per-range epoch tables one cache line's
+// worth of counters while still splitting finely across the ≤8-proxy
+// deployments the failover experiment scales to.
+const NumRanges = 64
+
+// RangeOf maps a plaintext key to its counter range. Same inlined
+// FNV-1a as counterTable.shardFor, so the mapping allocates nothing on
+// the access path.
+func RangeOf(key string) uint32 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return uint32(h % NumRanges)
+}
+
+// ringVnodes is the number of virtual points each member contributes
+// to the ring. More points smooth the range distribution; 128 keeps
+// the max/min ownership skew low even at two members.
+const ringVnodes = 128
+
+// A Ring is a consistent-hash assignment of the NumRanges counter
+// ranges to a set of named members (proxies). It is immutable once
+// built; membership changes build a new Ring, and consistent hashing
+// guarantees the rebuild moves only the ranges that must move — on
+// average 1/N of them when one of N members joins or leaves, never a
+// range whose owner survived the change.
+type Ring struct {
+	members []string
+	points  []ringPoint        // sorted by hash
+	owners  [NumRanges]string  // resolved owner per range
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// ringHash hashes a ring point name onto the circle (FNV-1a over the
+// full 64-bit space, distinct from RangeOf's mod-NumRanges fold).
+func ringHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewRing builds the ring for the given member names. Order does not
+// matter and duplicates are ignored; an empty member set yields a ring
+// that owns nothing (Owner returns "").
+func NewRing(members []string) *Ring {
+	r := &Ring{}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+	}
+	sort.Strings(r.members)
+	if len(r.members) == 0 {
+		return r
+	}
+	r.points = make([]ringPoint, 0, len(r.members)*ringVnodes)
+	var vbuf [8]byte
+	for _, m := range r.members {
+		for v := 0; v < ringVnodes; v++ {
+			vbuf = [8]byte{byte(v), byte(v >> 8), '#', 'v', 'n', 'o', 'd', 'e'}
+			r.points = append(r.points, ringPoint{ringHash(m + string(vbuf[:])), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break deterministically so equal hashes cannot make
+		// ownership depend on sort order.
+		return r.points[i].owner < r.points[j].owner
+	})
+	for rid := uint32(0); rid < NumRanges; rid++ {
+		r.owners[rid] = r.resolve(rid)
+	}
+	return r
+}
+
+// resolve walks clockwise from the range's position to the first
+// member point.
+func (r *Ring) resolve(rangeID uint32) string {
+	h := ringHash(rangeIDName(rangeID))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].owner
+}
+
+// rangeIDName names a range on the ring; the prefix keeps range points
+// from colliding with member vnode points.
+func rangeIDName(rangeID uint32) string {
+	return "range:" + string([]byte{byte(rangeID), byte(rangeID >> 8), byte(rangeID >> 16), byte(rangeID >> 24)})
+}
+
+// Owner returns the member owning rangeID, or "" for an empty ring or
+// an out-of-space id.
+func (r *Ring) Owner(rangeID uint32) string {
+	if len(r.members) == 0 || rangeID >= NumRanges {
+		return ""
+	}
+	return r.owners[rangeID]
+}
+
+// OwnerOfKey returns the member owning key's counter range.
+func (r *Ring) OwnerOfKey(key string) string { return r.Owner(RangeOf(key)) }
+
+// Members returns the ring's member names in sorted order. The slice
+// is shared; callers must not modify it.
+func (r *Ring) Members() []string { return r.members }
+
+// Ranges returns the range ids owned by member, in ascending order.
+func (r *Ring) Ranges(member string) []uint32 {
+	var out []uint32
+	for rid := uint32(0); rid < NumRanges; rid++ {
+		if r.owners[rid] == member {
+			out = append(out, rid)
+		}
+	}
+	return out
+}

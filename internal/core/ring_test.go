@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("proxy-%d", i)
+	}
+	return m
+}
+
+// TestRangeOfDistribution checks that key→range placement is close to
+// uniform: over a large keyspace no range should be starved or pile up
+// far beyond its fair share.
+func TestRangeOfDistribution(t *testing.T) {
+	const keys = 64 << 10
+	var counts [NumRanges]int
+	for i := 0; i < keys; i++ {
+		counts[RangeOf(fmt.Sprintf("user:%d", i))]++
+	}
+	mean := keys / NumRanges
+	for rid, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("range %d holds %d keys, mean %d — placement badly skewed", rid, c, mean)
+		}
+	}
+}
+
+// TestRangeOfDeterministic pins that placement is a pure function of
+// the key: routing and claim stamping must always agree.
+func TestRangeOfDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a, b := RangeOf(k), RangeOf(k); a != b {
+			t.Fatalf("RangeOf(%q) unstable: %d vs %d", k, a, b)
+		}
+		if RangeOf(k) >= NumRanges {
+			t.Fatalf("RangeOf(%q) = %d out of space", k, RangeOf(k))
+		}
+	}
+}
+
+// TestRingDistribution checks every member owns a reasonable share of
+// the NumRanges ranges across deployment sizes.
+func TestRingDistribution(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("members=%d", n), func(t *testing.T) {
+			r := NewRing(ringMembers(n))
+			total := 0
+			fair := NumRanges / n
+			for _, m := range r.Members() {
+				owned := len(r.Ranges(m))
+				total += owned
+				// With 64 ranges over ≤8 members the vnode smoothing
+				// keeps every member within ~3x of fair share, and no
+				// member may own nothing.
+				if owned == 0 {
+					t.Errorf("member %s owns no ranges", m)
+				}
+				if owned > 3*fair+1 {
+					t.Errorf("member %s owns %d ranges, fair share %d", m, owned, fair)
+				}
+			}
+			if total != NumRanges {
+				t.Fatalf("ranges owned sum to %d, want %d", total, NumRanges)
+			}
+		})
+	}
+}
+
+// ringOwners snapshots owner-per-range for movement comparisons.
+func ringOwners(r *Ring) [NumRanges]string {
+	var o [NumRanges]string
+	for rid := uint32(0); rid < NumRanges; rid++ {
+		o[rid] = r.Owner(rid)
+	}
+	return o
+}
+
+// TestRingMinimalMovement is the consistent-hashing contract, exactly:
+// adding a member moves ranges only TO the new member, removing one
+// moves only the removed member's ranges, and the moved fraction is
+// about 1/N either way.
+func TestRingMinimalMovement(t *testing.T) {
+	cases := []struct{ from, to int }{
+		{1, 2}, {2, 3}, {3, 4}, {4, 5}, {7, 8}, // grow by one
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("add_%d_to_%d", tc.from, tc.to), func(t *testing.T) {
+			before := ringOwners(NewRing(ringMembers(tc.from)))
+			after := ringOwners(NewRing(ringMembers(tc.to)))
+			newcomer := fmt.Sprintf("proxy-%d", tc.to-1)
+			moved := 0
+			for rid := 0; rid < NumRanges; rid++ {
+				if before[rid] == after[rid] {
+					continue
+				}
+				moved++
+				if after[rid] != newcomer {
+					t.Errorf("range %d moved %s→%s, but only moves to the newcomer %s are allowed",
+						rid, before[rid], after[rid], newcomer)
+				}
+			}
+			// The newcomer's fair share is NumRanges/to; allow generous
+			// slack for hash placement but fail on wholesale reshuffles.
+			if max := 3*NumRanges/tc.to + 1; moved > max {
+				t.Errorf("adding one member moved %d/%d ranges, want ≤ %d (~1/N)", moved, NumRanges, max)
+			}
+		})
+	}
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("remove_from_%d", n), func(t *testing.T) {
+			full := NewRing(ringMembers(n))
+			before := ringOwners(full)
+			// Remove the last member; survivors' ranges must not move.
+			gone := fmt.Sprintf("proxy-%d", n-1)
+			after := ringOwners(NewRing(ringMembers(n - 1)))
+			for rid := 0; rid < NumRanges; rid++ {
+				if before[rid] != gone && before[rid] != after[rid] {
+					t.Errorf("range %d owned by survivor %s moved to %s on unrelated removal",
+						rid, before[rid], after[rid])
+				}
+				if before[rid] == gone && after[rid] == gone {
+					t.Errorf("range %d still owned by removed member %s", rid, gone)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMembershipEdgeCases covers empty rings, duplicates, and
+// order-independence.
+func TestRingMembershipEdgeCases(t *testing.T) {
+	if owner := NewRing(nil).Owner(0); owner != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", owner)
+	}
+	if owner := NewRing([]string{"a"}).Owner(NumRanges); owner != "" {
+		t.Errorf("out-of-space range owner = %q, want \"\"", owner)
+	}
+	dup := ringOwners(NewRing([]string{"a", "b", "a", "", "b"}))
+	plain := ringOwners(NewRing([]string{"a", "b"}))
+	if dup != plain {
+		t.Error("duplicate/empty member names changed the assignment")
+	}
+	shuffled := ringOwners(NewRing([]string{"b", "a"}))
+	if shuffled != plain {
+		t.Error("member order changed the assignment")
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ortoa/internal/obs"
+	"ortoa/internal/transport"
+)
+
+// Client-side proxy-set routing for multi-proxy deployments. A Router
+// fronts N proxies behind the one Accessor interface every workload
+// already uses: each access is steered to the proxy owning the key's
+// counter range (ring.go), a dead proxy is detected by its transport
+// failures and routed around immediately, and a background prober
+// re-admits it — with bounded exponential backoff — once its listener
+// answers again. Ownership rejections (epoch fences that a proxy
+// declined to adopt through) redirect to the next peer rather than
+// failing the caller, so a kill mid-workload costs one redirect, not an
+// outage.
+
+// A RouterMember names one proxy and how to reach it.
+type RouterMember struct {
+	Name string
+	Dial func() (net.Conn, error)
+}
+
+// RouterOptions tunes a Router. The zero value gets sane defaults.
+type RouterOptions struct {
+	// Client is the per-member transport configuration (pool size,
+	// call timeouts, retry policy).
+	Client transport.Options
+	// Attempts bounds how many members one access may try before its
+	// last error is surfaced. Default: member count + 1, so a full
+	// sweep plus one redirect always fits.
+	Attempts int
+	// ProbeInterval is the health-prober tick. Default 100ms.
+	ProbeInterval time.Duration
+	// ProbeBackoffMax caps the per-member probe backoff that doubles on
+	// every failed probe. Default 2s.
+	ProbeBackoffMax time.Duration
+	// Metrics, when non-nil, registers the router's metrics
+	// (ortoa_router_*) before the health prober starts.
+	Metrics *obs.Registry
+}
+
+// ErrNoProxies reports an access that found no member to try.
+var ErrNoProxies = errors.New("core: router has no reachable proxies")
+
+type routerMember struct {
+	name    string
+	dial    func() (net.Conn, error)
+	healthy atomic.Bool
+
+	mu     sync.Mutex // guards client/acc (re)creation
+	client *transport.Client
+	acc    *RemoteAccessor
+
+	// probe pacing, owned by the prober goroutine
+	nextProbe time.Time
+	backoff   time.Duration
+}
+
+// accessor returns the member's stub, dialing on first use (or after a
+// startup failure). A nil return means the member is unreachable.
+func (m *routerMember) accessor(opts transport.Options) *RemoteAccessor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.acc != nil {
+		return m.acc
+	}
+	c, err := transport.DialOptions(m.dial, opts)
+	if err != nil {
+		return nil
+	}
+	m.client = c
+	m.acc = NewRemoteAccessor(c)
+	return m.acc
+}
+
+// A Router implements Accessor over a set of proxies. Safe for
+// concurrent use.
+type Router struct {
+	members []*routerMember
+	opts    RouterOptions
+	ring    atomic.Pointer[Ring]
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	mx   routerObs
+}
+
+// routerObs is the Router's metric bundle (nil-safe handles).
+type routerObs struct {
+	redirects *obs.Counter // fence rejections redirected to a peer
+	failovers *obs.Counter // accesses moved off a failed member
+	probes    *obs.Counter // health probes sent
+	healthy   *obs.Gauge   // members currently routable
+}
+
+// instrument registers the router's metrics. Called from NewRouter
+// before the prober goroutine starts — the bundle is written without
+// synchronization, so it must not change once the router is live.
+func (r *Router) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mx = routerObs{
+		redirects: reg.Counter("ortoa_router_redirects_total", "accesses redirected to a peer after an ownership fence"),
+		failovers: reg.Counter("ortoa_router_failovers_total", "accesses moved off a member after a transport failure"),
+		probes:    reg.Counter("ortoa_router_probes_total", "health probes sent to unhealthy members"),
+		healthy:   reg.Gauge("ortoa_router_healthy_members", "members currently considered routable"),
+	}
+}
+
+// NewRouter connects to the given proxies and starts the health
+// prober. Members that fail their initial dial start unhealthy and are
+// picked up by the prober; only an empty member list is an error.
+func NewRouter(members []RouterMember, opts RouterOptions) (*Router, error) {
+	if len(members) == 0 {
+		return nil, errors.New("core: router needs at least one member")
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = len(members) + 1
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 100 * time.Millisecond
+	}
+	if opts.ProbeBackoffMax <= 0 {
+		opts.ProbeBackoffMax = 2 * time.Second
+	}
+	r := &Router{opts: opts, stop: make(chan struct{})}
+	r.instrument(opts.Metrics)
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Name == "" || m.Dial == nil {
+			return nil, fmt.Errorf("core: router member %q needs a name and a dial function", m.Name)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("core: duplicate router member %q", m.Name)
+		}
+		seen[m.Name] = true
+		rm := &routerMember{name: m.Name, dial: m.Dial, backoff: opts.ProbeInterval}
+		rm.healthy.Store(rm.accessor(opts.Client) != nil)
+		r.members = append(r.members, rm)
+	}
+	r.rebuildRing()
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the prober and closes every member connection.
+func (r *Router) Close() error {
+	close(r.stop)
+	r.wg.Wait()
+	for _, m := range r.members {
+		m.mu.Lock()
+		if m.client != nil {
+			m.client.Close()
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Ring returns the current routing ring (healthy members only).
+func (r *Router) Ring() *Ring { return r.ring.Load() }
+
+func (r *Router) healthyCount() int {
+	n := 0
+	for _, m := range r.members {
+		if m.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuildRing re-resolves range ownership over the currently healthy
+// member set (all members if none are healthy, so routing still has
+// candidates while everything is down).
+func (r *Router) rebuildRing() {
+	var names []string
+	for _, m := range r.members {
+		if m.healthy.Load() {
+			names = append(names, m.name)
+		}
+	}
+	if len(names) == 0 {
+		for _, m := range r.members {
+			names = append(names, m.name)
+		}
+	}
+	r.ring.Store(NewRing(names))
+	r.mx.healthy.Set(int64(r.healthyCount()))
+}
+
+// markDown records a member transport failure: the member leaves the
+// routing ring until a probe readmits it.
+func (r *Router) markDown(m *routerMember) {
+	if m.healthy.CompareAndSwap(true, false) {
+		r.rebuildRing()
+	}
+}
+
+// pick returns the next member to try for key: the ring owner first,
+// then the remaining healthy members, then — last resort — unhealthy
+// ones (they may have just recovered). tried is consulted and updated.
+func (r *Router) pick(key string, tried map[*routerMember]bool) *routerMember {
+	owner := r.ring.Load().OwnerOfKey(key)
+	var healthyUntried, anyUntried *routerMember
+	for _, m := range r.members {
+		if tried[m] {
+			continue
+		}
+		if m.name == owner && m.healthy.Load() {
+			tried[m] = true
+			return m
+		}
+		if healthyUntried == nil && m.healthy.Load() {
+			healthyUntried = m
+		}
+		if anyUntried == nil {
+			anyUntried = m
+		}
+	}
+	next := healthyUntried
+	if next == nil {
+		next = anyUntried
+	}
+	if next != nil {
+		tried[next] = true
+	}
+	return next
+}
+
+// Access implements Accessor: route to the key's owner, failing over
+// on dead members and redirecting on ownership fences, up to
+// opts.Attempts members.
+func (r *Router) Access(op Op, key string, newValue []byte) ([]byte, AccessStats, error) {
+	var lastErr, ambigErr error
+	var lastStats AccessStats
+	tried := make(map[*routerMember]bool, 2)
+	for attempt := 0; attempt < r.opts.Attempts; attempt++ {
+		m := r.pick(key, tried)
+		if m == nil {
+			break
+		}
+		acc := m.accessor(r.opts.Client)
+		if acc == nil {
+			r.markDown(m)
+			lastErr = ErrNoProxies
+			continue
+		}
+		value, stats, err := acc.Access(op, key, newValue)
+		if err == nil {
+			if !m.healthy.Load() {
+				// It answered; readmit it without waiting for a probe.
+				if m.healthy.CompareAndSwap(false, true) {
+					r.rebuildRing()
+				}
+			}
+			return value, stats, nil
+		}
+		lastErr, lastStats = err, stats
+		var re *transport.RemoteError
+		isRemote := errors.As(err, &re)
+		switch {
+		case isFencedRound(err), isStaleRound(err):
+			// The member declined ownership of this key's range (fenced
+			// at the server and did not adopt), or its counter snapshot
+			// lost an ownership ping-pong during a live handoff (stale
+			// past its reconcile allowance). Another member is — or will
+			// become — the authoritative owner; redirect.
+			r.mx.redirects.Inc()
+		case isRemote && !transport.Ambiguous(err):
+			// Any other definite application-level error is the
+			// access's real outcome (unknown key, bad value): failing
+			// over cannot change it.
+			return nil, stats, err
+		case isRemote:
+			// The member is alive but its own server round's outcome is
+			// unknown (AmbiguousMsgPrefix). Retrying on a peer is safe —
+			// the at-most-once replay and the protocol's counter
+			// self-fencing make a duplicate application impossible — and
+			// the member stays in the ring.
+			r.mx.failovers.Inc()
+			ambigErr = err
+		default:
+			// Transport failure reaching the member — including
+			// ambiguous ones, safe to retry for the same reason.
+			r.mx.failovers.Inc()
+			r.markDown(m)
+			if transport.Ambiguous(err) {
+				ambigErr = err
+			}
+		}
+	}
+	// If any attempt left its outcome unknown, the access's overall
+	// outcome is unknown no matter what a later member answered —
+	// surface the ambiguity, not a definite-looking rejection.
+	if ambigErr != nil {
+		return nil, lastStats, ambigErr
+	}
+	if lastErr == nil {
+		lastErr = ErrNoProxies
+	}
+	return nil, lastStats, lastErr
+}
+
+// probeLoop periodically probes unhealthy members' listeners and
+// readmits the ones that answer, with per-member exponential backoff so
+// a dead proxy is not hammered.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			for _, m := range r.members {
+				if m.healthy.Load() || now.Before(m.nextProbe) {
+					continue
+				}
+				r.mx.probes.Inc()
+				if conn, err := m.dial(); err == nil {
+					conn.Close()
+					m.backoff = r.opts.ProbeInterval
+					m.nextProbe = time.Time{}
+					if m.healthy.CompareAndSwap(false, true) {
+						r.rebuildRing()
+					}
+				} else {
+					m.backoff *= 2
+					if m.backoff > r.opts.ProbeBackoffMax {
+						m.backoff = r.opts.ProbeBackoffMax
+					}
+					m.nextProbe = now.Add(m.backoff)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"ortoa/internal/kvstore"
@@ -111,6 +112,18 @@ func RegisterProxyService(ts *transport.Server, accessor Accessor) {
 			out, _, err = accessor.Access(op, key, value)
 		}
 		if err != nil {
+			if transport.Ambiguous(err) ||
+				errors.Is(err, transport.ErrClosed) ||
+				errors.Is(err, transport.ErrNoLiveConns) {
+				// The proxy could not complete its own server round —
+				// outcome unknown, or (closed pool, a proxy being torn
+				// down) definitely not executed. Flattening to a plain
+				// RemoteError would read as "executed, failed"; the
+				// prefix keeps the client's classification honest across
+				// the hop, and a multi-proxy router knows the access is
+				// safe to retry on a peer.
+				return nil, fmt.Errorf("%s%w", transport.AmbiguousMsgPrefix, err)
+			}
 			return nil, err
 		}
 		return out, nil

@@ -28,6 +28,7 @@ func ShapeClassify(msgType byte, payload []byte) (class uint64, strictReq, stric
 	case MsgLBLAccess:
 		r := wire.NewReader(payload)
 		r.Raw(prf.Size)
+		r.Raw(lblClaimLen) // fixed-width ownership claim (epoch.go)
 		geo, err := readGeometry(r)
 		if err != nil {
 			return 0, false, false
@@ -42,6 +43,11 @@ func ShapeClassify(msgType byte, payload []byte) (class uint64, strictReq, stric
 		}
 		return lblShapeClass(geo, n), true, false
 	case MsgTEEAccess:
+		return 0, true, true
+	case MsgEpochClaim:
+		// Ownership claims are fixed-width both ways (epoch.go), and
+		// carry no secrets — but pinning them strict proves failover
+		// traffic is as shape-invariant as access traffic.
 		return 0, true, true
 	}
 	return 0, false, false

@@ -75,6 +75,12 @@ func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
 		return nil, err
 	}
 	w.Raw(ek)
+	// The fixed-width ownership claim (epoch.go). The simulator knows
+	// the key — range placement is routing data, the same datum sharded
+	// deployments already reveal by which server a request reaches —
+	// and stamps the single-proxy epoch 0. Fixed width keeps simulated
+	// and real frames structurally identical whatever the epoch.
+	putClaim(w.Extend(lblClaimLen), RangeOf(key), 0)
 	w.Byte(byte(cfg.Mode))
 	w.Uvarint(uint64(groups))
 	w.Uvarint(uint64(entryLen))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ortoa/internal/core"
@@ -210,7 +211,106 @@ func Chaos(opt Options) (*Table, error) {
 		return nil, fmt.Errorf("harness: obliviousness shape violations under faults: proxy=%d server=%d", vp, vs)
 	}
 	t.Notes = append(t.Notes, "shape auditor: 0 length violations on either side — retried and replayed frames stayed byte-identical to first sends")
+
+	if err := chaosMultiProxy(t, opt); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+// chaosMultiProxy reruns the fault-injected workload against a 3-proxy
+// HA deployment and crash-restarts one proxy mid-run, so transport
+// faults, ownership handoff, and epoch-fence adoption all overlap. The
+// same two invariants must hold — no lost/duplicated writes, label
+// schedules consistent — plus the failover one: zero obliviousness
+// shape violations across the handoff.
+func chaosMultiProxy(t *Table, opt Options) error {
+	workers := opt.conc()
+	const keysPerWorker = 4
+	opsPerWorker := opt.ops() * 8
+
+	plan := &netsim.FaultPlan{
+		Seed:           43,
+		ResetProb:      0.02,
+		StallProb:      0.05,
+		StallFor:       25 * time.Millisecond,
+		BlackholeProb:  0.03,
+		PartitionEvery: 400 * time.Millisecond,
+		PartitionFor:   60 * time.Millisecond,
+	}
+
+	nKeys := workers * keysPerWorker
+	data := make(map[string][]byte, nKeys)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("chaos-mp-%04d", i)
+		data[keys[i]] = chaosValue(paperValueSize, uint64(i), 5)
+	}
+
+	reg := obs.NewRegistry()
+	cluster, err := NewCluster(Config{
+		System:        SystemLBL,
+		Link:          netsim.Link{RTT: 2 * time.Millisecond, Fault: plan},
+		ValueSize:     paperValueSize,
+		Data:          data,
+		LBLMode:       core.LBLPointPermute,
+		ConnsPerShard: 4,
+		Proxies:       3,
+		Transport: transport.Options{
+			CallTimeout:      150 * time.Millisecond,
+			Retry:            transport.RetryPolicy{Attempts: 8, Backoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+			ReconnectBackoff: 5 * time.Millisecond,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// Crash-restart one proxy halfway through: its ranges are adopted by
+	// the survivors under fault injection, then re-adopted back on
+	// demand once it returns.
+	total := int64(workers * opsPerWorker)
+	var done atomic.Int64
+	coordErr := make(chan error, 1)
+	go func() {
+		for done.Load() < total/2 {
+			time.Sleep(time.Millisecond)
+		}
+		coordErr <- cluster.RestartProxy(0)
+	}()
+	states, totals, werr := mixedWorkload(cluster, keys, workers, opsPerWorker, 6, &done)
+	cerr := <-coordErr
+	if werr != nil {
+		return fmt.Errorf("harness: multi-proxy chaos workload: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("harness: multi-proxy chaos restart: %w", cerr)
+	}
+
+	plan.SetActive(false)
+	audited, err := auditKeys(cluster, states)
+	if err != nil {
+		return fmt.Errorf("harness: multi-proxy chaos audit: %w", err)
+	}
+	if vp, vs := shapeViolations(reg); vp+vs != 0 {
+		return fmt.Errorf("harness: obliviousness shape violations under multi-proxy faults: proxy=%d server=%d", vp, vs)
+	}
+
+	retries := reg.Value("ortoa_transport_client_retries_total")
+	reconnects := reg.Value("ortoa_transport_client_reconnects_total")
+	dedupHits := reg.Value("ortoa_transport_server_dedup_hits_total")
+	counters := fmt.Sprintf("%d/%d", reg.Value("ortoa_lbl_pending_rounds_total"), reg.Value("ortoa_lbl_pending_resolved_total"))
+	fs := plan.Stats()
+	faults := fmt.Sprintf("%d/%d/%d/%d", fs.Resets, fs.Stalls, fs.Blackholes, fs.PartitionDrops+fs.DialRefusals)
+	t.AddRow("mp-workload", fmt.Sprint(totals.ops), fmt.Sprint(totals.ok), fmt.Sprint(totals.amb),
+		fmt.Sprint(retries), fmt.Sprint(reconnects), fmt.Sprint(dedupHits), counters, faults)
+	t.AddRow("mp-audit", fmt.Sprint(audited), fmt.Sprint(audited), "0", "-", "-", "-", "-", "faults off")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("multi-proxy audit passed: %d keys consistent across %d faults plus a proxy crash-restart — %d adoption claims, %d rounds fenced, 0 shape violations",
+			audited, fs.Total(), reg.Value("ortoa_lbl_epoch_claims_total"), reg.Value("ortoa_lbl_server_fenced_rounds_total")))
+	return nil
 }
 
 // chaosValue builds a deterministic ValueSize-byte value for write i of

@@ -14,16 +14,20 @@ func TestChaosQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 2 {
-		t.Fatalf("chaos table has %d rows, want 2", len(tbl.Rows))
+	// Single-proxy workload + audit, multi-proxy workload + audit.
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("chaos table has %d rows, want 4", len(tbl.Rows))
 	}
-	found := false
+	var single, multi bool
 	for _, n := range tbl.Notes {
 		if strings.Contains(n, "audit passed") {
-			found = true
+			single = true
+		}
+		if strings.Contains(n, "multi-proxy audit passed") {
+			multi = true
 		}
 	}
-	if !found {
-		t.Errorf("chaos notes missing audit confirmation: %v", tbl.Notes)
+	if !single || !multi {
+		t.Errorf("chaos notes missing audit confirmation (single=%v multi=%v): %v", single, multi, tbl.Notes)
 	}
 }

@@ -77,6 +77,21 @@ type Config struct {
 	// crash-faulty filesystem and a WAL under the given fsync policy,
 	// enabling Restart (kill-without-flush + recovery). LBL only.
 	Durability *DurabilityConfig
+	// Proxies, when positive, deploys that many trusted proxies sharing
+	// one PRF secret over a single LBL shard, with counter ownership
+	// ring-partitioned and epoch-fenced; Cluster.Access then routes
+	// through a health-probing core.Router, and KillProxy /
+	// RecoverProxy / RestartProxy drive live failover. Requires
+	// System == SystemLBL and Shards <= 1.
+	Proxies int
+	// ProxyLink is the client↔proxy network path in multi-proxy
+	// deployments. The zero value is an ideal local link (the paper
+	// colocates clients with the trusted proxy).
+	ProxyLink netsim.Link
+	// ProxyReconcileScan bounds an adopting proxy's counter-rebase
+	// probe spiral (multi-proxy only). Zero picks a harness default
+	// large enough for every built-in workload.
+	ProxyReconcileScan int
 }
 
 // DurabilityConfig makes shard stores durable and crashable. Each
@@ -105,6 +120,11 @@ type DurabilityConfig struct {
 type Cluster struct {
 	cfg    Config
 	shards []*shard
+
+	// Multi-proxy deployments only (Config.Proxies > 0, proxies.go).
+	prf     *prf.PRF // shared proxy secret — all peers derive identical labels
+	proxies []*proxyNode
+	router  *core.Router
 }
 
 type shard struct {
@@ -145,6 +165,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Durability != nil && cfg.System != SystemLBL {
 		return nil, fmt.Errorf("harness: Durability requires %s (got %s)", SystemLBL, cfg.System)
 	}
+	if cfg.Proxies > 0 {
+		if cfg.System != SystemLBL {
+			return nil, fmt.Errorf("harness: Proxies requires %s (got %s)", SystemLBL, cfg.System)
+		}
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("harness: Proxies requires a single shard (got %d)", cfg.Shards)
+		}
+	}
 	c := &Cluster{cfg: cfg}
 	auds := clusterAuditors{
 		server: obs.NewShapeAuditor(cfg.Metrics, "server"),
@@ -157,6 +185,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.shards = append(c.shards, sh)
+	}
+	if cfg.Proxies > 0 {
+		if err := c.buildProxies(cfg, c.shards[0]); err != nil {
+			c.Close()
+			return nil, err
+		}
 	}
 	if err := c.load(cfg.Data); err != nil {
 		c.Close()
@@ -464,8 +498,13 @@ func (c *Cluster) shardFor(key string) *shard {
 	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
-// Access routes one operation to the owning shard.
+// Access routes one operation to the owning shard — or, in a
+// multi-proxy deployment, through the failover router to the proxy
+// owning the key's counter range.
 func (c *Cluster) Access(op core.Op, key string, value []byte) ([]byte, core.AccessStats, error) {
+	if c.router != nil {
+		return c.router.Access(op, key, value)
+	}
 	return c.shardFor(key).Access(op, key, value)
 }
 
@@ -473,14 +512,22 @@ func (s *shard) Access(op core.Op, key string, value []byte) ([]byte, core.Acces
 	return s.accessor.Access(op, key, value)
 }
 
-// TrafficStats aggregates proxy→server traffic across shards.
+// TrafficStats aggregates proxy→server traffic across shards and, in
+// multi-proxy deployments, across the proxy fleet's server pools.
 func (c *Cluster) TrafficStats() transport.Stats {
 	var total transport.Stats
-	for _, sh := range c.shards {
-		st := sh.rpc.Stats()
+	add := func(st transport.Stats) {
 		total.BytesSent += st.BytesSent
 		total.BytesReceived += st.BytesReceived
 		total.Calls += st.Calls
+	}
+	for _, sh := range c.shards {
+		add(sh.rpc.Stats())
+	}
+	for _, pn := range c.proxies {
+		pn.mu.Lock()
+		add(pn.rpc.Stats())
+		pn.mu.Unlock()
 	}
 	return total
 }
@@ -501,6 +548,7 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 
 // Close tears down all connections, servers, and checkpointers.
 func (c *Cluster) Close() {
+	c.closeProxies()
 	for _, sh := range c.shards {
 		if sh == nil {
 			continue

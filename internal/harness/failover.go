@@ -1,0 +1,310 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ortoa/internal/core"
+	"ortoa/internal/netsim"
+	"ortoa/internal/obs"
+	"ortoa/internal/transport"
+	"ortoa/internal/workload"
+)
+
+// Failover exercises the multi-proxy high-availability deployment:
+// N trusted proxies share one PRF secret, counter ownership is
+// ring-partitioned and epoch-fenced at the server, and clients reach
+// the fleet through the health-probing core.Router.
+//
+// Phase 1 scales the fleet 1→8 proxies over one server and reports
+// latency/throughput — proxy-side crypto (table build, label recovery)
+// scales out until the shared server saturates.
+//
+// Phase 2 is the kill-and-adopt drill: a 3-proxy fleet serves a live
+// mixed workload while the coordinator crash-kills the proxy owning
+// the first key's range, lets the survivors adopt its ranges through
+// the epoch fence (claim → counter rebase via the reconcile spiral),
+// then recovers it — the reborn proxy starts empty and re-adopts on
+// demand. The audit then asserts the failover invariants:
+//
+//   - Zero lost acknowledged writes: every confirmed write's value (or
+//     a legitimately ambiguous successor) is what the key reads back.
+//   - At most one round per counter value applied: every key reads
+//     cleanly after the handoff — a double-applied round would
+//     desynchronize the label schedule permanently (ErrTampered).
+//   - Zero obliviousness shape violations: fences, claims, adoption
+//     retries, and failover traffic all stay inside the fixed frame
+//     classes the shape auditor pins.
+func Failover(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "failover",
+		Title: "Multi-proxy HA: fleet scaling and kill-and-adopt drill (LBL, epoch-fenced ownership)",
+		Columns: []string{"phase", "proxies", "ops", "ok", "mean-lat(ms)",
+			"tput(ops/s)", "failovers", "claims", "fenced@server"},
+	}
+
+	// Phase 1: fleet scaling over one shared server.
+	levels := []int{1, 2, 4, 8}
+	if opt.Quick {
+		levels = []int{1, 3}
+	}
+	wl := workload.Config{NumKeys: opt.keys(), ValueSize: paperValueSize, WriteFraction: 0.5, Seed: 21}
+	for _, n := range levels {
+		res, err := Measure(Config{
+			System: SystemLBL, Link: netsim.Oregon, ValueSize: paperValueSize,
+			LBLMode: core.LBLPointPermute, Proxies: n,
+			Transport: transport.Options{ReconnectBackoff: 5 * time.Millisecond},
+		}, wl, opt.conc(), opt.ops())
+		if err != nil {
+			return nil, fmt.Errorf("harness: failover scaling @%d proxies: %w", n, err)
+		}
+		t.AddRow("scale", fmt.Sprint(n), fmt.Sprint(opt.conc()*opt.ops()), "-",
+			fmtMS(res.Latency.Mean), fmtTput(res.Throughput), "-", "-", "-")
+	}
+
+	// Phase 2: the kill-and-adopt drill.
+	workers := opt.conc()
+	const keysPerWorker = 4
+	opsPerWorker := opt.ops() * 8
+
+	nKeys := workers * keysPerWorker
+	data := make(map[string][]byte, nKeys)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("failover-%04d", i)
+		data[keys[i]] = chaosValue(paperValueSize, uint64(i), 3)
+	}
+
+	reg := obs.NewRegistry()
+	cluster, err := NewCluster(Config{
+		System:        SystemLBL,
+		Link:          netsim.Link{RTT: time.Millisecond},
+		ValueSize:     paperValueSize,
+		Data:          data,
+		LBLMode:       core.LBLPointPermute,
+		ConnsPerShard: 4,
+		Proxies:       3,
+		Transport: transport.Options{
+			CallTimeout:      250 * time.Millisecond,
+			Retry:            transport.RetryPolicy{Attempts: 4, Backoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond},
+			ReconnectBackoff: 5 * time.Millisecond,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	startupClaims := reg.Value("ortoa_lbl_epoch_claims_total")
+
+	// Kill the proxy that owns the first key's range, so at least that
+	// key's traffic is guaranteed to cross the ownership fence.
+	victim := -1
+	if owner := cluster.Router().Ring().OwnerOfKey(keys[0]); owner != "" {
+		fmt.Sscanf(owner, "proxy-%d", &victim) //nolint:errcheck // validated below
+	}
+	if victim < 0 || victim >= cluster.Proxies() {
+		return nil, fmt.Errorf("harness: cannot resolve victim proxy for %q", keys[0])
+	}
+
+	total := int64(workers * opsPerWorker)
+	killAt, recoverAt := total/3, 2*total/3
+	var done atomic.Int64
+	coordErr := make(chan error, 1)
+	go func() {
+		for done.Load() < killAt {
+			time.Sleep(time.Millisecond)
+		}
+		if err := cluster.KillProxy(victim); err != nil {
+			coordErr <- fmt.Errorf("killing proxy %d: %w", victim, err)
+			return
+		}
+		for done.Load() < recoverAt {
+			time.Sleep(time.Millisecond)
+		}
+		coordErr <- cluster.RecoverProxy(victim)
+	}()
+
+	start := time.Now()
+	states, totals, werr := mixedWorkload(cluster, keys, workers, opsPerWorker, 4, &done)
+	elapsed := time.Since(start)
+	// Always drain the coordinator (mixedWorkload's final done.Store
+	// releases it) so kill/recover never race the deferred Close.
+	cerr := <-coordErr
+	if werr != nil {
+		return nil, fmt.Errorf("harness: failover workload: %w", werr)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("harness: failover drill: %w", cerr)
+	}
+
+	// The reborn proxy must be probed back into the ring before the
+	// audit, so audit reads exercise its on-demand re-adoption too.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Value("ortoa_router_healthy_members") < int64(cluster.Proxies()) {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("harness: recovered proxy %d never readmitted (healthy=%d)",
+				victim, reg.Value("ortoa_router_healthy_members"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	audited, err := auditKeys(cluster, states)
+	if err != nil {
+		return nil, fmt.Errorf("harness: failover audit: %w", err)
+	}
+
+	failovers := reg.Value("ortoa_router_failovers_total")
+	claims := reg.Value("ortoa_lbl_epoch_claims_total")
+	fenced := reg.Value("ortoa_lbl_server_fenced_rounds_total")
+	if fenced == 0 {
+		return nil, fmt.Errorf("harness: kill drill never crossed the epoch fence (victim %d owned no live keys?)", victim)
+	}
+	if claims <= startupClaims {
+		return nil, fmt.Errorf("harness: no adoption claims after the kill (claims %d, startup %d)", claims, startupClaims)
+	}
+	if failovers == 0 {
+		return nil, fmt.Errorf("harness: router recorded no failovers across a proxy kill")
+	}
+	if vp, vs := shapeViolations(reg); vp+vs != 0 {
+		return nil, fmt.Errorf("harness: obliviousness shape violations during failover: proxy=%d server=%d", vp, vs)
+	}
+
+	tput := float64(totals.ops) / elapsed.Seconds()
+	t.AddRow("kill-adopt", "3", fmt.Sprint(totals.ops), fmt.Sprint(totals.ok), "-",
+		fmtTput(tput), fmt.Sprint(failovers), fmt.Sprint(claims), fmt.Sprint(fenced))
+	t.AddRow("audit", "3", fmt.Sprint(audited), fmt.Sprint(audited), "-", "-", "-",
+		fmt.Sprint(reg.Value("ortoa_lbl_epoch_claims_total")), fmt.Sprint(reg.Value("ortoa_lbl_server_fenced_rounds_total")))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("audit passed: %d keys consistent across kill+recovery of proxy-%d — zero lost acked writes, label schedules intact", audited, victim),
+		fmt.Sprintf("ownership handoff: %d adoption claims past the %d startup claims; %d rounds fenced at the server; %d router failovers",
+			claims-startupClaims, startupClaims, fenced, failovers),
+		"shape auditor: 0 length violations — fence rejections, claims, and adoption retries are frame-class invisible")
+	return t, nil
+}
+
+// workloadTotals aggregates a mixedWorkload run.
+type workloadTotals struct{ ops, ok, amb int64 }
+
+// keyAudit tracks the set of values one key may legitimately hold: the
+// last confirmed value plus any write whose outcome was left ambiguous.
+type keyAudit struct{ acceptable map[string]bool }
+
+// mixedWorkload drives a 50/50 read/write workload with workers owning
+// disjoint key sets (keys is split evenly), tracking per-key acceptable
+// value sets for a later audit. gen namespaces written values; done,
+// when non-nil, is bumped after every completed operation so a
+// coordinator can time fault injection against progress.
+func mixedWorkload(cluster *Cluster, keys []string, workers, opsPerWorker int, gen uint64, done *atomic.Int64) ([]map[string]*keyAudit, workloadTotals, error) {
+	keysPerWorker := len(keys) / workers
+	states := make([]map[string]*keyAudit, workers)
+	var (
+		mu         sync.Mutex
+		firstFatal error
+		totals     workloadTotals
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(gen, uint64(w)))
+			own := keys[w*keysPerWorker : (w+1)*keysPerWorker]
+			st := make(map[string]*keyAudit, len(own))
+			for _, k := range own {
+				ka := &keyAudit{acceptable: map[string]bool{}}
+				if v, seeded := cluster.cfg.Data[k]; seeded {
+					ka.acceptable[string(v)] = true
+				}
+				st[k] = ka
+			}
+			states[w] = st
+			var ops, ok, amb int64
+			var fatal error
+			for i := 0; i < opsPerWorker && fatal == nil; i++ {
+				key := own[rng.IntN(len(own))]
+				ops++
+				if rng.IntN(2) == 0 { // read
+					got, _, err := cluster.Access(core.OpRead, key, nil)
+					switch {
+					case err == nil:
+						if len(st[key].acceptable) > 0 && !st[key].acceptable[string(got)] {
+							fatal = fmt.Errorf("worker %d: read %q returned a value no write produced (lost or duplicated write)", w, key)
+							break
+						}
+						ok++
+						st[key].acceptable = map[string]bool{string(got): true}
+					case transport.Ambiguous(err):
+						amb++ // outcome unknown; reads don't change state
+					case core.IsHandoffTransient(err):
+						// Definite rejection mid-handoff: the round did not
+						// execute. An app would retry; here it is a skipped op.
+					default:
+						fatal = fmt.Errorf("worker %d: read %q: %w", w, key, err)
+					}
+				} else {
+					val := chaosValue(cluster.cfg.ValueSize, uint64(w*opsPerWorker+i), gen)
+					_, _, err := cluster.Access(core.OpWrite, key, val)
+					switch {
+					case err == nil:
+						ok++
+						st[key].acceptable = map[string]bool{string(val): true}
+					case transport.Ambiguous(err):
+						amb++
+						st[key].acceptable[string(val)] = true // may or may not have applied
+					case core.IsHandoffTransient(err):
+						// Definite rejection: the write demonstrably did not
+						// apply, so the acceptable set is unchanged.
+					default:
+						fatal = fmt.Errorf("worker %d: write %q: %w", w, key, err)
+					}
+				}
+				if done != nil {
+					done.Add(1)
+				}
+			}
+			mu.Lock()
+			totals.ops += ops
+			totals.ok += ok
+			totals.amb += amb
+			if fatal != nil && firstFatal == nil {
+				firstFatal = fatal
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if done != nil {
+		// Release a coordinator still waiting on a progress threshold.
+		done.Store(int64(workers) * int64(opsPerWorker))
+	}
+	return states, totals, firstFatal
+}
+
+// auditKeys re-reads every tracked key on a healthy deployment: reads
+// must succeed (label schedule consistent — at most one round per
+// counter value ever applied) and return an acceptable value (no
+// acknowledged write lost, none applied twice).
+func auditKeys(cluster *Cluster, states []map[string]*keyAudit) (int, error) {
+	audited := 0
+	for _, st := range states {
+		for key, ka := range st {
+			got, _, err := cluster.Access(core.OpRead, key, nil)
+			if err != nil {
+				if errors.Is(err, core.ErrTampered) {
+					return audited, fmt.Errorf("%q label schedule desynchronized: %w", key, err)
+				}
+				return audited, fmt.Errorf("read %q after recovery: %w", key, err)
+			}
+			if len(ka.acceptable) > 0 && !ka.acceptable[string(got)] {
+				return audited, fmt.Errorf("%q holds a value no write produced (lost or duplicated write)", key)
+			}
+			audited++
+		}
+	}
+	return audited, nil
+}

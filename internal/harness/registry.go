@@ -35,6 +35,7 @@ var Experiments = []Experiment{
 	{"batch", "batched access pipeline vs concurrent singles (extension)", BatchPipeline},
 	{"aggregate", "cross-session aggregation window vs per-request proxying (extension)", Aggregate},
 	{"chaos", "mixed workload under injected transport faults (robustness extension)", Chaos},
+	{"failover", "multi-proxy kill-and-adopt drill with epoch-fenced ownership (robustness extension)", Failover},
 	{"crash", "repeated kill/restart under durable-on-ack group commit (robustness extension)", Crash},
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},

@@ -373,6 +373,32 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	}).hist
 }
 
+// Value returns the current value of the named counter or gauge,
+// func-backed or handle-backed, and 0 for unregistered names or
+// histograms. Experiments and tests use it to assert on metrics that
+// components export only through scrape-time callbacks. Returns 0 on a
+// nil registry.
+func (r *Registry) Value(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch {
+	case m.fn != nil:
+		return m.fn()
+	case m.counter != nil:
+		return m.counter.Value()
+	case m.gauge != nil:
+		return m.gauge.Value()
+	}
+	return 0
+}
+
 // CounterFunc registers a counter whose value is read from fn at
 // scrape time — for totals a component already tracks in its own
 // atomics (e.g. transport.Client.Stats). Registering the same name

@@ -39,6 +39,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,23 +99,32 @@ func IsReplayEvicted(err error) bool {
 	return errors.As(err, &re) && re.Msg == replayEvictedMsg
 }
 
+// AmbiguousMsgPrefix marks a RemoteError whose handler itself hit an
+// ambiguous failure one hop further upstream (a proxy whose server
+// round's outcome is unknown). Relays prefix their error text with it
+// so ambiguity survives the handler-error → RemoteError flattening and
+// multi-hop callers (client → proxy → server) can still classify.
+const AmbiguousMsgPrefix = "outcome unknown: "
+
 // Ambiguous reports whether err leaves the outcome of a call unknown:
 // the request may or may not have executed on the server. Handler
 // errors arrive in a response, so the server demonstrably executed the
-// request and left its stores untouched — unambiguous. Local
-// validation failures (oversized frame, client already closed) happen
-// before anything is sent — also unambiguous. Everything else (send
-// errors, lost connections, deadline expiry) is ambiguous: stateful
-// callers must resolve the outcome (e.g. by replaying the same request
-// id, which the server's dedup cache answers without re-executing)
-// before issuing a conflicting request.
+// request and left its stores untouched — unambiguous, except when the
+// handler says otherwise via AmbiguousMsgPrefix (it relayed the call
+// and its own upstream outcome is unknown). Local validation failures
+// (oversized frame, client already closed) happen before anything is
+// sent — also unambiguous. Everything else (send errors, lost
+// connections, deadline expiry) is ambiguous: stateful callers must
+// resolve the outcome (e.g. by replaying the same request id, which
+// the server's dedup cache answers without re-executing) before
+// issuing a conflicting request.
 func Ambiguous(err error) bool {
 	if err == nil {
 		return false
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return false
+		return strings.HasPrefix(re.Msg, AmbiguousMsgPrefix)
 	}
 	return !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrClosed)
 }

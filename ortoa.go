@@ -355,6 +355,14 @@ type ClientConfig struct {
 	// a lossy fsync policy, or when resuming from a stale SaveState
 	// snapshot; zero disables.
 	ReconcileScan int
+	// AutoAdopt, when true, lets this proxy adopt a counter range on
+	// demand in a multi-proxy deployment (LBL only): an access fenced
+	// by the server's epoch check re-claims the range at a fresh epoch
+	// and retries, instead of surfacing the fence to the caller. Set it
+	// on every member of a proxy group so survivors absorb a dead
+	// peer's ranges; pair with ReconcileScan so adopted counters rebase
+	// (the adopter starts from its own, possibly stale, snapshot).
+	AutoAdopt bool
 	// Metrics, when non-nil, instruments the trusted side: transport
 	// and per-stage access metrics are registered with it (serve them
 	// with ServeMetrics). Nil runs without observability overhead.
@@ -446,7 +454,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 			rpc.Close()
 			return nil, err
 		}
-		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode, ReconcileScan: cfg.ReconcileScan}, f, rpc)
+		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode, ReconcileScan: cfg.ReconcileScan, AutoAdopt: cfg.AutoAdopt}, f, rpc)
 		if err != nil {
 			rpc.Close()
 			return nil, err
@@ -776,6 +784,51 @@ func (c *Client) LoadState(path string) error {
 	defer f.Close()
 	return c.lblProxy.LoadCounters(f)
 }
+
+// ClaimRanges asserts ownership of explicit counter ranges (LBL
+// multi-proxy deployments): the server bumps each range to a fresh
+// epoch, fencing every in-flight or retried round from the previous
+// owner before it can touch a record. Range ids live in
+// [0, NumCounterRanges). Returns an error for non-LBL protocols.
+func (c *Client) ClaimRanges(rangeIDs []uint32) error {
+	if c.lblProxy == nil {
+		return fmt.Errorf("ortoa: range ownership requires ProtocolLBL")
+	}
+	return c.lblProxy.ClaimRanges(rangeIDs)
+}
+
+// ClaimOwnedRanges claims the counter ranges the deployment's
+// consistent-hash ring assigns to this proxy: peers is the full list
+// of proxy names (every member must use the identical list, in any
+// order) and self is this proxy's name within it. Returns the range
+// ids claimed. This is the startup handshake of a multi-proxy
+// deployment; the routing side is DialProxyGroup, whose member names
+// must match peers for first-try routing to land on owners.
+func (c *Client) ClaimOwnedRanges(peers []string, self string) ([]uint32, error) {
+	if c.lblProxy == nil {
+		return nil, fmt.Errorf("ortoa: range ownership requires ProtocolLBL")
+	}
+	found := false
+	for _, p := range peers {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("ortoa: self %q is not in the peer list %v", self, peers)
+	}
+	rids := core.NewRing(peers).Ranges(self)
+	if err := c.lblProxy.ClaimRanges(rids); err != nil {
+		return nil, err
+	}
+	return rids, nil
+}
+
+// NumCounterRanges is the fixed size of the counter-range space that
+// multi-proxy deployments partition ownership over (core range ids are
+// [0, NumCounterRanges)).
+const NumCounterRanges = core.NumRanges
 
 // ServeProxy exposes this trusted client as a network proxy: end
 // users connect to l and route oblivious accesses through it (the

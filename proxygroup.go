@@ -1,0 +1,122 @@
+package ortoa
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"ortoa/internal/core"
+	"ortoa/internal/obs"
+	"ortoa/internal/transport"
+)
+
+// A ProxyGroupMember names one proxy of a multi-proxy deployment and
+// how to reach it. Name must match the name the proxy claimed its
+// ranges under (ClaimOwnedRanges / ortoa-proxy -peers) — the group
+// places keys on the same consistent-hash ring the proxies partitioned
+// ownership over, so matching names mean the first attempt lands on
+// the range's owner instead of paying a redirect.
+type ProxyGroupMember struct {
+	Name string
+	Dial func() (net.Conn, error)
+}
+
+// ProxyGroupOptions tunes a ProxyGroup; the zero value gets sane
+// defaults (2 connections per member, no deadline, no retries).
+type ProxyGroupOptions struct {
+	// Conns sizes the connection pool to each member (default 2).
+	Conns int
+	// CallTimeout bounds each request attempt to one proxy; zero means
+	// no deadline. Set it in failover deployments — it is what turns a
+	// silently dead proxy into a prompt failover instead of a hang.
+	CallTimeout time.Duration
+	// RetryAttempts is the total number of attempts per request to one
+	// member, including the first; values below 2 disable retries.
+	// Retries are at-most-once (see ClientConfig.RetryAttempts).
+	// Failover to other members happens above this, per access.
+	RetryAttempts int
+	// ProbeInterval is the health-prober tick for members marked down
+	// (default 100ms). Probes back off exponentially per member.
+	ProbeInterval time.Duration
+	// Metrics, when non-nil, registers the group's routing metrics
+	// (ortoa_router_*: redirects, failovers, probes, healthy members).
+	Metrics *obs.Registry
+}
+
+// A ProxyGroup is an end-user handle over several trusted proxies with
+// live failover: each access is steered to the proxy owning the key's
+// counter range, a dead member is routed around immediately and
+// re-admitted by background probes once it answers again, and
+// ownership rejections (epoch fences during a handoff) redirect to the
+// adopting peer. It holds no secrets and is safe for concurrent use.
+//
+// Error contract: an access that fails definitively on every reachable
+// member returns that error; an access whose outcome is unknown on any
+// member (connection died mid-round) returns an error for which
+// Ambiguous reports true — the write may or may not have applied.
+type ProxyGroup struct {
+	router *core.Router
+}
+
+// DialProxyGroup connects to a set of proxies with client-side
+// failover. Members that are down at dial time start unhealthy and are
+// picked up by the prober; only an empty member list is an error.
+func DialProxyGroup(members []ProxyGroupMember, opts ProxyGroupOptions) (*ProxyGroup, error) {
+	conns := opts.Conns
+	if conns <= 0 {
+		conns = 2
+	}
+	rms := make([]core.RouterMember, len(members))
+	for i, m := range members {
+		rms[i] = core.RouterMember{Name: m.Name, Dial: m.Dial}
+	}
+	router, err := core.NewRouter(rms, core.RouterOptions{
+		Client: transport.Options{
+			PoolSize:    conns,
+			CallTimeout: opts.CallTimeout,
+			Retry:       transport.RetryPolicy{Attempts: opts.RetryAttempts},
+		},
+		ProbeInterval: opts.ProbeInterval,
+		Metrics:       opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ProxyGroup{router: router}, nil
+}
+
+// Read fetches the value stored under key via the key's owning proxy,
+// failing over to peers as needed.
+func (g *ProxyGroup) Read(key string) ([]byte, error) {
+	v, _, err := g.router.Access(core.OpRead, key, nil)
+	return v, err
+}
+
+// Write replaces the value stored under key via the key's owning
+// proxy, failing over to peers as needed. The value must already match
+// the store's fixed size (the proxy rejects mismatches). On an
+// Ambiguous error the write may or may not have applied; rewriting the
+// same value is always safe.
+func (g *ProxyGroup) Write(key string, value []byte) error {
+	_, _, err := g.router.Access(core.OpWrite, key, value)
+	return err
+}
+
+// Ambiguous reports whether err left an access's outcome unknown (the
+// connection died after the request may have reached a proxy). Definite
+// rejections — unknown key, size mismatch, every-member-down — report
+// false: those accesses did not happen.
+func Ambiguous(err error) bool {
+	// Every member unreachable means no request was ever sent; the
+	// transport layer's conservative default would call this unknown,
+	// but the router knows the access definitely did not execute. (When
+	// any attempt's outcome was unknown, the router surfaces that
+	// attempt's error instead of ErrNoProxies.)
+	if errors.Is(err, core.ErrNoProxies) {
+		return false
+	}
+	return transport.Ambiguous(err)
+}
+
+// Close stops the health prober and releases every member connection.
+func (g *ProxyGroup) Close() error { return g.router.Close() }
