@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke failover-smoke crash experiments
+.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke failover-smoke overload-smoke crash experiments
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,16 @@ aggregate-smoke:
 # occurred (DESIGN.md §14). A zero exit is the assertion.
 failover-smoke:
 	$(GO) run ./cmd/ortoa-bench -experiment failover -quick
+
+# overload-smoke runs the overload-shedding experiment in quick mode:
+# an admission-limited 2-proxy cluster is offered 10x its provisioned
+# concurrency, and the experiment self-audits that goodput stays >=70%
+# of measured capacity, accepted-request p99 stays bounded, no
+# acknowledged write is lost, and the shape auditor records zero
+# length violations — shedding is operation-type invisible
+# (DESIGN.md §15). A zero exit is the assertion.
+overload-smoke:
+	$(GO) run ./cmd/ortoa-bench -experiment overload -quick
 
 # crash runs the kill/restart durability experiment at full scale:
 # 50 seeded crash/recovery cycles under the group-commit WAL, the

@@ -48,6 +48,12 @@ func main() {
 	aggWindow := flag.Duration("agg-window", 0, "coalesce concurrent client accesses into shared batch round trips, waiting at most this long per window (LBL; 0 disables)")
 	aggMaxBatch := flag.Int("agg-max-batch", 0, "dispatch an aggregation window early at this many accesses (0 = default 64)")
 	aggMaxPending := flag.Int("agg-max-pending", 0, "reject client accesses beyond this many admitted-but-unanswered (0 = default 4x max-batch)")
+	aggBrownoutPending := flag.Int("agg-brownout-pending", 0, "pending depth at which aggregation browns out: bigger batches, quarter-length windows (0 = default half of agg-max-pending)")
+	aggBrownoutMaxBatch := flag.Int("agg-brownout-max-batch", 0, "aggregation window size trigger under brownout (0 = default 2x agg-max-batch)")
+	maxInflight := flag.Int("max-inflight", 0, "handle at most this many client requests concurrently, shedding overload with constant-size busy frames (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 0, "client requests waiting for an inflight slot before overflow is shed, served newest-first (needs -max-inflight)")
+	shedDeadline := flag.Bool("shed-deadline", true, "drop client requests whose deadline budget expired before doing any work (needs -max-inflight)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint carried in busy rejections (0 = default 25ms)")
 	reconcileScan := flag.Int("reconcile-scan", 0, "probe up to N counter steps to reconcile after crash desync, e.g. when resuming from a stale -state snapshot (LBL; 0 disables)")
 	peers := flag.String("peers", "", "comma-separated names of every proxy in a multi-proxy deployment, e.g. host1:7002,host2:7002 (LBL; claims this proxy's ring share of counter ranges and enables adoption on fence; requires -self)")
 	self := flag.String("self", "", "this proxy's name within -peers (clients' -proxies member names must match for first-try owner routing)")
@@ -190,6 +196,9 @@ func main() {
 		}
 		log.Printf("aggregating client accesses: window=%s max-batch=%d", *aggWindow, maxBatch)
 	}
+	if *maxInflight > 0 {
+		log.Printf("admission control: max-inflight=%d max-queue=%d shed-deadline=%v", *maxInflight, *maxQueue, *shedDeadline)
+	}
 
 	stopSaver := make(chan struct{})
 	if *statePath != "" && *stateEvery > 0 {
@@ -216,9 +225,17 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() {
 		serveErr <- client.ServeProxyOptions(l, ortoa.ProxyServeOptions{
-			AggWindow:     *aggWindow,
-			AggMaxBatch:   *aggMaxBatch,
-			AggMaxPending: *aggMaxPending,
+			AggWindow:           *aggWindow,
+			AggMaxBatch:         *aggMaxBatch,
+			AggMaxPending:       *aggMaxPending,
+			AggBrownoutPending:  *aggBrownoutPending,
+			AggBrownoutMaxBatch: *aggBrownoutMaxBatch,
+			Admission: ortoa.AdmissionOptions{
+				MaxInflight:  *maxInflight,
+				MaxQueue:     *maxQueue,
+				ShedDeadline: *shedDeadline,
+				RetryAfter:   *retryAfter,
+			},
 		})
 	}()
 

@@ -44,6 +44,10 @@ func main() {
 	fheBits := flag.Int("fhe-modulus-bits", 370, "BFV modulus bits (fhe)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /slowlog, /trace, and /debug/pprof on this address (e.g. :7091)")
 	traceBuffer := flag.Int("trace-buffer", 4096, "retain this many finished trace spans for /trace; 0 disables tracing (needs -metrics-addr)")
+	maxInflight := flag.Int("max-inflight", 0, "handle at most this many requests concurrently, shedding overload with constant-size busy frames (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 0, "requests waiting for an inflight slot before overflow is shed, served newest-first (needs -max-inflight)")
+	shedDeadline := flag.Bool("shed-deadline", true, "drop requests whose propagated deadline budget expired before doing any work (needs -max-inflight)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint carried in busy rejections (0 = default 25ms)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -64,9 +68,18 @@ func main() {
 		FHE:               ortoa.FHEOptions{RingDegree: *fheDegree, ModulusBits: *fheBits},
 		Metrics:           reg,
 		TraceBuffer:       *traceBuffer,
+		Admission: ortoa.AdmissionOptions{
+			MaxInflight:  *maxInflight,
+			MaxQueue:     *maxQueue,
+			ShedDeadline: *shedDeadline,
+			RetryAfter:   *retryAfter,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *maxInflight > 0 {
+		log.Printf("admission control: max-inflight=%d max-queue=%d shed-deadline=%v", *maxInflight, *maxQueue, *shedDeadline)
 	}
 
 	if *snapshot != "" {

@@ -50,6 +50,15 @@ type AggregatorConfig struct {
 	// rejected with ErrAggregatorOverloaded instead of queueing
 	// unboundedly (default 4×MaxBatch).
 	MaxPending int
+	// BrownoutPending is the pending depth at which new windows open in
+	// brownout mode: a larger size trigger (BrownoutMaxBatch) and a
+	// quarter-length time trigger, trading per-access coalescing
+	// latency for throughput while the backlog drains. Default
+	// MaxPending/2.
+	BrownoutPending int
+	// BrownoutMaxBatch is the size trigger for windows opened under
+	// brownout. Default 2×MaxBatch.
+	BrownoutMaxBatch int
 }
 
 func (c AggregatorConfig) maxBatch() int {
@@ -64,6 +73,20 @@ func (c AggregatorConfig) maxPending() int {
 		return c.MaxPending
 	}
 	return defaultAggPendingFactor * c.maxBatch()
+}
+
+func (c AggregatorConfig) brownoutPending() int {
+	if c.BrownoutPending > 0 {
+		return c.BrownoutPending
+	}
+	return (c.maxPending() + 1) / 2
+}
+
+func (c AggregatorConfig) brownoutMaxBatch() int {
+	if c.BrownoutMaxBatch > 0 {
+		return c.BrownoutMaxBatch
+	}
+	return 2 * c.maxBatch()
 }
 
 // An Aggregator multiplexes concurrent single-object accesses from
@@ -95,9 +118,11 @@ type Aggregator struct {
 	pending int        // admitted accesses not yet answered
 	closed  bool
 
-	accesses atomic.Int64 // admitted accesses
-	batches  atomic.Int64 // windows dispatched
-	rejected atomic.Int64 // accesses refused by backpressure
+	accesses  atomic.Int64 // admitted accesses
+	batches   atomic.Int64 // windows dispatched
+	rejected  atomic.Int64 // accesses refused by backpressure
+	brownouts atomic.Int64 // windows opened in brownout mode
+	expired   atomic.Int64 // waiters answered unsent: deadline passed in the window
 
 	mx aggObs
 }
@@ -107,8 +132,9 @@ type Aggregator struct {
 type aggWaiter struct {
 	op       BatchOp
 	ch       chan BatchResult
-	admitted time.Time   // when the access joined the window
-	sp       *trace.Span // agg_session span, ended when the result is delivered
+	ctx      context.Context // caller context; a passed deadline drops the access unsent
+	admitted time.Time       // when the access joined the window
+	sp       *trace.Span     // agg_session span, ended when the result is delivered
 }
 
 // An aggWindow is one open or in-flight aggregation window. waiters
@@ -116,6 +142,7 @@ type aggWaiter struct {
 // index, so no session can be starved or reordered past another).
 type aggWindow struct {
 	waiters    []aggWaiter
+	limit      int // size trigger, fixed at window open (brownout-aware)
 	timer      *time.Timer
 	sp         *trace.Span // agg_window span, opened with the window
 	dispatched bool        // detached from the aggregator; owned by its leader
@@ -165,9 +192,21 @@ func (a *Aggregator) AccessContext(ctx context.Context, op Op, key string, newVa
 	}
 	w := a.cur
 	if w == nil {
-		// First access of a new window: arm the time trigger.
-		w = &aggWindow{sp: a.tracer.Load().StartRoot("agg_window")}
-		w.timer = time.AfterFunc(a.cfg.Window, func() { a.timerFire(w) })
+		// First access of a new window: arm the time trigger. The
+		// window's triggers are fixed at open from the pending depth —
+		// under brownout pressure, a bigger size trigger and a shorter
+		// time trigger amortize the round trip across more accesses and
+		// drain the backlog before waiters age to deadline-death.
+		limit, window := a.cfg.maxBatch(), a.cfg.Window
+		if a.pending >= a.cfg.brownoutPending() {
+			limit, window = a.cfg.brownoutMaxBatch(), a.cfg.Window/4
+			if window <= 0 {
+				window = time.Millisecond
+			}
+			a.brownouts.Add(1)
+		}
+		w = &aggWindow{limit: limit, sp: a.tracer.Load().StartRoot("agg_window")}
+		w.timer = time.AfterFunc(window, func() { a.timerFire(w) })
 		a.cur = w
 	}
 	var sp *trace.Span
@@ -177,8 +216,8 @@ func (a *Aggregator) AccessContext(ctx context.Context, op Op, key string, newVa
 		sp = w.sp.Child("agg_session")
 	}
 	w.waiters = append(w.waiters, aggWaiter{op: BatchOp{Op: op, Key: key, Value: newValue},
-		ch: ch, admitted: time.Now(), sp: sp})
-	full := len(w.waiters) >= a.cfg.maxBatch()
+		ch: ch, ctx: ctx, admitted: time.Now(), sp: sp})
+	full := len(w.waiters) >= w.limit
 	if full {
 		a.detachLocked(w)
 	}
@@ -226,8 +265,18 @@ func (a *Aggregator) detachLocked(w *aggWindow) {
 }
 
 // dispatch issues a detached window's accesses as one batch round
-// trip and hands each waiter its result.
+// trip and hands each waiter its result. Waiters whose deadline passed
+// while they coalesced are answered without joining the batch — the
+// access was never sent, a definite outcome (IsDeadlineExpired), and
+// the server never spends trial decryptions on work the caller has
+// already abandoned.
 func (a *Aggregator) dispatch(w *aggWindow) {
+	a.shedExpired(w)
+	if len(w.waiters) == 0 {
+		// Everyone aged out: nothing to send.
+		w.sp.End()
+		return
+	}
 	n := len(w.waiters)
 	ops := make([]BatchOp, n)
 	for i := range w.waiters {
@@ -278,6 +327,34 @@ func (a *Aggregator) dispatch(w *aggWindow) {
 	}
 }
 
+// shedExpired answers — and removes from w — every waiter whose
+// context deadline has already passed, so a dispatched batch carries
+// only accesses someone is still waiting for.
+func (a *Aggregator) shedExpired(w *aggWindow) {
+	live := w.waiters[:0]
+	var dead int
+	for _, wt := range w.waiters {
+		if wt.ctx != nil && wt.ctx.Err() != nil {
+			dead++
+			wt.sp.End()
+			wt.ch <- BatchResult{Err: errDeadlineBeforeBuild}
+			continue
+		}
+		live = append(live, wt)
+	}
+	if dead == 0 {
+		return
+	}
+	w.waiters = live
+	a.expired.Add(int64(dead))
+	a.mu.Lock()
+	a.pending -= dead
+	if a.mx.enabled {
+		a.mx.queueDepth.Set(int64(a.pending))
+	}
+	a.mu.Unlock()
+}
+
 // Close dispatches the open window immediately and rejects later
 // accesses with ErrAggregatorClosed. Every already-admitted access is
 // answered: callers that need those answers delivered must drain
@@ -304,9 +381,11 @@ func (a *Aggregator) Close() {
 // counters. CoalesceRatio is accesses per dispatched window — the
 // round-trip amortization factor.
 type AggregatorStats struct {
-	Accesses int64
-	Batches  int64
-	Rejected int64
+	Accesses  int64
+	Batches   int64
+	Rejected  int64
+	Brownouts int64 // windows opened in brownout mode
+	Expired   int64 // waiters answered unsent after their deadline passed
 }
 
 // CoalesceRatio returns accesses per dispatched window (0 before the
@@ -321,9 +400,11 @@ func (s AggregatorStats) CoalesceRatio() float64 {
 // Stats returns the aggregator's cumulative counters.
 func (a *Aggregator) Stats() AggregatorStats {
 	return AggregatorStats{
-		Accesses: a.accesses.Load(),
-		Batches:  a.batches.Load(),
-		Rejected: a.rejected.Load(),
+		Accesses:  a.accesses.Load(),
+		Batches:   a.batches.Load(),
+		Rejected:  a.rejected.Load(),
+		Brownouts: a.brownouts.Load(),
+		Expired:   a.expired.Load(),
 	}
 }
 
@@ -345,6 +426,8 @@ func (a *Aggregator) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("ortoa_agg_accesses_total", "accesses admitted into aggregation windows", a.accesses.Load)
 	reg.CounterFunc("ortoa_agg_windows_total", "aggregation windows dispatched; accesses/windows is the coalesce ratio", a.batches.Load)
 	reg.CounterFunc("ortoa_agg_rejected_total", "accesses refused by the pending-budget backpressure", a.rejected.Load)
+	reg.CounterFunc("ortoa_agg_brownout_windows_total", "aggregation windows opened in brownout mode (pending depth past BrownoutPending)", a.brownouts.Load)
+	reg.CounterFunc("ortoa_agg_expired_total", "admitted accesses answered unsent because their deadline passed while coalescing", a.expired.Load)
 	a.mx = aggObs{
 		enabled: true,
 		windowSize: reg.Histogram("ortoa_agg_window_accesses",

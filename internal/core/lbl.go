@@ -333,6 +333,15 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 	const recoveryAllowance = 3
 	var claimed, reconciled int
 	for {
+		// Dead callers get no table: garbling is the proxy's most
+		// expensive stage, so an access whose propagated deadline has
+		// already passed is dropped before building anything
+		// (DESIGN.md §15). Nothing was sent — a definite non-execution,
+		// never parked as ambiguous.
+		if ctx.Err() != nil {
+			p.mx.errors.Inc()
+			return nil, stats, errDeadlineBeforeBuild
+		}
 		// The request buffer is pooled: framing allocates nothing in
 		// steady state. It is released after the RPC settles — except
 		// when the round is parked for at-most-once replay, which
@@ -915,6 +924,14 @@ func (p *LBLProxy) accessBatchChunk(ctx context.Context, ops []BatchOp, idxs []i
 	spAcq.End()
 	sw.Lap(p.mx.batchAcquire)
 	p.mx.batchKeys.Add(int64(len(idxs)))
+
+	// Dead callers get no tables: drop the chunk before garbling
+	// anything if the propagated deadline has already passed — no frame
+	// was sent, so this is a definite non-execution for every key.
+	if ctx.Err() != nil {
+		failChunk(errDeadlineBeforeBuild)
+		return stats, errDeadlineBeforeBuild
+	}
 
 	// Build every key's ek‖table segment in parallel, sealing directly
 	// into the frame: segments are fixed-size, so each builder owns a

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,10 @@ type LBLServer struct {
 	fencedRounds atomic.Int64
 	epochBumps   atomic.Int64
 	maxEpoch     atomic.Uint64
+
+	// expiredRounds counts accesses dropped because their propagated
+	// deadline budget ran out before trial decryption (DESIGN.md §15).
+	expiredRounds atomic.Int64
 }
 
 // NewLBLServer returns a server over store.
@@ -133,6 +138,51 @@ func readGeometry(r *wire.Reader) (tableGeometry, error) {
 // executed — so both the point-and-permute and try-all decrypt
 // failures below must carry it.
 const staleTableMarker = "stale access table"
+
+// expiredRoundMarker tags the server's deadline drops: the request's
+// propagated budget (frame header, DESIGN.md §15) ran out before trial
+// decryption began, so the round was dropped without touching the
+// record — a definite, retryable non-execution. Constant text, like
+// the fence and staleness markers, so rejections carry no
+// request-specific information.
+const expiredRoundMarker = "deadline budget expired before decrypt"
+
+var errExpiredRound = errors.New("core: " + expiredRoundMarker)
+
+// expiredBuildMarker is the proxy-side analogue of expiredRoundMarker:
+// the caller's deadline passed before the access table was built, so
+// nothing was ever sent. One constant error value — like the fence —
+// so the rejection carries no request-specific information.
+const expiredBuildMarker = "deadline expired before table build; access not sent"
+
+var errDeadlineBeforeBuild = errors.New("core: " + expiredBuildMarker)
+
+// IsDeadlineExpired reports whether err is a deadline-budget drop —
+// the proxy refusing to build a table for a dead caller, or the server
+// dropping an expired-on-arrival round before trial decryption
+// (locally or relayed as a RemoteError). Either way the access
+// demonstrably did not execute; callers may retry with a fresh
+// deadline.
+func IsDeadlineExpired(err error) bool {
+	if errors.Is(err, errDeadlineBeforeBuild) || errors.Is(err, errExpiredRound) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) &&
+		(strings.Contains(re.Msg, expiredRoundMarker) || strings.Contains(re.Msg, expiredBuildMarker))
+}
+
+// checkBudget drops a round whose deadline already passed. It runs
+// after parsing but before the epoch fence and any record work: an
+// expired round must cost the server no trial decryption and leave the
+// store untouched.
+func (s *LBLServer) checkBudget(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	s.expiredRounds.Add(1)
+	return errExpiredRound
+}
 
 // recPool recycles server-side record buffers: each successful access
 // displaces the store's previous record slice — same length, exclusively
@@ -258,6 +308,11 @@ func (s *LBLServer) handleAccess(ctx context.Context, payload []byte) ([]byte, e
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
+	// Expired-on-arrival rounds are dropped before the fence and before
+	// any decryption: nobody is waiting for the answer.
+	if err := s.checkBudget(ctx); err != nil {
+		return nil, err
+	}
 	// The ownership fence runs before any record work: a fenced round
 	// must leave the store untouched (epoch.go).
 	if err := s.checkEpoch(readClaim(claim)); err != nil {
@@ -334,6 +389,14 @@ func (s *LBLServer) handleAccessBatch(ctx context.Context, payload []byte) ([]by
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				// Per-key budget check: the batch's remaining deadline is
+				// re-tested before every key's decryption, so a batch that
+				// expires mid-flight stops burning trial decryptions on
+				// keys whose answers nobody will read.
+				if err := s.checkBudget(ctx); err != nil {
+					errs[i] = err
+					continue
 				}
 				// Per-key fence: one stale-epoch access must not fail
 				// its batch mates, so the fence is a per-key status like

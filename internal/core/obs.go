@@ -130,6 +130,8 @@ func (s *LBLServer) Instrument(reg *obs.Registry) {
 		"range-epoch installs (claims plus relearned epochs after restart)", s.epochBumps.Load)
 	reg.GaugeFunc("ortoa_lbl_server_max_epoch",
 		"highest range ownership epoch granted", func() int64 { return int64(s.maxEpoch.Load()) })
+	reg.CounterFunc("ortoa_lbl_server_expired_rounds_total",
+		"accesses dropped because their deadline budget expired before trial decryption", s.expiredRounds.Load)
 	s.mx = lblServerObs{
 		enabled: true,
 		access:  reg.Histogram("ortoa_lbl_server_access_seconds", "store read + label swap per access (§5.2 steps 2.1–2.2)"),

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ortoa/internal/kvstore"
+	"ortoa/internal/netsim"
+	"ortoa/internal/transport"
+)
+
+// Overload-path tests (DESIGN.md §15): deadline budgets dropping work
+// before it costs trial decryptions or table builds, aggregator
+// brownout, and the router's busy breaker.
+
+func TestCheckBudget(t *testing.T) {
+	s := NewLBLServer(kvstore.New())
+	if err := s.checkBudget(context.Background()); err != nil {
+		t.Fatalf("fresh ctx: %v", err)
+	}
+	if got := s.expiredRounds.Load(); got != 0 {
+		t.Fatalf("expiredRounds after fresh ctx = %d", got)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	err := s.checkBudget(ctx)
+	if !errors.Is(err, errExpiredRound) {
+		t.Fatalf("expired ctx: err = %v, want errExpiredRound", err)
+	}
+	if !IsDeadlineExpired(err) {
+		t.Error("IsDeadlineExpired(errExpiredRound) = false")
+	}
+	if got := s.expiredRounds.Load(); got != 1 {
+		t.Errorf("expiredRounds = %d, want 1", got)
+	}
+}
+
+// TestIsDeadlineExpiredClassification pins that both expiry markers —
+// the server's pre-decrypt drop and the proxy's pre-build drop —
+// classify locally, wrapped, and after the handler-error flattening a
+// relayed hop applies (RemoteError with the marker embedded).
+func TestIsDeadlineExpiredClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"server marker", errExpiredRound, true},
+		{"proxy marker", errDeadlineBeforeBuild, true},
+		{"wrapped server marker", fmt.Errorf("access %q: %w", "k", errExpiredRound), true},
+		{"relayed server marker", &transport.RemoteError{Msg: "proxy hop: " + expiredRoundMarker}, true},
+		{"relayed proxy marker", &transport.RemoteError{Msg: "proxy hop: " + expiredBuildMarker}, true},
+		{"plain remote error", &transport.RemoteError{Msg: "unknown key"}, false},
+		{"busy rejection", &transport.BusyError{}, false},
+		{"generic error", errors.New("deadline-ish but unrelated"), false},
+		{"ctx deadline", context.DeadlineExceeded, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsDeadlineExpired(tc.err); got != tc.want {
+				t.Errorf("IsDeadlineExpired = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAccessExpiredBeforeBuild: an access whose deadline already
+// passed is dropped before the proxy builds a table — nothing goes on
+// the wire, the label schedule is untouched, and the next access works.
+func TestAccessExpiredBeforeBuild(t *testing.T) {
+	r, proxy, _ := newLBL(t, LBLPointPermute, 4)
+	loadData(t, r, proxy, map[string][]byte{"k": {9, 9, 9, 9}})
+
+	callsBefore := r.client.Stats().Calls
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	_, _, err := proxy.AccessContext(ctx, OpRead, "k", nil)
+	if !IsDeadlineExpired(err) {
+		t.Fatalf("err = %v, want deadline-expired", err)
+	}
+	if got := r.client.Stats().Calls; got != callsBefore {
+		t.Errorf("calls went from %d to %d; expired access must not reach the wire", callsBefore, got)
+	}
+	// The drop left no parked round: a fresh access succeeds.
+	got, _, err := proxy.Access(OpRead, "k", nil)
+	if err != nil {
+		t.Fatalf("access after expired drop: %v", err)
+	}
+	if !bytes.Equal(got, []byte{9, 9, 9, 9}) {
+		t.Errorf("read = %v", got)
+	}
+}
+
+// TestServerDropsExpiredRound holds an LBL access in the server's
+// admission queue past its deadline budget (ShedExpired off, so it
+// still runs) and checks the server drops it at checkBudget — before
+// any trial decryption — and that the proxy recovers the round through
+// the dedup replay: the next access resolves the parked round as
+// definitively-not-applied and succeeds.
+func TestServerDropsExpiredRound(t *testing.T) {
+	r, proxy, srv := newLBL(t, LBLPointPermute, 4)
+	loadData(t, r, proxy, map[string][]byte{"k": {1, 2, 3, 4}})
+
+	// One slot, occupied by a gated raw call, so the access queues.
+	const msgOccupy = 0xEE
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	r.server.Handle(msgOccupy, func(context.Context, []byte) ([]byte, error) {
+		entered <- struct{}{}
+		<-gate
+		return nil, nil
+	})
+	r.server.LimitAdmission(transport.AdmissionConfig{MaxInflight: 1, MaxQueue: 2})
+
+	occupied := make(chan struct{})
+	go func() {
+		defer close(occupied)
+		r.client.Call(msgOccupy, nil)
+	}()
+	<-entered
+
+	// 15ms of budget, then 40ms stuck in queue: the handler finally
+	// runs with its rehydrated deadline already passed.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, _, err := proxy.AccessContext(ctx, OpRead, "k", nil); err == nil {
+		t.Fatal("expired access succeeded")
+	}
+	time.Sleep(40 * time.Millisecond)
+	close(gate)
+	<-occupied
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.expiredRounds.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never dropped the expired round")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The dropped round was never applied; the proxy's ambiguity
+	// resolution (dedup replay under the original request id) must
+	// conclude exactly that and leave the key readable.
+	got, _, err := proxy.Access(OpRead, "k", nil)
+	if err != nil {
+		t.Fatalf("access after expired round: %v", err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("read after expired round = %v, want original value", got)
+	}
+	if got := srv.expiredRounds.Load(); got != 1 {
+		t.Errorf("expiredRounds = %d, want 1", got)
+	}
+}
+
+// gatedBackend is a BatchAccessor whose round trips block on gate,
+// recording each batch's size — a stand-in proxy for aggregator tests
+// that need pending depth held high deterministically.
+type gatedBackend struct {
+	mu      sync.Mutex
+	sizes   []int
+	entered chan struct{} // one tick per batch arrival
+	gate    chan struct{} // closed to release all batches
+}
+
+func (b *gatedBackend) AccessBatchResults(_ context.Context, ops []BatchOp) ([]BatchResult, AccessStats) {
+	b.mu.Lock()
+	b.sizes = append(b.sizes, len(ops))
+	b.mu.Unlock()
+	b.entered <- struct{}{}
+	if b.gate != nil {
+		<-b.gate
+	}
+	res := make([]BatchResult, len(ops))
+	for i := range res {
+		res[i] = BatchResult{Value: []byte{byte(i)}}
+	}
+	return res, AccessStats{}
+}
+
+func (b *gatedBackend) batchSizes() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.sizes...)
+}
+
+// TestAggregatorBrownout: once pending depth reaches BrownoutPending,
+// new windows open with the larger brownout size trigger, amortizing
+// the round trip across more accesses while the backlog drains.
+func TestAggregatorBrownout(t *testing.T) {
+	backend := &gatedBackend{entered: make(chan struct{}, 4), gate: make(chan struct{})}
+	agg := NewAggregator(AggregatorConfig{
+		Window:           time.Hour, // size triggers only
+		MaxBatch:         2,
+		MaxPending:       100,
+		BrownoutPending:  3,
+		BrownoutMaxBatch: 4,
+	}, backend)
+
+	var wg sync.WaitGroup
+	access := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := agg.Access(OpRead, "k", nil); err != nil {
+				t.Errorf("access: %v", err)
+			}
+		}()
+	}
+	waitStat := func(name string, get func() int64, want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for get() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never reached %d (now %d)", name, want, get())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Two accesses fill a normal window (limit 2); its leader blocks in
+	// the backend holding pending at 2.
+	access()
+	waitStat("accesses", func() int64 { return agg.Stats().Accesses }, 1)
+	access()
+	<-backend.entered
+
+	// Third access: pending hits BrownoutPending, so ITS window opens
+	// in brownout with the bigger size trigger.
+	access()
+	waitStat("accesses", func() int64 { return agg.Stats().Accesses }, 3)
+	if got := agg.Stats().Brownouts; got != 1 {
+		t.Fatalf("brownouts = %d, want 1 (window opened at pending >= 3)", got)
+	}
+
+	// Three more fill the brownout window to its limit of 4.
+	access()
+	access()
+	access()
+	<-backend.entered
+
+	close(backend.gate)
+	wg.Wait()
+	if sizes := backend.batchSizes(); len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 4 {
+		t.Errorf("batch sizes = %v, want [2 4]", sizes)
+	}
+}
+
+// TestAggregatorShedsExpiredWaiter: a waiter whose deadline passes
+// while its window coalesces is answered unsent at dispatch — the
+// batch that goes out carries only live accesses.
+func TestAggregatorShedsExpiredWaiter(t *testing.T) {
+	backend := &gatedBackend{entered: make(chan struct{}, 1)}
+	agg := NewAggregator(AggregatorConfig{Window: 40 * time.Millisecond, MaxBatch: 64}, backend)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var expiredErr error
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		_, _, expiredErr = agg.AccessContext(ctx, OpRead, "dead", nil)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for agg.Stats().Accesses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first access never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	v, _, err := agg.Access(OpRead, "live", nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("live access: %v", err)
+	}
+	if v == nil {
+		t.Error("live access returned no value")
+	}
+	if !IsDeadlineExpired(expiredErr) {
+		t.Errorf("expired waiter err = %v, want deadline-expired", expiredErr)
+	}
+	if st := agg.Stats(); st.Expired != 1 {
+		t.Errorf("Expired = %d, want 1", st.Expired)
+	}
+	if sizes := backend.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Errorf("batch sizes = %v, want [1] (expired waiter shed before send)", sizes)
+	}
+}
+
+// TestRouterBusyBreaker: consecutive busy rejections bench a member
+// behind fail-fast busies — no wire traffic — and the first access
+// after the retry-after window is the readmission probe. The member is
+// never evicted from the ring (benching must not move range ownership).
+func TestRouterBusyBreaker(t *testing.T) {
+	const retryAfter = 60 * time.Millisecond
+	s := transport.NewServer()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.Handle(MsgClientAccess, func(context.Context, []byte) ([]byte, error) {
+		entered <- struct{}{}
+		<-gate
+		return nil, errors.New("occupier done")
+	})
+	s.LimitAdmission(transport.AdmissionConfig{MaxInflight: 1, MaxQueue: 0, RetryAfter: retryAfter})
+	l := netsim.Listen(netsim.Loopback)
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() { close(gate) })
+
+	// Occupy the single admission slot so every routed access sheds.
+	raw, err := transport.Dial(l.Dial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+	go raw.Call(MsgClientAccess, []byte("occupy"))
+	<-entered
+
+	router, err := NewRouter([]RouterMember{{Name: "p0", Dial: l.Dial}}, RouterOptions{
+		Client:      transport.Options{PoolSize: 1, Retry: transport.RetryPolicy{Attempts: 1}},
+		BusyBreaker: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+
+	// Two busy rejections trip the breaker.
+	for i := 0; i < 2; i++ {
+		_, _, err := router.Access(OpRead, "k", nil)
+		if !transport.IsBusy(err) || transport.Ambiguous(err) {
+			t.Fatalf("access %d: err = %v, want definite busy", i, err)
+		}
+	}
+	shedsAtTrip := s.AdmissionStats().Shed
+
+	// Benched: accesses fail fast with busy and produce no wire traffic.
+	_, _, err = router.Access(OpRead, "k", nil)
+	var be *transport.BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("benched access err = %v, want *BusyError", err)
+	}
+	if be.RetryAfter <= 0 || be.RetryAfter > retryAfter {
+		t.Errorf("benched RetryAfter = %v, want within (0, %v]", be.RetryAfter, retryAfter)
+	}
+	if got := s.AdmissionStats().Shed; got != shedsAtTrip {
+		t.Errorf("server sheds moved %d -> %d during bench; benched access must not reach the wire", shedsAtTrip, got)
+	}
+
+	// After the window the next access is the readmission probe: it
+	// reaches the (still saturated) server again.
+	time.Sleep(retryAfter + 20*time.Millisecond)
+	_, _, err = router.Access(OpRead, "k", nil)
+	if !transport.IsBusy(err) {
+		t.Fatalf("probe access err = %v, want busy (server still saturated)", err)
+	}
+	if got := s.AdmissionStats().Shed; got != shedsAtTrip+1 {
+		t.Errorf("server sheds after probe = %d, want %d (probe must reach the wire)", got, shedsAtTrip+1)
+	}
+}

@@ -46,8 +46,8 @@ const ringVnodes = 128
 // range whose owner survived the change.
 type Ring struct {
 	members []string
-	points  []ringPoint        // sorted by hash
-	owners  [NumRanges]string  // resolved owner per range
+	points  []ringPoint       // sorted by hash
+	owners  [NumRanges]string // resolved owner per range
 }
 
 type ringPoint struct {

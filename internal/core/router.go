@@ -21,7 +21,15 @@ import (
 // answers again. Ownership rejections (epoch fences that a proxy
 // declined to adopt through) redirect to the next peer rather than
 // failing the caller, so a kill mid-workload costs one redirect, not an
-// outage.
+// outage. Busy rejections (admission-control sheds — a definite
+// not-executed outcome) are NOT failed over: offering the access to a
+// peer would adopt the key's counter range through the epoch fence, and
+// under symmetric overload ownership would ping-pong between saturated
+// proxies, paying a claim plus counter rebase per flip. The shed is
+// surfaced to the caller, who backs off per the retry-after hint; a
+// member that sheds consecutively is circuit-broken into a fail-fast
+// bench — accesses return busy without a wire round trip — and the
+// first access after the bench window is the readmission probe.
 
 // A RouterMember names one proxy and how to reach it.
 type RouterMember struct {
@@ -43,6 +51,14 @@ type RouterOptions struct {
 	// ProbeBackoffMax caps the per-member probe backoff that doubles on
 	// every failed probe. Default 2s.
 	ProbeBackoffMax time.Duration
+	// BusyBreaker is the number of consecutive busy rejections from one
+	// member before the router circuit-breaks it: accesses to the member
+	// fail fast with busy — no wire round trip — until its retry-after
+	// window passes, and the first access after the window is the
+	// readmission probe. The member stays in the routing ring throughout
+	// (benching is backpressure, not failure — moving its keys to a peer
+	// would steal range ownership). Default 3.
+	BusyBreaker int
 	// Metrics, when non-nil, registers the router's metrics
 	// (ortoa_router_*) before the health prober starts.
 	Metrics *obs.Registry
@@ -50,6 +66,18 @@ type RouterOptions struct {
 
 // ErrNoProxies reports an access that found no member to try.
 var ErrNoProxies = errors.New("core: router has no reachable proxies")
+
+// busyRetryAfter extracts the shedder's retry-after hint from a busy
+// rejection. A busy relayed through a proxy hop arrives flattened to a
+// RemoteError (the hint does not survive the flattening), so fall back
+// to the probe interval — the prober's normal pace.
+func busyRetryAfter(err error, fallback time.Duration) time.Duration {
+	var be *transport.BusyError
+	if errors.As(err, &be) && be.RetryAfter > 0 {
+		return be.RetryAfter
+	}
+	return fallback
+}
 
 type routerMember struct {
 	name    string
@@ -60,9 +88,19 @@ type routerMember struct {
 	client *transport.Client
 	acc    *RemoteAccessor
 
-	// probe pacing, owned by the prober goroutine
-	nextProbe time.Time
-	backoff   time.Duration
+	// busyStreak counts consecutive busy rejections; any other outcome
+	// resets it. At opts.BusyBreaker the Access path benches the member.
+	busyStreak atomic.Int64
+
+	// benchedUntil (unix nanos, 0 = not benched) is the busy breaker's
+	// fail-fast window: until it passes, accesses return busy without a
+	// wire round trip. Written from the Access path, hence atomic.
+	benchedUntil atomic.Int64
+
+	// Probe pacing, owned by the prober — atomics only because Close
+	// and tests may race a tick.
+	nextProbe atomic.Int64
+	backoff   atomic.Int64
 }
 
 // accessor returns the member's stub, dialing on first use (or after a
@@ -98,6 +136,8 @@ type Router struct {
 type routerObs struct {
 	redirects *obs.Counter // fence rejections redirected to a peer
 	failovers *obs.Counter // accesses moved off a failed member
+	busies    *obs.Counter // busy rejections routed around
+	trips     *obs.Counter // busy-breaker trips (member benched until probed)
 	probes    *obs.Counter // health probes sent
 	healthy   *obs.Gauge   // members currently routable
 }
@@ -112,6 +152,8 @@ func (r *Router) instrument(reg *obs.Registry) {
 	r.mx = routerObs{
 		redirects: reg.Counter("ortoa_router_redirects_total", "accesses redirected to a peer after an ownership fence"),
 		failovers: reg.Counter("ortoa_router_failovers_total", "accesses moved off a member after a transport failure"),
+		busies:    reg.Counter("ortoa_router_busy_total", "busy rejections (shed before executing) surfaced for caller backoff"),
+		trips:     reg.Counter("ortoa_router_breaker_trips_total", "members benched behind fail-fast busies after consecutive sheds"),
 		probes:    reg.Counter("ortoa_router_probes_total", "health probes sent to unhealthy members"),
 		healthy:   reg.Gauge("ortoa_router_healthy_members", "members currently considered routable"),
 	}
@@ -133,6 +175,9 @@ func NewRouter(members []RouterMember, opts RouterOptions) (*Router, error) {
 	if opts.ProbeBackoffMax <= 0 {
 		opts.ProbeBackoffMax = 2 * time.Second
 	}
+	if opts.BusyBreaker <= 0 {
+		opts.BusyBreaker = 3
+	}
 	r := &Router{opts: opts, stop: make(chan struct{})}
 	r.instrument(opts.Metrics)
 	seen := make(map[string]bool, len(members))
@@ -144,7 +189,8 @@ func NewRouter(members []RouterMember, opts RouterOptions) (*Router, error) {
 			return nil, fmt.Errorf("core: duplicate router member %q", m.Name)
 		}
 		seen[m.Name] = true
-		rm := &routerMember{name: m.Name, dial: m.Dial, backoff: opts.ProbeInterval}
+		rm := &routerMember{name: m.Name, dial: m.Dial}
+		rm.backoff.Store(int64(opts.ProbeInterval))
 		rm.healthy.Store(rm.accessor(opts.Client) != nil)
 		r.members = append(r.members, rm)
 	}
@@ -251,6 +297,20 @@ func (r *Router) Access(op Op, key string, newValue []byte) ([]byte, AccessStats
 		if m == nil {
 			break
 		}
+		if until := m.benchedUntil.Load(); until != 0 {
+			if wait := time.Until(time.Unix(0, until)); wait > 0 {
+				// Benched by the busy breaker: fail fast with the
+				// shedder's outcome instead of offering more load (or
+				// letting a peer steal the key's range ownership).
+				err := &transport.BusyError{RetryAfter: wait}
+				if ambigErr != nil {
+					return nil, lastStats, ambigErr
+				}
+				return nil, lastStats, err
+			}
+			// Window passed; this access is the readmission probe.
+			m.benchedUntil.Store(0)
+		}
 		acc := m.accessor(r.opts.Client)
 		if acc == nil {
 			r.markDown(m)
@@ -259,6 +319,7 @@ func (r *Router) Access(op Op, key string, newValue []byte) ([]byte, AccessStats
 		}
 		value, stats, err := acc.Access(op, key, newValue)
 		if err == nil {
+			m.busyStreak.Store(0)
 			if !m.healthy.Load() {
 				// It answered; readmit it without waiting for a probe.
 				if m.healthy.CompareAndSwap(false, true) {
@@ -270,7 +331,31 @@ func (r *Router) Access(op Op, key string, newValue []byte) ([]byte, AccessStats
 		lastErr, lastStats = err, stats
 		var re *transport.RemoteError
 		isRemote := errors.As(err, &re)
+		if !transport.IsBusy(err) {
+			// Only *consecutive* busy rejections trip the breaker.
+			m.busyStreak.Store(0)
+		}
 		switch {
+		case transport.IsBusy(err):
+			// The member (or its upstream server) shed the access before
+			// executing it — a definite outcome, not an ambiguity, so no
+			// round is parked. Do NOT fail over: a peer serving this key
+			// would adopt its counter range through the epoch fence, and
+			// under symmetric overload ownership would ping-pong between
+			// saturated proxies, burning a claim + counter rebase per
+			// flip. Surface the shed so the caller backs off; consecutive
+			// sheds bench the member behind fail-fast busies until its
+			// retry-after window passes.
+			r.mx.busies.Inc()
+			if m.busyStreak.Add(1) >= int64(r.opts.BusyBreaker) {
+				m.busyStreak.Store(0)
+				m.benchedUntil.Store(time.Now().Add(busyRetryAfter(err, r.opts.ProbeInterval)).UnixNano())
+				r.mx.trips.Inc()
+			}
+			if ambigErr != nil {
+				return nil, lastStats, ambigErr
+			}
+			return nil, stats, err
 		case isFencedRound(err), isStaleRound(err):
 			// The member declined ownership of this key's range (fenced
 			// at the server and did not adopt), or its counter snapshot
@@ -326,23 +411,24 @@ func (r *Router) probeLoop() {
 			return
 		case now := <-t.C:
 			for _, m := range r.members {
-				if m.healthy.Load() || now.Before(m.nextProbe) {
+				if m.healthy.Load() || now.UnixNano() < m.nextProbe.Load() {
 					continue
 				}
 				r.mx.probes.Inc()
 				if conn, err := m.dial(); err == nil {
 					conn.Close()
-					m.backoff = r.opts.ProbeInterval
-					m.nextProbe = time.Time{}
+					m.backoff.Store(int64(r.opts.ProbeInterval))
+					m.nextProbe.Store(0)
 					if m.healthy.CompareAndSwap(false, true) {
 						r.rebuildRing()
 					}
 				} else {
-					m.backoff *= 2
-					if m.backoff > r.opts.ProbeBackoffMax {
-						m.backoff = r.opts.ProbeBackoffMax
+					b := 2 * time.Duration(m.backoff.Load())
+					if b > r.opts.ProbeBackoffMax {
+						b = r.opts.ProbeBackoffMax
 					}
-					m.nextProbe = now.Add(m.backoff)
+					m.backoff.Store(int64(b))
+					m.nextProbe.Store(now.Add(b).UnixNano())
 				}
 			}
 		}

@@ -112,6 +112,15 @@ func RegisterProxyService(ts *transport.Server, accessor Accessor) {
 			out, _, err = accessor.Access(op, key, value)
 		}
 		if err != nil {
+			if transport.IsBusy(err) {
+				// The proxy's own server round was shed before executing.
+				// Mislabeling it ambiguous would park a phantom round on
+				// the caller's counter entry; the busy prefix keeps the
+				// definite-but-backoff classification intact across the
+				// hop, so a router backs off this path instead of
+				// resolving an ambiguity that never existed.
+				return nil, fmt.Errorf("%s%w", transport.BusyMsgPrefix, err)
+			}
 			if transport.Ambiguous(err) ||
 				errors.Is(err, transport.ErrClosed) ||
 				errors.Is(err, transport.ErrNoLiveConns) {

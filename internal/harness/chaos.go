@@ -280,7 +280,7 @@ func chaosMultiProxy(t *Table, opt Options) error {
 		}
 		coordErr <- cluster.RestartProxy(0)
 	}()
-	states, totals, werr := mixedWorkload(cluster, keys, workers, opsPerWorker, 6, &done)
+	states, totals, werr := mixedWorkload(cluster, keys, workers, opsPerWorker, 6, &done, nil)
 	cerr := <-coordErr
 	if werr != nil {
 		return fmt.Errorf("harness: multi-proxy chaos workload: %w", werr)

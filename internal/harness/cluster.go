@@ -92,6 +92,13 @@ type Config struct {
 	// probe spiral (multi-proxy only). Zero picks a harness default
 	// large enough for every built-in workload.
 	ProxyReconcileScan int
+	// Admission, when non-nil, installs deadline-aware admission
+	// control on every shard server and (in multi-proxy deployments)
+	// every proxy front end: bounded concurrency, LIFO queueing under
+	// saturation, constant-size busy rejections. The overload
+	// experiment drives a cluster configured this way far past
+	// capacity.
+	Admission *transport.AdmissionConfig
 }
 
 // DurabilityConfig makes shard stores durable and crashable. Each
@@ -149,6 +156,10 @@ type shard struct {
 	dur      *DurabilityConfig
 	link     netsim.Link
 	replayed int64 // WAL records replayed across all restarts
+
+	// admission, when non-nil, is reapplied to rebuilt servers on
+	// Restart so a recovered shard keeps shedding overload.
+	admission *transport.AdmissionConfig
 }
 
 // NewCluster builds, loads, and connects a deployment.
@@ -208,7 +219,7 @@ type clusterAuditors struct {
 }
 
 func newShard(cfg Config, idx int, auds clusterAuditors) (*shard, error) {
-	sh := &shard{link: cfg.Link, dur: cfg.Durability, auds: auds}
+	sh := &shard{link: cfg.Link, dur: cfg.Durability, auds: auds, admission: cfg.Admission}
 	ok := false
 	defer func() {
 		if !ok {
@@ -249,6 +260,9 @@ func newShard(cfg Config, idx int, auds clusterAuditors) (*shard, error) {
 	srv.AuditShape(auds.server, core.ShapeClassify)
 	if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
 		srv.SetTracer(cfg.Metrics.Tracer("server", cfg.TraceBuffer))
+	}
+	if cfg.Admission != nil {
+		srv.LimitAdmission(*cfg.Admission)
 	}
 	listener := netsim.Listen(cfg.Link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close
@@ -356,6 +370,9 @@ func (c *Cluster) Restart(i int) error {
 	lblSrv := core.NewLBLServer(store)
 	srv := transport.NewServer()
 	srv.AuditShape(sh.auds.server, core.ShapeClassify)
+	if sh.admission != nil {
+		srv.LimitAdmission(*sh.admission)
+	}
 	lblSrv.Register(srv)
 	listener := netsim.Listen(sh.link)
 	go srv.Serve(listener) //nolint:errcheck // returns on Close
@@ -527,6 +544,31 @@ func (c *Cluster) TrafficStats() transport.Stats {
 	for _, pn := range c.proxies {
 		pn.mu.Lock()
 		add(pn.rpc.Stats())
+		pn.mu.Unlock()
+	}
+	return total
+}
+
+// AdmissionStats sums admission-control counters across shard servers
+// and live proxy front ends (zero value when Config.Admission is
+// unset).
+func (c *Cluster) AdmissionStats() transport.AdmissionStats {
+	var total transport.AdmissionStats
+	add := func(st transport.AdmissionStats) {
+		total.QueueDepth += st.QueueDepth
+		total.Shed += st.Shed
+		total.Expired += st.Expired
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		add(sh.srv.AdmissionStats())
+		sh.mu.Unlock()
+	}
+	for _, pn := range c.proxies {
+		pn.mu.Lock()
+		if !pn.down {
+			add(pn.front.AdmissionStats())
+		}
 		pn.mu.Unlock()
 	}
 	return total

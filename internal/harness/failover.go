@@ -11,6 +11,7 @@ import (
 	"ortoa/internal/core"
 	"ortoa/internal/netsim"
 	"ortoa/internal/obs"
+	"ortoa/internal/stats"
 	"ortoa/internal/transport"
 	"ortoa/internal/workload"
 )
@@ -130,7 +131,7 @@ func Failover(opt Options) (*Table, error) {
 	}()
 
 	start := time.Now()
-	states, totals, werr := mixedWorkload(cluster, keys, workers, opsPerWorker, 4, &done)
+	states, totals, werr := mixedWorkload(cluster, keys, workers, opsPerWorker, 4, &done, nil)
 	elapsed := time.Since(start)
 	// Always drain the coordinator (mixedWorkload's final done.Store
 	// releases it) so kill/recover never race the deferred Close.
@@ -188,18 +189,38 @@ func Failover(opt Options) (*Table, error) {
 }
 
 // workloadTotals aggregates a mixedWorkload run.
-type workloadTotals struct{ ops, ok, amb int64 }
+type workloadTotals struct{ ops, ok, amb, busy, expired int64 }
 
 // keyAudit tracks the set of values one key may legitimately hold: the
 // last confirmed value plus any write whose outcome was left ambiguous.
 type keyAudit struct{ acceptable map[string]bool }
 
+func opName(isRead bool) string {
+	if isRead {
+		return "read"
+	}
+	return "write"
+}
+
+// maxBusyRetries bounds how often one operation may be re-offered
+// after busy rejections before the workload declares starvation. At
+// millisecond retry-after hints this is tens of seconds of refusal on
+// one op — admission control always admits MaxInflight requests, so a
+// live deployment can only hit this if shedding stopped making progress.
+const maxBusyRetries = 10000
+
 // mixedWorkload drives a 50/50 read/write workload with workers owning
 // disjoint key sets (keys is split evenly), tracking per-key acceptable
-// value sets for a later audit. gen namespaces written values; done,
-// when non-nil, is bumped after every completed operation so a
-// coordinator can time fault injection against progress.
-func mixedWorkload(cluster *Cluster, keys []string, workers, opsPerWorker int, gen uint64, done *atomic.Int64) ([]map[string]*keyAudit, workloadTotals, error) {
+// value sets for a later audit. Busy rejections are definite
+// not-executed outcomes, so the op is re-offered in place after the
+// shedder's retry-after hint (counted per rejection in totals.busy) —
+// the closed-loop behavior of a client honoring the hint. gen
+// namespaces written values; done, when non-nil, is bumped after every
+// completed operation so a coordinator can time fault injection
+// against progress; rec, when non-nil, records the latency of every
+// successful operation (the accepted-request latency the overload
+// experiment bounds).
+func mixedWorkload(cluster *Cluster, keys []string, workers, opsPerWorker int, gen uint64, done *atomic.Int64, rec *stats.Recorder) ([]map[string]*keyAudit, workloadTotals, error) {
 	keysPerWorker := len(keys) / workers
 	states := make([]map[string]*keyAudit, workers)
 	var (
@@ -223,45 +244,69 @@ func mixedWorkload(cluster *Cluster, keys []string, workers, opsPerWorker int, g
 				st[k] = ka
 			}
 			states[w] = st
-			var ops, ok, amb int64
+			var ops, ok, amb, busy, expired int64
 			var fatal error
 			for i := 0; i < opsPerWorker && fatal == nil; i++ {
 				key := own[rng.IntN(len(own))]
 				ops++
-				if rng.IntN(2) == 0 { // read
-					got, _, err := cluster.Access(core.OpRead, key, nil)
+				isRead := rng.IntN(2) == 0
+				var val []byte
+				if !isRead {
+					val = chaosValue(cluster.cfg.ValueSize, uint64(w*opsPerWorker+i), gen)
+				}
+				for tries := 0; fatal == nil; tries++ {
+					opStart := time.Now()
+					var got []byte
+					var err error
+					if isRead {
+						got, _, err = cluster.Access(core.OpRead, key, nil)
+					} else {
+						_, _, err = cluster.Access(core.OpWrite, key, val)
+					}
+					if transport.IsBusy(err) {
+						// Shed before executing — definite, so the acceptable
+						// set is unchanged and the op can simply be offered
+						// again after the shedder's hint.
+						busy++
+						if tries >= maxBusyRetries {
+							fatal = fmt.Errorf("worker %d: %q starved: %d consecutive busy rejections", w, key, tries)
+							break
+						}
+						time.Sleep(busyDelay(err))
+						continue
+					}
 					switch {
 					case err == nil:
-						if len(st[key].acceptable) > 0 && !st[key].acceptable[string(got)] {
+						if isRead && len(st[key].acceptable) > 0 && !st[key].acceptable[string(got)] {
 							fatal = fmt.Errorf("worker %d: read %q returned a value no write produced (lost or duplicated write)", w, key)
 							break
 						}
 						ok++
-						st[key].acceptable = map[string]bool{string(got): true}
+						if rec != nil {
+							rec.Add(time.Since(opStart))
+						}
+						if isRead {
+							st[key].acceptable = map[string]bool{string(got): true}
+						} else {
+							st[key].acceptable = map[string]bool{string(val): true}
+						}
 					case transport.Ambiguous(err):
 						amb++ // outcome unknown; reads don't change state
-					case core.IsHandoffTransient(err):
-						// Definite rejection mid-handoff: the round did not
-						// execute. An app would retry; here it is a skipped op.
+						if !isRead {
+							st[key].acceptable[string(val)] = true // may or may not have applied
+						}
+					case core.IsHandoffTransient(err), core.IsDeadlineExpired(err):
+						// Definite rejection mid-handoff, or the deadline
+						// budget ran out before the round executed — the
+						// acceptable set is unchanged either way. An app
+						// would retry; here it is a skipped op.
+						if core.IsDeadlineExpired(err) {
+							expired++
+						}
 					default:
-						fatal = fmt.Errorf("worker %d: read %q: %w", w, key, err)
+						fatal = fmt.Errorf("worker %d: %s %q: %w", w, opName(isRead), key, err)
 					}
-				} else {
-					val := chaosValue(cluster.cfg.ValueSize, uint64(w*opsPerWorker+i), gen)
-					_, _, err := cluster.Access(core.OpWrite, key, val)
-					switch {
-					case err == nil:
-						ok++
-						st[key].acceptable = map[string]bool{string(val): true}
-					case transport.Ambiguous(err):
-						amb++
-						st[key].acceptable[string(val)] = true // may or may not have applied
-					case core.IsHandoffTransient(err):
-						// Definite rejection: the write demonstrably did not
-						// apply, so the acceptable set is unchanged.
-					default:
-						fatal = fmt.Errorf("worker %d: write %q: %w", w, key, err)
-					}
+					break
 				}
 				if done != nil {
 					done.Add(1)
@@ -271,6 +316,8 @@ func mixedWorkload(cluster *Cluster, keys []string, workers, opsPerWorker int, g
 			totals.ops += ops
 			totals.ok += ok
 			totals.amb += amb
+			totals.busy += busy
+			totals.expired += expired
 			if fatal != nil && firstFatal == nil {
 				firstFatal = fatal
 			}

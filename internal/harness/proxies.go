@@ -140,6 +140,9 @@ func (pn *proxyNode) start(cfg Config, sh *shard, f *prf.PRF, instrument bool) e
 
 	front := transport.NewServer()
 	front.AuditShape(pn.auds.proxy, core.ShapeClassify)
+	if cfg.Admission != nil {
+		front.LimitAdmission(*cfg.Admission)
+	}
 	core.RegisterProxyService(front, proxy)
 	l := netsim.Listen(cfg.ProxyLink)
 	go front.Serve(l) //nolint:errcheck // returns on Close

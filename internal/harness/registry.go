@@ -36,6 +36,7 @@ var Experiments = []Experiment{
 	{"aggregate", "cross-session aggregation window vs per-request proxying (extension)", Aggregate},
 	{"chaos", "mixed workload under injected transport faults (robustness extension)", Chaos},
 	{"failover", "multi-proxy kill-and-adopt drill with epoch-fenced ownership (robustness extension)", Failover},
+	{"overload", "overload shedding: goodput and bounded latency at 10x offered load (robustness extension)", Overload},
 	{"crash", "repeated kill/restart under durable-on-ack group commit (robustness extension)", Crash},
 	{"attack-snapshot", "multi-snapshot adversary vs plain store and ORTOA (§1)", SnapshotAttack},
 	{"oram-rounds", "one-round vs two-round tree ORAM (§8 sketch)", ORAMRounds},

@@ -20,10 +20,10 @@ func TestFrameLengthConstantTracedOrNot(t *testing.T) {
 	payload := []byte("the payload does not change")
 	var traced, untraced bytes.Buffer
 	sc := trace.SpanContext{TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00}
-	if err := writeFrame(&traced, 7, 42, sc, msgEcho, 0, payload); err != nil {
+	if err := writeFrame(&traced, 7, 42, sc, 0, msgEcho, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(&untraced, 7, 42, trace.SpanContext{}, msgEcho, 0, payload); err != nil {
+	if err := writeFrame(&untraced, 7, 42, trace.SpanContext{}, 0, msgEcho, 0, payload); err != nil {
 		t.Fatal(err)
 	}
 	if traced.Len() != untraced.Len() {
@@ -36,7 +36,7 @@ func TestFrameLengthConstantTracedOrNot(t *testing.T) {
 
 	// The ref round-trips exactly, and an all-zero ref reads back as an
 	// invalid (untraced) span context.
-	_, _, gotSC, _, _, gotPayload, err := readFrame(&traced)
+	_, _, gotSC, _, _, _, gotPayload, err := readFrame(&traced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestFrameLengthConstantTracedOrNot(t *testing.T) {
 	if !bytes.Equal(gotPayload, payload) {
 		t.Fatalf("payload round-trip: %q", gotPayload)
 	}
-	_, _, gotSC, _, _, _, err = readFrame(&untraced)
+	_, _, gotSC, _, _, _, _, err = readFrame(&untraced)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,7 @@
 // A frame is:
 //
 //	[4B little-endian frame length][8B session id][8B request id]
-//	[16B trace ref][1B message type][1B flags][payload]
+//	[16B trace ref][4B deadline budget][1B message type][1B flags][payload]
 //
 // where the length covers everything after the length field itself.
 // The trace ref (wire.TraceRefLen) carries distributed-tracing span
@@ -12,8 +12,15 @@
 // request is untraced; being fixed-size and always present, it never
 // changes frame lengths and so cannot leak operation types through the
 // transcript shape (DESIGN.md §13). Responses echo the request's ref.
-// Requests and responses share the format; FlagResponse distinguishes
-// them and FlagError marks a response whose payload is an error string.
+// The deadline budget (wire.BudgetLen) carries the caller's remaining
+// time in milliseconds, restamped at every hop so it decrements across
+// a client→proxy→server chain; zero means "no deadline". Like the
+// trace ref it is fixed-size and always present, so deadline
+// propagation never changes the transcript shape either (DESIGN.md
+// §15). Requests and responses share the format; FlagResponse
+// distinguishes them and FlagError marks a response whose payload is
+// an error string. FlagBusy marks a shape-neutral admission rejection
+// (MsgBusy) whose payload is a fixed-width retry-after hint.
 // Multiple requests may be in flight on one connection; responses are
 // matched by id, so a slow request does not stall the pipeline.
 //
@@ -53,13 +60,24 @@ import (
 const (
 	flagResponse = 1 << 0
 	flagError    = 1 << 1
+	flagBusy     = 1 << 2
 )
+
+// MsgBusy is the message type of an admission-rejection response: the
+// server (or proxy front end) declined to execute the request because
+// its admission queue is saturated or the request's deadline budget
+// had already expired on arrival. The payload is always exactly
+// wire.BudgetLen bytes — a little-endian retry-after hint in
+// milliseconds — whatever the rejected request's type or operation, so
+// shedding leaks nothing about what was shed. 0xFF keeps the type out
+// of the protocol range core registers handlers for.
+const MsgBusy byte = 0xFF
 
 // MaxFrameSize caps a single frame; larger frames indicate corruption
 // or abuse. LBL tables for multi-kilobyte values fit comfortably.
 const MaxFrameSize = 64 << 20 // 64 MiB
 
-const headerSize = 4 + 8 + 8 + wire.TraceRefLen + 1 + 1
+const headerSize = 4 + 8 + 8 + wire.TraceRefLen + wire.BudgetLen + 1 + 1
 
 // minFrameLen is the smallest valid value of the length field: the
 // header bytes it covers (everything after the length field itself).
@@ -106,6 +124,39 @@ func IsReplayEvicted(err error) bool {
 // multi-hop callers (client → proxy → server) can still classify.
 const AmbiguousMsgPrefix = "outcome unknown: "
 
+// BusyMsgPrefix marks a RemoteError whose handler was itself shed by
+// an overloaded peer one hop further upstream (a proxy whose server
+// rejected the round with MsgBusy before executing anything). Relays
+// prefix their error text with it so the definite-but-backoff
+// classification survives the handler-error → RemoteError flattening,
+// exactly like AmbiguousMsgPrefix does for ambiguity.
+const BusyMsgPrefix = "busy: "
+
+// A BusyError is a MsgBusy admission rejection: the peer was saturated
+// (or the request's deadline budget had expired on arrival) and
+// definitively did not execute the request. RetryAfter is the peer's
+// backoff hint; the client's RetryPolicy honors it as a minimum delay
+// before the next attempt.
+type BusyError struct{ RetryAfter time.Duration }
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("transport: busy: overloaded, retry after %v", e.RetryAfter)
+}
+
+// IsBusy reports whether err is an overload rejection — a direct
+// MsgBusy from the peer, or a relayed one (BusyMsgPrefix) from a hop
+// further upstream. A busy request definitively did not execute:
+// callers may retry it freely after backing off, and stateful callers
+// never need ambiguity resolution for it.
+func IsBusy(err error) bool {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, BusyMsgPrefix)
+}
+
 // Ambiguous reports whether err leaves the outcome of a call unknown:
 // the request may or may not have executed on the server. Handler
 // errors arrive in a response, so the server demonstrably executed the
@@ -125,6 +176,13 @@ func Ambiguous(err error) bool {
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return strings.HasPrefix(re.Msg, AmbiguousMsgPrefix)
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
+		// A MsgBusy rejection is a definite outcome: the peer refused
+		// admission before the handler (and before the dedup cache), so
+		// the request demonstrably did not execute.
+		return false
 	}
 	return !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrClosed)
 }
@@ -148,7 +206,7 @@ var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // can be dropped whole (netsim partitions, a userspace proxy's queue
 // overflow) then loses complete frames, never a frame's tail, so the
 // peer's framing stays intact across every injected fault.
-func writeFrame(w io.Writer, session, id uint64, tr trace.SpanContext, msgType, flags byte, payload []byte) error {
+func writeFrame(w io.Writer, session, id uint64, tr trace.SpanContext, budget uint32, msgType, flags byte, payload []byte) error {
 	if len(payload) > MaxFrameSize-minFrameLen {
 		return ErrFrameTooLarge
 	}
@@ -157,8 +215,9 @@ func writeFrame(w io.Writer, session, id uint64, tr trace.SpanContext, msgType, 
 	binary.LittleEndian.PutUint64(hdr[4:12], session)
 	binary.LittleEndian.PutUint64(hdr[12:20], id)
 	wire.PutTraceRef(hdr[20:20+wire.TraceRefLen], tr.TraceID, tr.SpanID)
-	hdr[36] = msgType
-	hdr[37] = flags
+	wire.PutBudget(hdr[36:36+wire.BudgetLen], budget)
+	hdr[40] = msgType
+	hdr[41] = flags
 	if len(payload) == 0 {
 		_, err := w.Write(hdr[:])
 		return err
@@ -174,25 +233,26 @@ func writeFrame(w io.Writer, session, id uint64, tr trace.SpanContext, msgType, 
 	return err
 }
 
-func readFrame(r io.Reader) (session, id uint64, tr trace.SpanContext, msgType, flags byte, payload []byte, err error) {
+func readFrame(r io.Reader) (session, id uint64, tr trace.SpanContext, budget uint32, msgType, flags byte, payload []byte, err error) {
 	var hdr [headerSize]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, trace.SpanContext{}, 0, 0, nil, err
+		return 0, 0, trace.SpanContext{}, 0, 0, 0, nil, err
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
 	if length < minFrameLen || length > MaxFrameSize {
-		return 0, 0, trace.SpanContext{}, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
+		return 0, 0, trace.SpanContext{}, 0, 0, 0, nil, fmt.Errorf("transport: invalid frame length %d", length)
 	}
 	session = binary.LittleEndian.Uint64(hdr[4:12])
 	id = binary.LittleEndian.Uint64(hdr[12:20])
 	tr.TraceID, tr.SpanID = wire.TraceRef(hdr[20 : 20+wire.TraceRefLen])
-	msgType = hdr[36]
-	flags = hdr[37]
+	budget = wire.Budget(hdr[36 : 36+wire.BudgetLen])
+	msgType = hdr[40]
+	flags = hdr[41]
 	payload = make([]byte, length-minFrameLen)
 	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, 0, trace.SpanContext{}, 0, 0, nil, err
+		return 0, 0, trace.SpanContext{}, 0, 0, 0, nil, err
 	}
-	return session, id, tr, msgType, flags, payload, nil
+	return session, id, tr, budget, msgType, flags, payload, nil
 }
 
 // A HandlerFunc serves one request payload and returns the response
@@ -232,17 +292,19 @@ type serverMetrics struct {
 }
 
 // A Server dispatches inbound frames to handlers registered by message
-// type. Handlers run concurrently, one goroutine per request.
+// type. Handlers run concurrently, one goroutine per request — bounded,
+// when LimitAdmission is set, by the admission queue (admission.go).
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[byte]HandlerFunc
-	observer Observer
-	closed   atomic.Bool
-	conns    sync.WaitGroup
-	lns      []net.Listener
-	metrics  atomic.Pointer[serverMetrics]
-	tracer   atomic.Pointer[trace.Tracer]
-	dedup    *dedupCache
+	mu        sync.RWMutex
+	handlers  map[byte]HandlerFunc
+	observer  Observer
+	closed    atomic.Bool
+	conns     sync.WaitGroup
+	lns       []net.Listener
+	metrics   atomic.Pointer[serverMetrics]
+	tracer    atomic.Pointer[trace.Tracer]
+	dedup     *dedupCache
+	admission atomic.Pointer[admission]
 
 	shapeMu       sync.RWMutex
 	shapeAud      *obs.ShapeAuditor
@@ -294,6 +356,26 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		handlerErrors:  reg.Counter("ortoa_transport_server_handler_errors_total", "handler invocations that returned an error"),
 		connsOpen:      reg.Gauge("ortoa_transport_server_open_connections", "currently open client connections"),
 		dedupHits:      reg.Counter("ortoa_transport_server_dedup_hits_total", "retried requests answered from the at-most-once cache without re-execution"),
+	})
+	// Admission metrics read through the atomic pointer at scrape time,
+	// so Instrument and LimitAdmission may be called in either order.
+	reg.GaugeFunc("ortoa_transport_server_admission_queue_depth", "requests waiting in the admission queue", func() int64 {
+		if a := s.admission.Load(); a != nil {
+			return a.depth.Load()
+		}
+		return 0
+	})
+	reg.CounterFunc("ortoa_transport_server_admission_shed_total", "requests rejected with MsgBusy because the admission queue was saturated", func() int64 {
+		if a := s.admission.Load(); a != nil {
+			return a.shed.Load()
+		}
+		return 0
+	})
+	reg.CounterFunc("ortoa_transport_server_admission_expired_total", "requests rejected with MsgBusy because their deadline budget expired before execution", func() int64 {
+		if a := s.admission.Load(); a != nil {
+			return a.expired.Load()
+		}
+		return 0
 	})
 }
 
@@ -414,9 +496,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	var pending sync.WaitGroup
 	defer pending.Wait()
 	for {
-		sid, id, tr, msgType, _, payload, err := readFrame(conn)
+		sid, id, tr, budget, msgType, _, payload, err := readFrame(conn)
 		if err != nil {
 			return // closed, draining, or corrupt; stop reading
+		}
+		// Rehydrate the frame's millisecond budget into an absolute
+		// deadline at arrival time: queue time spent here counts against
+		// the caller's remaining budget, exactly as wire time does.
+		var deadline time.Time
+		if budget > 0 {
+			deadline = time.Now().Add(time.Duration(budget) * time.Millisecond)
 		}
 		m := s.metrics.Load()
 		if m != nil {
@@ -426,17 +515,32 @@ func (s *Server) serveConn(conn net.Conn) {
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
-			flags, resp := s.respond(sid, id, tr, msgType, payload, m)
+			var flags byte
+			var resp []byte
+			msgOut := msgType
+			if adm := s.admission.Load(); adm != nil {
+				switch adm.admit(deadline) {
+				case admitRun:
+					flags, resp = s.respondReleasing(adm, sid, id, tr, deadline, msgType, payload, m)
+				default: // admitShed, admitExpired — one wire shape for both
+					msgOut, flags, resp = MsgBusy, flagResponse|flagBusy, adm.busyPayload()
+					s.auditBusy(msgType, payload, resp)
+				}
+			} else {
+				flags, resp = s.respond(sid, id, tr, deadline, msgType, payload, m)
+			}
 			if m != nil {
 				m.framesOut.Inc()
 				m.bytesOut.Add(int64(headerSize + len(resp)))
 			}
 			s.observe(msgType, len(payload), len(resp))
-			s.auditExchange(msgType, payload, resp, flags)
+			if msgOut != MsgBusy {
+				s.auditExchange(msgType, payload, resp, flags)
+			}
 			wmu.Lock()
 			// Responses echo the request's trace ref, so a traced
 			// caller can stitch both directions into one trace.
-			werr := writeFrame(conn, sid, id, tr, msgType, flags, resp)
+			werr := writeFrame(conn, sid, id, tr, 0, msgOut, flags, resp)
 			wmu.Unlock()
 			if werr != nil {
 				// A connection that cannot carry responses must not keep
@@ -449,11 +553,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// respondReleasing runs respond under an admission slot, releasing it
+// however the handler exits.
+func (s *Server) respondReleasing(adm *admission, sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
+	defer adm.release()
+	return s.respond(sid, id, tr, deadline, msgType, payload, m)
+}
+
+// auditBusy records a shed exchange with the shape auditor: the
+// request under its own class as usual, the rejection under MsgBusy
+// with the same class and a strictly pinned length — every busy frame
+// is wire.BudgetLen bytes whatever was shed, so the auditor proves
+// shedding is operation-type invisible.
+func (s *Server) auditBusy(msgType byte, payload, resp []byte) {
+	s.shapeMu.RLock()
+	a, classify := s.shapeAud, s.shapeClassify
+	s.shapeMu.RUnlock()
+	if a == nil {
+		return
+	}
+	class, strictReq, _ := classify(msgType, payload)
+	a.Observe("in", msgType, class, strictReq, len(payload))
+	a.Observe("out", MsgBusy, class, true, len(resp))
+}
+
 // respond produces the response for one request frame: a dedup-cache
 // replay if this (session, id) already completed, otherwise one
 // handler execution whose outcome is cached before it is written, so a
 // response lost on the wire can still be replayed to a retry.
-func (s *Server) respond(sid, id uint64, tr trace.SpanContext, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
+func (s *Server) respond(sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
 	var sess *dedupSession
 	var entry *dedupEntry
 	if sid != 0 {
@@ -478,6 +606,15 @@ func (s *Server) respond(sid, id uint64, tr trace.SpanContext, msgType byte, pay
 		m.inflight.Inc()
 	}
 	ctx := context.Background()
+	if !deadline.IsZero() {
+		// The frame's deadline budget becomes the handler's context
+		// deadline, so protocol code can drop expired-on-arrival work
+		// before any expensive step and downstream calls restamp the
+		// decremented budget onto their own frames.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
 	var sp *trace.Span
 	if t := s.tracer.Load(); t != nil {
 		if sp = t.StartRemote(tr, "server_handle"); sp != nil {
@@ -550,6 +687,11 @@ func (s *Server) Close() error {
 	// the read deadline), then closes the conn.
 	for _, c := range open {
 		c.SetReadDeadline(time.Now()) //nolint:errcheck // best effort; Close below still terminates the conn
+	}
+	// Wake queued admission waiters (they answer busy) so pending
+	// handlers cannot deadlock the conns.Wait below.
+	if adm := s.admission.Load(); adm != nil {
+		adm.close()
 	}
 	s.conns.Wait()
 	return nil
@@ -854,7 +996,14 @@ func (c *Client) callRetry(ctx context.Context, id uint64, msgType byte, payload
 		if m != nil {
 			m.retries.Inc()
 		}
-		if serr := sleepCtx(ctx, c.opts.Retry.delay(attempt)); serr != nil {
+		d := c.opts.Retry.delay(attempt)
+		// A busy peer's retry-after hint is a floor on the backoff:
+		// retrying sooner would only be shed again.
+		var be *BusyError
+		if errors.As(err, &be) && be.RetryAfter > d {
+			d = be.RetryAfter
+		}
+		if serr := sleepCtx(ctx, d); serr != nil {
 			return nil, err
 		}
 	}
@@ -906,10 +1055,16 @@ func (c *Client) pickConn() *clientConn {
 
 // retryable classifies call errors: remote handler errors mean the
 // request executed (a retry would only replay the same error), and
-// local validation errors cannot succeed on retry. Everything else —
-// send failures, lost connections, attempt deadlines, an all-dead pool
-// — is transient.
+// local validation errors cannot succeed on retry. A busy rejection is
+// retryable — the request never executed and the peer asked for
+// backoff, which callRetry honors. Everything else — send failures,
+// lost connections, attempt deadlines, an all-dead pool — is
+// transient.
 func retryable(err error) bool {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return true
+	}
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return false
@@ -960,7 +1115,35 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// callBudget converts the context's remaining time into the frame's
+// millisecond deadline budget: zero when no deadline, else at least 1
+// (sub-millisecond remainders round up — a positive remainder must not
+// stamp "no deadline"). Stamping happens at send time from wall-clock
+// remaining, so a proxy relaying a call naturally forwards a budget
+// already decremented by its own queueing and compute.
+func callBudget(ctx context.Context) (uint32, error) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, nil
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return 0, context.DeadlineExceeded
+	}
+	millis := int64((rem + time.Millisecond - 1) / time.Millisecond)
+	if millis > int64(^uint32(0)) {
+		return ^uint32(0), nil
+	}
+	return uint32(millis), nil
+}
+
 func (cc *clientConn) call(ctx context.Context, id uint64, tr trace.SpanContext, msgType byte, payload []byte) ([]byte, error) {
+	budget, err := callBudget(ctx)
+	if err != nil {
+		// The budget is already exhausted: sending would only make the
+		// peer shed it. Nothing went on the wire.
+		return nil, err
+	}
 	pc := pendingCall{ch: make(chan result, 1), msgType: msgType}
 	aud, classify := cc.client.shape()
 	if aud != nil {
@@ -979,7 +1162,7 @@ func (cc *clientConn) call(ctx context.Context, id uint64, tr trace.SpanContext,
 	cc.mu.Unlock()
 
 	cc.wmu.Lock()
-	err := writeFrame(conn, cc.client.session, id, tr, msgType, 0, payload)
+	err = writeFrame(conn, cc.client.session, id, tr, budget, msgType, 0, payload)
 	cc.wmu.Unlock()
 	if err != nil {
 		cc.mu.Lock()
@@ -1005,7 +1188,7 @@ func (cc *clientConn) call(ctx context.Context, id uint64, tr trace.SpanContext,
 // fails, then hands the clientConn to the redial loop.
 func (cc *clientConn) readLoop(conn net.Conn) {
 	for {
-		_, id, _, _, flags, payload, err := readFrame(conn)
+		_, id, _, _, _, flags, payload, err := readFrame(conn)
 		if err != nil {
 			cc.lost(conn, fmt.Errorf("transport: connection lost: %w", err))
 			return
@@ -1017,6 +1200,20 @@ func (cc *clientConn) readLoop(conn net.Conn) {
 		cc.mu.Unlock()
 		if !ok {
 			continue // response to an abandoned or already-retried call
+		}
+		if flags&flagBusy != 0 {
+			// Admission rejection: pinned strictly under the request's
+			// class — every busy frame is the same fixed width, so the
+			// client-side auditor proves it too.
+			if aud, _ := cc.client.shape(); aud != nil {
+				aud.Observe("in", MsgBusy, pc.class, true, len(payload))
+			}
+			var retryAfter time.Duration
+			if len(payload) >= wire.BudgetLen {
+				retryAfter = time.Duration(wire.Budget(payload)) * time.Millisecond
+			}
+			pc.ch <- result{err: &BusyError{RetryAfter: retryAfter}}
+			continue
 		}
 		if aud, _ := cc.client.shape(); aud != nil {
 			strict := pc.strictResp && flags&flagError == 0

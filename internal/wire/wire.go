@@ -318,3 +318,24 @@ func PutTraceRef(dst []byte, traceID, spanID uint64) {
 func TraceRef(src []byte) (traceID, spanID uint64) {
 	return binary.LittleEndian.Uint64(src[0:8]), binary.LittleEndian.Uint64(src[8:16])
 }
+
+// BudgetLen is the fixed length of the deadline budget carried in every
+// transport frame header: the caller's remaining time in milliseconds
+// as a little-endian uint32. Like the trace reference, the field is
+// present — and the same length — whether a deadline exists or not
+// (zero means "no deadline"), so deadline propagation never changes
+// frame sizes and cannot leak operation types through the transcript
+// shape.
+const BudgetLen = 4
+
+// PutBudget encodes a deadline budget into dst, which must be at least
+// BudgetLen bytes.
+func PutBudget(dst []byte, millis uint32) {
+	binary.LittleEndian.PutUint32(dst[0:4], millis)
+}
+
+// Budget decodes a deadline budget from src, which must be at least
+// BudgetLen bytes.
+func Budget(src []byte) uint32 {
+	return binary.LittleEndian.Uint32(src[0:4])
+}

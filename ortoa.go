@@ -127,6 +127,41 @@ func (o FHEOptions) params() (fhe.Parameters, error) {
 	return fhe.NewParameters(n, bits)
 }
 
+// AdmissionOptions bounds a server's (or proxy front end's)
+// concurrent work with deadline-aware load shedding. Requests beyond
+// MaxInflight wait in a bounded queue served newest-first — under
+// saturation LIFO preserves goodput where FIFO would age every
+// request to its deadline — and requests that cannot be served are
+// rejected with a constant-size busy frame (IsBusy) carrying a
+// retry-after hint, before any protocol work happens. Rejections are
+// shape-audited under the request's own class, so shedding leaks no
+// operation types. The zero value disables admission control.
+type AdmissionOptions struct {
+	// MaxInflight is the number of requests handled concurrently;
+	// zero or negative disables admission control entirely.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot. Zero
+	// means no queue: overflow is shed immediately.
+	MaxQueue int
+	// ShedDeadline, when true, drops queued (and arriving) requests
+	// whose propagated deadline budget has already expired — work the
+	// caller has abandoned — before spending an inflight slot on them.
+	ShedDeadline bool
+	// RetryAfter is the backoff hint carried in busy rejections
+	// (default 25ms). Clients honor it as a floor on their retry
+	// backoff.
+	RetryAfter time.Duration
+}
+
+func (o AdmissionOptions) config() transport.AdmissionConfig {
+	return transport.AdmissionConfig{
+		MaxInflight: o.MaxInflight,
+		MaxQueue:    o.MaxQueue,
+		ShedExpired: o.ShedDeadline,
+		RetryAfter:  o.RetryAfter,
+	}
+}
+
 // ServerConfig configures the untrusted storage server.
 type ServerConfig struct {
 	// Protocol selects which access handlers to serve. Empty serves
@@ -153,6 +188,10 @@ type ServerConfig struct {
 	// tracing is on or off, so enabling it changes nothing the server's
 	// network observer can see.
 	TraceBuffer int
+	// Admission, when MaxInflight is positive, bounds the server's
+	// concurrent work and sheds overload with constant-size busy
+	// rejections instead of queueing unboundedly.
+	Admission AdmissionOptions
 }
 
 // NewMetricsRegistry returns an empty metrics registry to set as
@@ -189,6 +228,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Metrics != nil && cfg.TraceBuffer > 0 {
 		s.ts.SetTracer(cfg.Metrics.Tracer("server", cfg.TraceBuffer))
 	}
+	s.ts.LimitAdmission(cfg.Admission.config())
 	core.RegisterLoader(s.ts, s.store)
 	switch cfg.Protocol {
 	case ProtocolLBL, "":
@@ -855,6 +895,19 @@ type ProxyServeOptions struct {
 	// beyond it are rejected with an overload error instead of
 	// queueing unboundedly (default 4×AggMaxBatch).
 	AggMaxPending int
+	// AggBrownoutPending is the pending depth at which the aggregator
+	// browns out: new windows open with a larger size trigger
+	// (AggBrownoutMaxBatch) and a quarter-length time window, trading
+	// per-access coalescing latency for backlog drain rate (default
+	// AggMaxPending/2).
+	AggBrownoutPending int
+	// AggBrownoutMaxBatch is the size trigger for windows opened under
+	// brownout (default 2×AggMaxBatch).
+	AggBrownoutMaxBatch int
+	// Admission, when MaxInflight is positive, bounds the front end's
+	// concurrent end-user requests and sheds overload with
+	// constant-size busy rejections (see AdmissionOptions).
+	Admission AdmissionOptions
 }
 
 // ServeProxyOptions is ServeProxy with explicit front-end options.
@@ -867,9 +920,11 @@ func (c *Client) ServeProxyOptions(l net.Listener, opts ProxyServeOptions) error
 			return fmt.Errorf("ortoa: access aggregation requires ProtocolLBL")
 		}
 		agg = core.NewAggregator(core.AggregatorConfig{
-			Window:     opts.AggWindow,
-			MaxBatch:   opts.AggMaxBatch,
-			MaxPending: opts.AggMaxPending,
+			Window:           opts.AggWindow,
+			MaxBatch:         opts.AggMaxBatch,
+			MaxPending:       opts.AggMaxPending,
+			BrownoutPending:  opts.AggBrownoutPending,
+			BrownoutMaxBatch: opts.AggBrownoutMaxBatch,
 		}, c.lblProxy)
 		agg.Instrument(c.metrics)
 		agg.TraceWith(c.tracer)
@@ -881,6 +936,7 @@ func (c *Client) ServeProxyOptions(l net.Listener, opts ProxyServeOptions) error
 	if c.tracer != nil {
 		ts.SetTracer(c.tracer)
 	}
+	ts.LimitAdmission(opts.Admission.config())
 	core.RegisterProxyService(ts, accessor)
 	c.proxyMu.Lock()
 	if c.proxyClosed {

@@ -1,0 +1,41 @@
+package ortoa
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ortoa/internal/core"
+	"ortoa/internal/transport"
+)
+
+// TestBusyAndAmbiguousClassification pins the public error taxonomy a
+// ProxyGroup caller programs against under overload: a busy shed is a
+// definite non-execution (back off and retry; no ambiguity
+// resolution), a relayed busy stays busy through the proxy hop's error
+// flattening, and every-member-down is definite too.
+func TestBusyAndAmbiguousClassification(t *testing.T) {
+	cases := []struct {
+		name            string
+		err             error
+		busy, ambiguous bool
+	}{
+		{"nil", nil, false, false},
+		{"direct busy", &transport.BusyError{RetryAfter: 10 * time.Millisecond}, true, false},
+		{"relayed busy", &transport.RemoteError{Msg: transport.BusyMsgPrefix + "server shed the round"}, true, false},
+		{"relayed ambiguity", &transport.RemoteError{Msg: transport.AmbiguousMsgPrefix + "conn died mid-round"}, false, true},
+		{"definite handler error", &transport.RemoteError{Msg: "unknown key"}, false, false},
+		{"no proxies reachable", core.ErrNoProxies, false, false},
+		{"lost connection", errors.New("transport: send: broken pipe"), false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsBusy(tc.err); got != tc.busy {
+				t.Errorf("IsBusy = %v, want %v", got, tc.busy)
+			}
+			if got := Ambiguous(tc.err); got != tc.ambiguous {
+				t.Errorf("Ambiguous = %v, want %v", got, tc.ambiguous)
+			}
+		})
+	}
+}

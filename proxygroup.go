@@ -38,6 +38,15 @@ type ProxyGroupOptions struct {
 	// ProbeInterval is the health-prober tick for members marked down
 	// (default 100ms). Probes back off exponentially per member.
 	ProbeInterval time.Duration
+	// BusyBreaker is the number of consecutive busy rejections (IsBusy)
+	// from one member before the group circuit-breaks it: accesses to
+	// that member fail fast with IsBusy — no wire round trip — until
+	// its retry-after window passes, so a saturated proxy drains
+	// instead of being hammered. Busy rejections never fail over to a
+	// peer (the peer would adopt the key's counter range, and overload
+	// would turn into ownership ping-pong); callers back off and retry.
+	// Default 3.
+	BusyBreaker int
 	// Metrics, when non-nil, registers the group's routing metrics
 	// (ortoa_router_*: redirects, failovers, probes, healthy members).
 	Metrics *obs.Registry
@@ -77,6 +86,7 @@ func DialProxyGroup(members []ProxyGroupMember, opts ProxyGroupOptions) (*ProxyG
 			Retry:       transport.RetryPolicy{Attempts: opts.RetryAttempts},
 		},
 		ProbeInterval: opts.ProbeInterval,
+		BusyBreaker:   opts.BusyBreaker,
 		Metrics:       opts.Metrics,
 	})
 	if err != nil {
@@ -117,6 +127,16 @@ func Ambiguous(err error) bool {
 	}
 	return transport.Ambiguous(err)
 }
+
+// IsBusy reports whether err is an overload rejection: the access was
+// shed by admission control — on a proxy front end or on the storage
+// server behind it — before executing. Busy is a definite outcome
+// (Ambiguous reports false for it): nothing happened, and the caller
+// should back off before retrying, ideally by the BusyError's
+// RetryAfter hint. A ProxyGroup does not fail busy accesses over to
+// peers (see ProxyGroupOptions.BusyBreaker); backing off and retrying
+// the same call is the intended response.
+func IsBusy(err error) bool { return transport.IsBusy(err) }
 
 // Close stops the health prober and releases every member connection.
 func (g *ProxyGroup) Close() error { return g.router.Close() }
