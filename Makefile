@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke failover-smoke overload-smoke crash experiments
+.PHONY: build test vet race verify bench bench-batch bench-json bench-smoke trace-smoke aggregate-smoke failover-smoke overload-smoke stream-smoke crash experiments
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,17 @@ failover-smoke:
 # (DESIGN.md §15). A zero exit is the assertion.
 overload-smoke:
 	$(GO) run ./cmd/ortoa-bench -experiment overload -quick
+
+# stream-smoke runs the chunk-streaming experiment in quick mode:
+# monolithic vs streamed access requests over a link calibrated so one
+# table costs about one build time on the wire. The experiment
+# self-audits — it fails unless streaming beats monolithic by the gate
+# factor, every streamed request frame stays within the chunk budget,
+# the mid-stream fault drill loses no acknowledged write, and the
+# shape auditors record zero length violations (DESIGN.md §16). A zero
+# exit is the assertion.
+stream-smoke:
+	$(GO) run ./cmd/ortoa-bench -experiment stream -quick
 
 # crash runs the kill/restart durability experiment at full scale:
 # 50 seeded crash/recovery cycles under the group-commit WAL, the

@@ -75,6 +75,15 @@ const (
 	// (epoch.go). Fixed-width request (rangeID ‖ minEpoch) and response
 	// (epoch), so claims are strict shape classes both ways.
 	MsgEpochClaim byte = 0x0C
+	// MsgLBLAccessStream is a chunked LBL access: the same round as
+	// MsgLBLAccess / MsgLBLAccessBatch, but the request arrives as a
+	// begin/chunk/end frame sequence (wire/stream.go) sharing one
+	// request id, so the proxy can write sealed groups to the wire as
+	// workers produce them and the server can trial-decrypt each chunk
+	// before the last one lands. The response is the single existing
+	// frame; every segment header is fixed-width so the streamed shape
+	// is as operation-oblivious as the monolithic one.
+	MsgLBLAccessStream byte = 0x0D
 )
 
 // Protocol errors.

@@ -119,6 +119,16 @@ type LBLConfig struct {
 	// The retry then rebases the key's counter through ReconcileScan,
 	// which AutoAdopt therefore requires to be useful. See epoch.go.
 	AutoAdopt bool
+	// StreamChunkBytes, when positive, selects the chunked-streaming
+	// request path (MsgLBLAccessStream): the proxy writes sealed groups
+	// to the wire in chunks of about this many table bytes as workers
+	// produce them, and the server trial-decrypts each chunk before the
+	// last one lands, pipelining the garbling CPU against the WAN. It
+	// also bounds the proxy's peak table memory per access to one chunk
+	// instead of the full ℓ/y groups. Zero keeps the monolithic
+	// single-frame path. Tables that fit in one chunk fall back to the
+	// monolithic path automatically.
+	StreamChunkBytes int
 }
 
 // Groups returns the number of label groups per value (ℓ/y).
@@ -161,12 +171,87 @@ func (c LBLConfig) BatchRequestBytes(n int) int {
 		n*(prf.Size+lblClaimLen+c.TableBytes())
 }
 
+// streamChunkGroups returns how many whole groups one stream chunk
+// carries under the configured chunk budget, at least one.
+func (c LBLConfig) streamChunkGroups() int {
+	per := c.Mode.entries() * c.Mode.entryLen()
+	g := c.StreamChunkBytes / per
+	if g < 1 {
+		g = 1
+	}
+	if max := c.Groups(); g > max {
+		g = max
+	}
+	return g
+}
+
+// streamChunks returns how many chunk frames one access's table spans.
+func (c LBLConfig) streamChunks() int {
+	cg := c.streamChunkGroups()
+	return (c.Groups() + cg - 1) / cg
+}
+
+// streaming reports whether the chunked-streaming path is active: a
+// chunk budget is configured and the table actually spans more than
+// one chunk (a single-chunk stream would add frames without overlap).
+func (c LBLConfig) streaming() bool {
+	return c.StreamChunkBytes > 0 && c.streamChunks() > 1
+}
+
+// batchStreamLayout returns how a batch of n accesses is chunked under
+// the configured budget: whole per-key segments per chunk, at least
+// one.
+func (c LBLConfig) batchStreamLayout(n int) (perChunk, nChunks int) {
+	segLen := prf.Size + lblClaimLen + c.TableBytes()
+	perChunk = c.StreamChunkBytes / segLen
+	if perChunk < 1 {
+		perChunk = 1
+	}
+	if perChunk > n {
+		perChunk = n
+	}
+	nChunks = (n + perChunk - 1) / perChunk
+	return perChunk, nChunks
+}
+
+// batchStreaming reports whether a batch of n accesses takes the
+// chunked-streaming path: a budget is configured and the batch spans
+// more than one chunk. Single-chunk batches keep the monolithic frame
+// — which then never exceeds roughly one chunk budget plus a segment.
+func (c LBLConfig) batchStreaming(n int) bool {
+	if c.StreamChunkBytes <= 0 {
+		return false
+	}
+	_, nChunks := c.batchStreamLayout(n)
+	return nChunks > 1
+}
+
+// streamBeginSingleLen is the fixed width of a single-access stream
+// begin frame: kind, sub, encoded key, ownership claim, mode, then
+// little-endian u32 groups, entry length, chunk groups, chunk count.
+const streamBeginSingleLen = 2 + prf.Size + lblClaimLen + 1 + 4*4
+
+// streamBeginBatchLen is the fixed width of a batch stream begin
+// frame: kind, sub, mode, then little-endian u32 groups, entry length,
+// batch size, keys per chunk, chunk count.
+const streamBeginBatchLen = 2 + 1 + 5*4
+
+// StreamRequestBytes returns the total streamed request bytes for one
+// access: begin and end frames, per-chunk headers, and the table.
+func (c LBLConfig) StreamRequestBytes() int {
+	return streamBeginSingleLen + c.streamChunks()*wire.StreamChunkHeaderLen +
+		c.TableBytes() + wire.StreamEndLen
+}
+
 func (c LBLConfig) validate() error {
 	if c.ValueSize <= 0 {
 		return fmt.Errorf("core: LBL value size %d must be positive", c.ValueSize)
 	}
 	if c.Mode > LBLWidePointPermute {
 		return fmt.Errorf("core: unknown LBL mode %d", c.Mode)
+	}
+	if c.StreamChunkBytes < 0 {
+		return fmt.Errorf("core: negative stream chunk budget %d", c.StreamChunkBytes)
 	}
 	return nil
 }
@@ -332,6 +417,7 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 	// step and its retry; the transient resolves within a lap or two.
 	const recoveryAllowance = 3
 	var claimed, reconciled int
+	streamed := p.cfg.streaming()
 	for {
 		// Dead callers get no table: garbling is the proxy's most
 		// expensive stage, so an access whose propagated deadline has
@@ -342,44 +428,77 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 			p.mx.errors.Inc()
 			return nil, stats, errDeadlineBeforeBuild
 		}
-		// The request buffer is pooled: framing allocates nothing in
-		// steady state. It is released after the RPC settles — except
-		// when the round is parked for at-most-once replay, which
-		// retains the bytes.
-		spBuild := root.Child("table_build")
-		reqW := wire.GetWriter(p.cfg.RequestBytesPerAccess())
-		err := p.buildRequestInto(reqW, op, key, newValue, entry.ct)
-		if err != nil {
+		var reqW *wire.Writer
+		var id uint64
+		var err error
+		if streamed {
+			// Chunked-streaming path: build and send are one pipelined
+			// stage, so the build/rpc split comes from streamAccess's own
+			// sealing measurement rather than stopwatch laps.
+			id = p.client.NextID()
+			var db time.Duration
+			resp, db, err = p.streamAccess(ctx, root, id, op, key, newValue, entry.ct)
+			wall := sw.Lap(nil)
+			dBuild += db
+			dr := wall - db
+			if dr < 0 {
+				dr = 0
+			}
+			dRPC += dr
+			if p.mx.enabled {
+				p.mx.build.Observe(db)
+				p.mx.rpc.Observe(dr)
+			}
+			stats.PrepBytes = p.cfg.StreamRequestBytes()
+		} else {
+			// The request buffer is pooled: framing allocates nothing in
+			// steady state. It is released after the RPC settles — except
+			// when the round is parked for at-most-once replay, which
+			// retains the bytes.
+			spBuild := root.Child("table_build")
+			reqW = wire.GetWriter(p.cfg.RequestBytesPerAccess())
+			if err = p.buildRequestInto(reqW, op, key, newValue, entry.ct); err != nil {
+				spBuild.End()
+				wire.PutWriter(reqW)
+				p.mx.errors.Inc()
+				return nil, stats, err
+			}
+			req := reqW.Bytes()
 			spBuild.End()
-			wire.PutWriter(reqW)
-			p.mx.errors.Inc()
-			return nil, stats, err
-		}
-		req := reqW.Bytes()
-		spBuild.End()
-		dBuild += sw.Lap(p.mx.build)
-		stats.PrepBytes = len(req)
+			dBuild += sw.Lap(p.mx.build)
+			stats.PrepBytes = len(req)
 
-		id := p.client.NextID()
-		spRPC := root.Child("rpc")
-		resp, err = p.client.CallContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccess, req)
-		spRPC.End()
+			id = p.client.NextID()
+			spRPC := root.Child("rpc")
+			resp, err = p.client.CallContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccess, req)
+			spRPC.End()
+		}
 		if err == nil {
-			wire.PutWriter(reqW)
+			if reqW != nil {
+				wire.PutWriter(reqW)
+			}
 			break
 		}
 		if transport.Ambiguous(err) {
 			// The round may have executed; park it so the key's next
 			// access settles the outcome before trusting the counter.
-			// The parked round keeps the request bytes, so reqW is not
-			// returned to the pool.
-			entry.pending = &pendingRound{id: id, msgType: MsgLBLAccess, req: req,
+			// A monolithic round parks its request bytes, so reqW is not
+			// returned to the pool; a streamed round's chunks went out in
+			// pooled frames, so it parks none — resolution rebuilds a
+			// monolithic request at the same counter (pending.go).
+			pr := &pendingRound{id: id, msgType: MsgLBLAccess,
 				op: op, value: pendingValue(op, newValue)}
+			if reqW != nil {
+				pr.req = reqW.Bytes()
+			}
+			entry.pending = pr
 			p.mx.pendingSaved.Inc()
 			p.mx.errors.Inc()
 			return nil, stats, err
 		}
-		wire.PutWriter(reqW)
+		if reqW != nil {
+			wire.PutWriter(reqW)
+		}
 		if claimed < recoveryAllowance && p.cfg.AutoAdopt && isFencedRound(err) {
 			// The range's epoch moved past ours: we are being handed
 			// ownership (or re-learning it after a restart). Claim the
@@ -387,7 +506,9 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 			// granted epoch.
 			claimed++
 			p.mx.fencedRounds.Inc()
-			sw.Lap(p.mx.rpc)
+			if !streamed {
+				sw.Lap(p.mx.rpc)
+			}
 			if _, cerr := p.ClaimRange(RangeOf(key)); cerr == nil {
 				sw.Lap(nil)
 				continue
@@ -402,7 +523,9 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 			// whose counters we never held). Re-locate the server's
 			// counter and retry this access at the rebased value.
 			reconciled++
-			sw.Lap(p.mx.rpc)
+			if !streamed {
+				sw.Lap(p.mx.rpc)
+			}
 			if rerr := p.reconcile(key, entry); rerr == nil {
 				sw.Lap(nil)
 				continue
@@ -413,7 +536,9 @@ func (p *LBLProxy) AccessContext(ctx context.Context, op Op, key string, newValu
 		p.mx.errors.Inc()
 		return nil, stats, err
 	}
-	dRPC += sw.Lap(p.mx.rpc)
+	if !streamed {
+		dRPC += sw.Lap(p.mx.rpc)
+	}
 	stats.RespBytes = len(resp)
 
 	spRec := root.Child("label_recover")
@@ -515,7 +640,7 @@ func (p *LBLProxy) buildAccessTable(table []byte, key string, op Op, newValue []
 		workers = groups
 	}
 	if workers <= 1 {
-		return p.buildGroupRange(table, gen, newCryptoShuffler(), op, newValue, ct, 0, groups)
+		return p.buildGroupRange(table, gen, newCryptoShuffler(), op, newValue, ct, 0, groups, 0)
 	}
 	seed := newShuffleSeed()
 	errs := make([]error, workers)
@@ -526,7 +651,7 @@ func (p *LBLProxy) buildAccessTable(table []byte, key string, op Op, newValue []
 		wg.Add(1)
 		go func(wk, g0, g1 int) {
 			defer wg.Done()
-			errs[wk] = p.buildGroupRange(table, gen.Clone(), seed.stream(uint32(wk)), op, newValue, ct, g0, g1)
+			errs[wk] = p.buildGroupRange(table, gen.Clone(), seed.stream(uint32(wk)), op, newValue, ct, g0, g1, 0)
 		}(wk, g0, g1)
 	}
 	wg.Wait()
@@ -541,7 +666,10 @@ func (p *LBLProxy) buildAccessTable(table []byte, key string, op Op, newValue []
 // buildGroupRange seals groups [g0, g1) of the table into their slots
 // (steps 1.2–1.5 of §5.2 for those groups). gen and shuf are owned by
 // the caller — one per worker — so the loop body allocates nothing.
-func (p *LBLProxy) buildGroupRange(table []byte, gen *prf.LabelGen, shuf *cryptoShuffler, op Op, newValue []byte, ct uint64, g0, g1 int) error {
+// table holds groups starting at absolute group gBase: full-table
+// builders pass 0, the streaming path passes its chunk's first group
+// so one chunk-sized buffer serves the whole table.
+func (p *LBLProxy) buildGroupRange(table []byte, gen *prf.LabelGen, shuf *cryptoShuffler, op Op, newValue []byte, ct uint64, g0, g1, gBase int) error {
 	cfg := p.cfg
 	y := cfg.Mode.Y()
 	nEntries := cfg.Mode.entries()
@@ -552,7 +680,7 @@ func (p *LBLProxy) buildGroupRange(table []byte, gen *prf.LabelGen, shuf *crypto
 	var plain [prf.Size + 1]byte
 	var perm [16]int
 	for g := g0; g < g1; g++ {
-		slots := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
+		slots := table[(g-gBase)*nEntries*entryLen : (g-gBase+1)*nEntries*entryLen]
 		for b := 0; b < nEntries; b++ {
 			olds[b] = gen.Label(g, uint8(b), ct)
 			news[b] = gen.Label(g, uint8(b), ct+1)
@@ -602,6 +730,215 @@ func (p *LBLProxy) buildGroupRange(table []byte, gen *prf.LabelGen, shuf *crypto
 		}
 	}
 	return nil
+}
+
+// buildChunkGroups seals groups [g0, g1) into a chunk-local table
+// buffer (table[0] holds group g0), fanning out across workers like
+// buildAccessTable. Entry placement draws fresh crypto-random shuffle
+// streams per chunk; placements are independent and uniform per group
+// in every variant, so the transcript distribution is identical to the
+// monolithic build's.
+func (p *LBLProxy) buildChunkGroups(table []byte, gen *prf.LabelGen, op Op, newValue []byte, ct uint64, g0, g1 int) error {
+	n := g1 - g0
+	workers := tableWorkers(n)
+	if workers <= 1 {
+		return p.buildGroupRange(table, gen, newCryptoShuffler(), op, newValue, ct, g0, g1, g0)
+	}
+	seed := newShuffleSeed()
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		a := g0 + n*wk/workers
+		b := g0 + n*(wk+1)/workers
+		wg.Add(1)
+		go func(wk, a, b int) {
+			defer wg.Done()
+			errs[wk] = p.buildGroupRange(table, gen.Clone(), seed.stream(uint32(wk)), op, newValue, ct, a, b, g0)
+		}(wk, a, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamAccess performs one access over the chunked-streaming path
+// (MsgLBLAccessStream): the table is sealed chunk-by-chunk into one
+// pooled buffer and each chunk is written to the wire as soon as it is
+// sealed, so the server trial-decrypts chunk i while the proxy seals
+// chunk i+1 and the WAN carries both. Returns the response labels and
+// the time spent sealing (the build share of the wall time; the rest
+// is wire and server time the pipeline overlaps).
+func (p *LBLProxy) streamAccess(ctx context.Context, root *trace.Span, id uint64, op Op, key string, newValue []byte, ct uint64) ([]byte, time.Duration, error) {
+	cfg := p.cfg
+	groups := cfg.Groups()
+	nEntries := cfg.Mode.entries()
+	entryLen := cfg.Mode.entryLen()
+	cg := cfg.streamChunkGroups()
+	nChunks := cfg.streamChunks()
+	gen := p.prf.LabelGen(key)
+
+	// The spans deliberately overlap: table_build ends when the last
+	// chunk is sealed, rpc when the response lands — the gap between
+	// their ends is the pipeline's tail, visible per trace.
+	spBuild := root.Child("table_build")
+	buildEnded := false
+	endBuild := func() {
+		if !buildEnded {
+			buildEnded = true
+			spBuild.End()
+		}
+	}
+	defer endBuild()
+	spRPC := root.Child("rpc")
+	defer spRPC.End()
+
+	var buildTime time.Duration
+	resp, err := p.client.CallStreamContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccessStream,
+		func(send func([]byte) error) error {
+			bw := wire.GetWriter(streamBeginSingleLen)
+			bw.Byte(wire.StreamBegin)
+			bw.Byte(wire.StreamSingle)
+			ek := p.prf.EncodeKey(key)
+			bw.Raw(ek[:])
+			rid := RangeOf(key)
+			putClaim(bw.Extend(lblClaimLen), rid, p.rangeEpoch(rid))
+			bw.Byte(byte(cfg.Mode))
+			bw.Uint32(uint32(groups))
+			bw.Uint32(uint32(entryLen))
+			bw.Uint32(uint32(cg))
+			bw.Uint32(uint32(nChunks))
+			serr := send(bw.Bytes())
+			wire.PutWriter(bw)
+			if serr != nil {
+				return serr
+			}
+			// One pooled chunk buffer, reused for every chunk: the
+			// transport copies the payload into its frame buffer before
+			// send returns, so peak proxy table memory per access is one
+			// chunk budget, not the full ℓ/y-group table.
+			cw := wire.GetWriter(wire.StreamChunkHeaderLen + cg*nEntries*entryLen)
+			defer wire.PutWriter(cw)
+			for i := 0; i < nChunks; i++ {
+				g0 := i * cg
+				g1 := g0 + cg
+				if g1 > groups {
+					g1 = groups
+				}
+				cw.Reset()
+				wire.PutStreamChunkHeader(cw, wire.StreamSingle, byte(cfg.Mode), uint32(groups), uint32(i), uint32(g1-g0))
+				t0 := time.Now()
+				if berr := p.buildChunkGroups(cw.Extend((g1-g0)*nEntries*entryLen), gen, op, newValue, ct, g0, g1); berr != nil {
+					return berr
+				}
+				buildTime += time.Since(t0)
+				if serr := send(cw.Bytes()); serr != nil {
+					return serr
+				}
+				p.mx.streamChunks.Inc()
+			}
+			endBuild()
+			ew := wire.GetWriter(wire.StreamEndLen)
+			wire.PutStreamEnd(ew, wire.StreamSingle, uint32(nChunks))
+			serr = send(ew.Bytes())
+			wire.PutWriter(ew)
+			return serr
+		})
+	if err == nil {
+		p.mx.streamRounds.Inc()
+	}
+	return resp, buildTime, err
+}
+
+// streamBatch performs one batched round over the chunked-streaming
+// path: whole per-key segments (key, claim, table) are sealed
+// chunk-by-chunk into one pooled buffer and shipped as they complete,
+// so the server decrypts the first keys while later tables are still
+// being garbled. Returns the batch response and the time spent
+// sealing.
+func (p *LBLProxy) streamBatch(ctx context.Context, root *trace.Span, id uint64, ops []BatchOp, idxs []int, entries []*counterEntry, inner int) ([]byte, time.Duration, error) {
+	cfg := p.cfg
+	groups := cfg.Groups()
+	segLen := prf.Size + lblClaimLen + cfg.TableBytes()
+	n := len(idxs)
+	perChunk, nChunks := cfg.batchStreamLayout(n)
+
+	spBuild := root.Child("table_build")
+	buildEnded := false
+	endBuild := func() {
+		if !buildEnded {
+			buildEnded = true
+			spBuild.End()
+		}
+	}
+	defer endBuild()
+	spRPC := root.Child("rpc")
+	defer spRPC.End()
+
+	var buildTime time.Duration
+	resp, err := p.client.CallStreamContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccessStream,
+		func(send func([]byte) error) error {
+			bw := wire.GetWriter(streamBeginBatchLen)
+			bw.Byte(wire.StreamBegin)
+			bw.Byte(wire.StreamBatch)
+			bw.Byte(byte(cfg.Mode))
+			bw.Uint32(uint32(groups))
+			bw.Uint32(uint32(cfg.Mode.entryLen()))
+			bw.Uint32(uint32(n))
+			bw.Uint32(uint32(perChunk))
+			bw.Uint32(uint32(nChunks))
+			serr := send(bw.Bytes())
+			wire.PutWriter(bw)
+			if serr != nil {
+				return serr
+			}
+			cw := wire.GetWriter(wire.StreamChunkHeaderLen + perChunk*segLen)
+			defer wire.PutWriter(cw)
+			buildErrs := make([]error, perChunk)
+			for c := 0; c < nChunks; c++ {
+				k0 := c * perChunk
+				k1 := k0 + perChunk
+				if k1 > n {
+					k1 = n
+				}
+				cw.Reset()
+				wire.PutStreamChunkHeader(cw, wire.StreamBatch, byte(cfg.Mode), uint32(groups), uint32(c), uint32(k1-k0))
+				segs := cw.Extend((k1 - k0) * segLen)
+				t0 := time.Now()
+				forEachBatched(k1-k0, func(j int) {
+					op := ops[idxs[k0+j]]
+					seg := segs[j*segLen : (j+1)*segLen]
+					ek := p.prf.EncodeKey(op.Key)
+					copy(seg, ek[:])
+					rid := RangeOf(op.Key)
+					putClaim(seg[prf.Size:], rid, p.rangeEpoch(rid))
+					buildErrs[j] = p.buildAccessTable(seg[prf.Size+lblClaimLen:], op.Key, op.Op, op.Value, entries[k0+j].ct, inner)
+				})
+				buildTime += time.Since(t0)
+				for _, berr := range buildErrs[:k1-k0] {
+					if berr != nil {
+						return berr
+					}
+				}
+				if serr := send(cw.Bytes()); serr != nil {
+					return serr
+				}
+				p.mx.streamChunks.Inc()
+			}
+			endBuild()
+			ew := wire.GetWriter(wire.StreamEndLen)
+			wire.PutStreamEnd(ew, wire.StreamBatch, uint32(nChunks))
+			serr = send(ew.Bytes())
+			wire.PutWriter(ew)
+			return serr
+		})
+	if err == nil {
+		p.mx.streamRounds.Inc()
+	}
+	return resp, buildTime, err
 }
 
 // recover maps the server's returned labels back to plaintext bits
@@ -808,7 +1145,22 @@ func (p *LBLProxy) accessBatchIndices(ctx context.Context, ops []BatchOp, includ
 		waves[w] = append(waves[w], i)
 	}
 
-	maxPerCall := (maxBatchFrameBytes - 32) / (prf.Size + lblClaimLen + p.cfg.TableBytes())
+	// Monolithic batches must fit one request frame, so the per-call cap
+	// derives from the per-key segment (key, claim, table) size. With a
+	// stream chunk budget configured, each chunk travels in its own
+	// frame, so the binding frame is the single response — a status byte
+	// plus a label block per key — and large-value batches no longer
+	// split into extra waves just because their tables would not share
+	// one request frame.
+	var maxPerCall int
+	if p.cfg.StreamChunkBytes > 0 {
+		maxPerCall = (maxBatchFrameBytes - 32) / (1 + p.cfg.Groups()*prf.Size)
+		if maxPerCall > maxBatchAccesses {
+			maxPerCall = maxBatchAccesses
+		}
+	} else {
+		maxPerCall = (maxBatchFrameBytes - 32) / (prf.Size + lblClaimLen + p.cfg.TableBytes())
+	}
 	if maxPerCall < 1 {
 		maxPerCall = 1
 	}
@@ -933,61 +1285,110 @@ func (p *LBLProxy) accessBatchChunk(ctx context.Context, ops []BatchOp, idxs []i
 		return stats, errDeadlineBeforeBuild
 	}
 
-	// Build every key's ek‖table segment in parallel, sealing directly
-	// into the frame: segments are fixed-size, so each builder owns a
-	// precomputed byte range of the pooled request buffer — no per-key
-	// writers, no splice pass. Table construction is the proxy's
-	// dominant CPU cost (2·ℓ PRFs plus 2^y·ℓ/y seals per key, §6.3.3),
-	// so it must not serialize behind a single core when the concurrent
-	// fallback would not. The batch already fans out across keys; inner
-	// per-table workers only multiply up to the core count when the
-	// batch is smaller than the machine.
-	spBuild := root.Child("table_build")
-	w := wire.GetWriter(cfg.BatchRequestBytes(len(idxs)))
-	w.Byte(byte(cfg.Mode))
-	w.Uvarint(uint64(groups))
-	w.Uvarint(uint64(cfg.Mode.entryLen()))
-	w.Uvarint(uint64(len(idxs)))
 	segLen := prf.Size + lblClaimLen + cfg.TableBytes()
-	segs := w.Extend(len(idxs) * segLen)
 	inner := runtime.GOMAXPROCS(0) / len(idxs)
 	if inner < 1 {
 		inner = 1
 	}
-	buildErrs := make([]error, len(idxs))
-	forEachBatched(len(idxs), func(i int) {
-		op := ops[idxs[i]]
-		seg := segs[i*segLen : (i+1)*segLen]
-		ek := p.prf.EncodeKey(op.Key)
-		copy(seg, ek[:])
-		rid := RangeOf(op.Key)
-		putClaim(seg[prf.Size:], rid, p.rangeEpoch(rid))
-		buildErrs[i] = p.buildAccessTable(seg[prf.Size+lblClaimLen:], op.Key, op.Op, op.Value, entries[i].ct, inner)
-	})
-	for _, err := range buildErrs {
-		if err != nil {
-			spBuild.End()
-			wire.PutWriter(w)
-			failChunk(err)
-			return stats, err
+
+	var resp []byte
+	var req []byte
+	var id uint64
+	var err error
+	if cfg.batchStreaming(len(idxs)) {
+		// Chunked-streaming path: segments are sealed and shipped
+		// chunk-by-chunk, so the server starts decrypting the first keys
+		// while later tables are still being garbled.
+		id = p.client.NextID()
+		var db time.Duration
+		resp, db, err = p.streamBatch(ctx, root, id, ops, idxs, entries, inner)
+		wall := sw.Lap(nil)
+		dr := wall - db
+		if dr < 0 {
+			dr = 0
+		}
+		if p.mx.enabled {
+			p.mx.batchBuild.Observe(db)
+			p.mx.batchRPC.Observe(dr)
+		}
+		_, nChunks := cfg.batchStreamLayout(len(idxs))
+		stats.PrepBytes = streamBeginBatchLen + nChunks*wire.StreamChunkHeaderLen +
+			len(idxs)*segLen + wire.StreamEndLen
+	} else {
+		// Build every key's ek‖table segment in parallel, sealing directly
+		// into the frame: segments are fixed-size, so each builder owns a
+		// precomputed byte range of the pooled request buffer — no per-key
+		// writers, no splice pass. Table construction is the proxy's
+		// dominant CPU cost (2·ℓ PRFs plus 2^y·ℓ/y seals per key, §6.3.3),
+		// so it must not serialize behind a single core when the concurrent
+		// fallback would not. The batch already fans out across keys; inner
+		// per-table workers only multiply up to the core count when the
+		// batch is smaller than the machine.
+		spBuild := root.Child("table_build")
+		w := wire.GetWriter(cfg.BatchRequestBytes(len(idxs)))
+		// Exactly-once release: every exit funnels through this flag, so
+		// no error path can double-return the buffer or leak it. The
+		// parked-rounds path below keeps the bytes by setting the flag
+		// without putting.
+		released := false
+		release := func(keep bool) {
+			if !released {
+				released = true
+				if !keep {
+					wire.PutWriter(w)
+				}
+			}
+		}
+		defer release(false)
+		w.Byte(byte(cfg.Mode))
+		w.Uvarint(uint64(groups))
+		w.Uvarint(uint64(cfg.Mode.entryLen()))
+		w.Uvarint(uint64(len(idxs)))
+		segs := w.Extend(len(idxs) * segLen)
+		buildErrs := make([]error, len(idxs))
+		forEachBatched(len(idxs), func(i int) {
+			op := ops[idxs[i]]
+			seg := segs[i*segLen : (i+1)*segLen]
+			ek := p.prf.EncodeKey(op.Key)
+			copy(seg, ek[:])
+			rid := RangeOf(op.Key)
+			putClaim(seg[prf.Size:], rid, p.rangeEpoch(rid))
+			buildErrs[i] = p.buildAccessTable(seg[prf.Size+lblClaimLen:], op.Key, op.Op, op.Value, entries[i].ct, inner)
+		})
+		for _, berr := range buildErrs {
+			if berr != nil {
+				spBuild.End()
+				failChunk(berr)
+				return stats, berr
+			}
+		}
+		spBuild.End()
+		sw.Lap(p.mx.batchBuild)
+		stats.PrepBytes = w.Len()
+
+		id = p.client.NextID()
+		req = w.Bytes()
+		spRPC := root.Child("rpc")
+		resp, err = p.client.CallContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccessBatch, req)
+		spRPC.End()
+		if transport.Ambiguous(err) {
+			release(true) // the parked rounds below own the bytes
+		} else {
+			release(false)
+		}
+		if err == nil {
+			sw.Lap(p.mx.batchRPC)
 		}
 	}
-	spBuild.End()
-	sw.Lap(p.mx.batchBuild)
-	stats.PrepBytes = w.Len()
-
-	id := p.client.NextID()
-	req := w.Bytes()
-	spRPC := root.Child("rpc")
-	resp, err := p.client.CallContextID(trace.ContextWith(ctx, spRPC), id, MsgLBLAccessBatch, req)
-	spRPC.End()
 	if err != nil {
 		if transport.Ambiguous(err) {
 			// The whole chunk is ambiguous. Park the same round on every
-			// key, sharing the request bytes; each key settles its own
-			// slice of the outcome on its next access (replays of one id
-			// dedup to a single execution server-side). The parked
-			// rounds keep the request bytes — w stays out of the pool.
+			// key; each key settles its own slice of the outcome on its
+			// next access (replays of one id dedup to a single execution
+			// server-side). Monolithic rounds share the retained request
+			// bytes; streamed rounds park none — the server applies their
+			// chunks incrementally, so resolution probes each key
+			// individually instead of replaying bytes (pending.go).
 			for i, e := range entries {
 				op := ops[idxs[i]]
 				e.pending = &pendingRound{id: id, msgType: MsgLBLAccessBatch, req: req,
@@ -997,12 +1398,9 @@ func (p *LBLProxy) accessBatchChunk(ctx context.Context, ops []BatchOp, idxs []i
 			failChunk(err)
 			return stats, err
 		}
-		wire.PutWriter(w)
 		failChunk(err)
 		return stats, err
 	}
-	wire.PutWriter(w)
-	sw.Lap(p.mx.batchRPC)
 	stats.RespBytes = len(resp)
 
 	// First pass, sequential: walk the variable-length response to

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -56,6 +57,7 @@ func NewLBLServer(store *kvstore.Store) *LBLServer {
 func (s *LBLServer) Register(ts *transport.Server) {
 	ts.Handle(MsgLBLAccess, s.handleAccess)
 	ts.Handle(MsgLBLAccessBatch, s.handleAccessBatch)
+	ts.Handle(MsgLBLAccessStream, s.handleAccessStream)
 	ts.Handle(MsgEpochClaim, s.handleEpochClaim)
 }
 
@@ -118,17 +120,38 @@ func readGeometry(r *wire.Reader) (tableGeometry, error) {
 	if err := r.Err(); err != nil {
 		return g, err
 	}
+	err := g.validate()
+	return g, err
+}
+
+// readStreamGeometry is readGeometry for stream begin frames, whose
+// geometry fields are fixed-width u32s (wire/stream.go) so begin-frame
+// lengths are class-invariant.
+func readStreamGeometry(r *wire.Reader) (tableGeometry, error) {
+	var g tableGeometry
+	g.mode = LBLMode(r.Byte())
+	g.groups = int(r.Uint32())
+	g.entryLen = int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return g, err
+	}
+	err := g.validate()
+	return g, err
+}
+
+// validate checks the parsed header fields and fills nEntries.
+func (g *tableGeometry) validate() error {
 	if g.mode > LBLWidePointPermute {
-		return g, fmt.Errorf("core: unknown LBL mode %d", g.mode)
+		return fmt.Errorf("core: unknown LBL mode %d", g.mode)
 	}
 	if g.groups <= 0 || g.groups > 1<<22 {
-		return g, fmt.Errorf("core: implausible group count %d", g.groups)
+		return fmt.Errorf("core: implausible group count %d", g.groups)
 	}
 	if g.entryLen != g.mode.entryLen() {
-		return g, fmt.Errorf("core: entry length %d, want %d", g.entryLen, g.mode.entryLen())
+		return fmt.Errorf("core: entry length %d, want %d", g.entryLen, g.mode.entryLen())
 	}
 	g.nEntries = g.mode.entries()
-	return g, nil
+	return nil
 }
 
 // staleTableMarker tags the server's fencing rejections: an access
@@ -190,6 +213,62 @@ func (s *LBLServer) checkBudget(ctx context.Context) error {
 // new-record buffer. Steady-state record churn then allocates nothing.
 var recPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// decryptRange executes step 2.1 of §5.2 for groups [g0, g1): trial-
+// decrypt the table entries rec's stored labels open, writing the
+// recovered new labels (and, under point-and-permute, the next
+// decryption bits) into newLabels/newDbits at absolute group offsets.
+// table is the full table, absolutely indexed. Returns the number of
+// authenticated decryptions attempted; a group none of whose entries
+// opens yields a staleTableMarker error — fencing proof for the
+// proxy's ambiguous-round resolution. Shared by the monolithic
+// handlers (whole-table ranges inside the store update) and the
+// streaming handlers (one chunk's range per arriving frame).
+func decryptRange(geo tableGeometry, rec *lblRecord, table []byte, g0, g1 int, newLabels, newDbits []byte) (int64, error) {
+	mode, entryLen, nEntries := geo.mode, geo.entryLen, geo.nEntries
+	var attempts int64
+	var plainBuf [prf.Size + 1]byte
+	plain := plainBuf[:mode.entryPlainLen()]
+	sealer := secretbox.NewLabelSealer()
+	for g := g0; g < g1; g++ {
+		stored := rec.labels[g*prf.Size : (g+1)*prf.Size]
+		entries := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
+		// Every trial in a group opens under the same stored label,
+		// so the pad is derived once and each trial is a tag
+		// comparison — up to 2^y−1 hashes saved per group on the
+		// try-all path.
+		opener, oerr := sealer.Opener(stored)
+		if oerr != nil {
+			return attempts, oerr
+		}
+		if mode.hasDbits() {
+			// Point-and-permute: exactly one decryption, at the
+			// stored entry index.
+			d := int(rec.dbits[g]) & (nEntries - 1)
+			attempts++
+			if derr := opener.OpenInto(plain, entries[d*entryLen:(d+1)*entryLen]); derr != nil {
+				return attempts, fmt.Errorf("core: %s: group %d entry %d undecryptable", staleTableMarker, g, d)
+			}
+			newDbits[g] = plain[prf.Size]
+		} else {
+			// Try each shuffled entry; the recognition tag
+			// identifies the one our label opens (§5.2 step 2.1).
+			hit := false
+			for e := 0; e < nEntries; e++ {
+				attempts++
+				if derr := opener.OpenInto(plain, entries[e*entryLen:(e+1)*entryLen]); derr == nil {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return attempts, fmt.Errorf("core: %s: group %d: no table entry decryptable", staleTableMarker, g)
+			}
+		}
+		copy(newLabels[g*prf.Size:], plain[:prf.Size])
+	}
+	return attempts, nil
+}
+
 // accessOne executes steps 2.1–2.2 of §5.2 for one key: atomically
 // decrypt the table entries the stored labels open and install the
 // recovered new labels. The new labels are written to labelsOut, which
@@ -200,13 +279,11 @@ func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table, labelsOut
 	if s.mx.enabled {
 		defer s.mx.access.Since(time.Now())
 	}
-	mode, groups, entryLen, nEntries := geo.mode, geo.groups, geo.entryLen, geo.nEntries
+	mode, groups := geo.mode, geo.groups
 	// Trial decryptions are counted locally and published once per
 	// access: a per-entry atomic add is a cross-core cacheline ping-pong
 	// when batch workers run in parallel.
 	var attempts int64
-	var plainBuf [prf.Size + 1]byte
-	plain := plainBuf[:mode.entryPlainLen()]
 	bp := recPool.Get().(*[]byte)
 	applied := false
 	err := s.store.Update(encKey, func(old []byte) ([]byte, error) {
@@ -227,43 +304,10 @@ func (s *LBLServer) accessOne(encKey string, geo tableGeometry, table, labelsOut
 		if mode.hasDbits() {
 			newDbits = newRec[1+groups*prf.Size:]
 		}
-		sealer := secretbox.NewLabelSealer()
-		for g := 0; g < groups; g++ {
-			stored := rec.labels[g*prf.Size : (g+1)*prf.Size]
-			entries := table[g*nEntries*entryLen : (g+1)*nEntries*entryLen]
-			// Every trial in a group opens under the same stored label,
-			// so the pad is derived once and each trial is a tag
-			// comparison — up to 2^y−1 hashes saved per group on the
-			// try-all path.
-			opener, oerr := sealer.Opener(stored)
-			if oerr != nil {
-				return nil, oerr
-			}
-			if mode.hasDbits() {
-				// Point-and-permute: exactly one decryption, at the
-				// stored entry index.
-				d := int(rec.dbits[g]) & (nEntries - 1)
-				attempts++
-				if derr := opener.OpenInto(plain, entries[d*entryLen:(d+1)*entryLen]); derr != nil {
-					return nil, fmt.Errorf("core: %s: group %d entry %d undecryptable", staleTableMarker, g, d)
-				}
-				newDbits[g] = plain[prf.Size]
-			} else {
-				// Try each shuffled entry; the recognition tag
-				// identifies the one our label opens (§5.2 step 2.1).
-				hit := false
-				for e := 0; e < nEntries; e++ {
-					attempts++
-					if derr := opener.OpenInto(plain, entries[e*entryLen:(e+1)*entryLen]); derr == nil {
-						hit = true
-						break
-					}
-				}
-				if !hit {
-					return nil, fmt.Errorf("core: %s: group %d: no table entry decryptable", staleTableMarker, g)
-				}
-			}
-			copy(newLabels[g*prf.Size:], plain[:prf.Size])
+		a, derr := decryptRange(geo, rec, table, 0, groups, newLabels, newDbits)
+		attempts += a
+		if derr != nil {
+			return nil, derr
 		}
 		copy(labelsOut, newLabels)
 		// Hand the store the new record; the displaced old slice is
@@ -413,6 +457,351 @@ func (s *LBLServer) handleAccessBatch(ctx context.Context, payload []byte) ([]by
 
 	// Like handleAccess, the assembled response is retained by the
 	// transport's dedup cache — not poolable.
+	out := wire.NewWriter(n * (1 + stride))
+	for i := range errs {
+		if errs[i] != nil {
+			out.Byte(1)
+			out.String(errs[i].Error())
+			continue
+		}
+		out.Byte(0)
+		out.Raw(labelsBuf[i*stride : (i+1)*stride])
+	}
+	return out.Bytes(), nil
+}
+
+// streamAbortMarker tags rejections of a chunked stream that died or
+// misbehaved before completing: the record (or, for a batch, the keys
+// in chunks that never arrived) was left untouched. Constant text like
+// the other rejection markers — and deliberately free of the
+// staleness, fence, and expiry markers, so the proxy's ambiguous-round
+// resolution classifies an aborted stream as a definite rejection
+// rather than proof of execution.
+const streamAbortMarker = "stream aborted before completion"
+
+// handleAccessStream serves MsgLBLAccessStream: the begin frame
+// arrives as the handler payload, the chunk and end frames through the
+// transport's StreamReader. The logical round — and its single
+// response, dedup entry, deadline budget, and trace — is exactly a
+// monolithic access's; only the request arrival is incremental.
+func (s *LBLServer) handleAccessStream(ctx context.Context, payload []byte) ([]byte, error) {
+	sr := transport.StreamFrom(ctx)
+	if sr == nil {
+		return nil, errors.New("core: " + streamAbortMarker + ": no stream attached")
+	}
+	r := wire.NewReader(payload)
+	if kind := r.Byte(); kind != wire.StreamBegin {
+		return nil, fmt.Errorf("core: stream request opens with segment kind %d", kind)
+	}
+	switch sub := r.Byte(); sub {
+	case wire.StreamSingle:
+		return s.streamAccessOne(ctx, r, sr)
+	case wire.StreamBatch:
+		return s.streamAccessBatch(ctx, r, sr)
+	default:
+		return nil, fmt.Errorf("core: unknown stream sub-type %d", sub)
+	}
+}
+
+// nextStreamChunk reads and validates one chunk segment: correct
+// sub-type, geometry, position, and element count, with a body of
+// exactly wantCount × elemLen bytes. A read failure is an abort (the
+// stream died mid-flight) unless the handler's own deadline expired.
+func (s *LBLServer) nextStreamChunk(ctx context.Context, sr *transport.StreamReader, wantSub byte, geo tableGeometry, wantIndex, wantCount, elemLen int) ([]byte, error) {
+	seg, err := sr.Next(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.expiredRounds.Add(1)
+			return nil, errExpiredRound
+		}
+		return nil, fmt.Errorf("core: %s: %v", streamAbortMarker, err)
+	}
+	r := wire.NewReader(seg)
+	if kind := r.Byte(); kind != wire.StreamChunk {
+		return nil, fmt.Errorf("core: %s: segment kind %d where chunk %d expected", streamAbortMarker, kind, wantIndex)
+	}
+	sub, mode, groups, index, count := wire.ReadStreamChunkHeader(r)
+	if rerr := r.Err(); rerr != nil {
+		return nil, rerr
+	}
+	if sub != wantSub || LBLMode(mode) != geo.mode || int(groups) != geo.groups {
+		return nil, fmt.Errorf("core: %s: chunk %d does not match the stream's geometry", streamAbortMarker, wantIndex)
+	}
+	if int(index) != wantIndex || int(count) != wantCount {
+		return nil, fmt.Errorf("core: %s: chunk (%d×%d) where (%d×%d) expected", streamAbortMarker, index, count, wantIndex, wantCount)
+	}
+	body := r.Raw(wantCount * elemLen)
+	if rerr := r.Err(); rerr != nil {
+		return nil, rerr
+	}
+	if rerr := r.Finish(); rerr != nil {
+		return nil, rerr
+	}
+	return body, nil
+}
+
+// nextStreamEnd reads and validates the end segment, which re-commits
+// the chunk count so a truncated stream can never pass as complete.
+func (s *LBLServer) nextStreamEnd(ctx context.Context, sr *transport.StreamReader, wantSub byte, wantChunks int) error {
+	seg, err := sr.Next(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.expiredRounds.Add(1)
+			return errExpiredRound
+		}
+		return fmt.Errorf("core: %s: %v", streamAbortMarker, err)
+	}
+	r := wire.NewReader(seg)
+	if kind := r.Byte(); kind != wire.StreamEnd {
+		return fmt.Errorf("core: %s: segment kind %d where end expected", streamAbortMarker, kind)
+	}
+	sub := r.Byte()
+	chunks := r.Uint32()
+	if rerr := r.Err(); rerr != nil {
+		return rerr
+	}
+	if rerr := r.Finish(); rerr != nil {
+		return rerr
+	}
+	if sub != wantSub || int(chunks) != wantChunks {
+		return fmt.Errorf("core: %s: end frame re-commits %d chunks, want %d", streamAbortMarker, chunks, wantChunks)
+	}
+	return nil
+}
+
+// streamAccessOne serves a single-access stream: trial decryption of
+// each chunk's groups runs as the chunk arrives — against a snapshot
+// of the record — overlapping the remaining chunks' wire time, and the
+// labels install atomically once the end frame confirms the stream
+// complete. If the record moved between snapshot and install (a
+// concurrent round for the same key, which a correct proxy never
+// issues), the install falls back to re-decrypting the accumulated
+// table against the current record inside the store update.
+func (s *LBLServer) streamAccessOne(ctx context.Context, r *wire.Reader, sr *transport.StreamReader) ([]byte, error) {
+	encKey := r.Raw(prf.Size)
+	claim := r.Raw(lblClaimLen)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	geo, err := readStreamGeometry(r)
+	if err != nil {
+		return nil, err
+	}
+	chunkGroups := int(r.Uint32())
+	nChunks := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if chunkGroups <= 0 || chunkGroups > geo.groups ||
+		nChunks != (geo.groups+chunkGroups-1)/chunkGroups {
+		return nil, fmt.Errorf("core: implausible stream chunking %d×%d for %d groups", nChunks, chunkGroups, geo.groups)
+	}
+	// Budget and fence run before any record work, as on the monolithic
+	// path; the budget is re-tested per chunk below.
+	if err := s.checkBudget(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.checkEpoch(readClaim(claim)); err != nil {
+		return nil, err
+	}
+	sp := trace.StartChild(ctx, "server_decrypt")
+	defer sp.End()
+
+	key := string(encKey)
+	snap, err := s.store.Get(key)
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	snapRec, err := parseLBLRecord(snap, geo.mode, geo.groups)
+	if err != nil {
+		return nil, err
+	}
+
+	table := make([]byte, geo.tableBytes())
+	newLabels := make([]byte, geo.groups*prf.Size)
+	var newDbits []byte
+	if geo.mode.hasDbits() {
+		newDbits = make([]byte, geo.groups)
+	}
+	groupLen := geo.nEntries * geo.entryLen
+	var attempts int64
+	for i := 0; i < nChunks; i++ {
+		g0 := i * chunkGroups
+		g1 := g0 + chunkGroups
+		if g1 > geo.groups {
+			g1 = geo.groups
+		}
+		body, cerr := s.nextStreamChunk(ctx, sr, wire.StreamSingle, geo, i, g1-g0, groupLen)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if berr := s.checkBudget(ctx); berr != nil {
+			return nil, berr
+		}
+		copy(table[g0*groupLen:], body)
+		// A decryption failure against the snapshot is a staleness
+		// rejection (the proxy's counter is behind): abort now, record
+		// untouched, remaining frames drain as audited orphans.
+		a, derr := decryptRange(geo, snapRec, table, g0, g1, newLabels, newDbits)
+		attempts += a
+		if derr != nil {
+			return nil, derr
+		}
+	}
+	if eerr := s.nextStreamEnd(ctx, sr, wire.StreamSingle, nChunks); eerr != nil {
+		return nil, eerr
+	}
+	if err := s.checkBudget(ctx); err != nil {
+		return nil, err
+	}
+
+	// The response is retained by the transport's dedup cache, so it
+	// must be freshly allocated, never pooled.
+	labels := make([]byte, geo.groups*prf.Size)
+	bp := recPool.Get().(*[]byte)
+	applied := false
+	err = s.store.Update(key, func(old []byte) ([]byte, error) {
+		rec, perr := parseLBLRecord(old, geo.mode, geo.groups)
+		if perr != nil {
+			return nil, perr
+		}
+		newRec := *bp
+		if cap(newRec) < len(old) {
+			newRec = make([]byte, len(old))
+		} else {
+			newRec = newRec[:len(old)]
+		}
+		*bp = newRec
+		newRec[0] = byte(geo.mode)
+		dstLabels := newRec[1 : 1+geo.groups*prf.Size]
+		var dstDbits []byte
+		if geo.mode.hasDbits() {
+			dstDbits = newRec[1+geo.groups*prf.Size:]
+		}
+		if bytes.Equal(old, snap) {
+			// Fast path: the record is exactly the snapshot the chunks
+			// were decrypted against — install the precomputed labels.
+			copy(dstLabels, newLabels)
+			copy(dstDbits, newDbits)
+		} else {
+			a, derr := decryptRange(geo, rec, table, 0, geo.groups, dstLabels, dstDbits)
+			attempts += a
+			if derr != nil {
+				return nil, derr
+			}
+		}
+		copy(labels, dstLabels)
+		*bp = old
+		applied = true
+		return newRec, nil
+	})
+	if err != nil && applied {
+		*bp = nil
+	}
+	recPool.Put(bp)
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.ops.Add(1)
+	s.decryptAttempts.Add(attempts)
+	return labels, nil
+}
+
+// streamAccessBatch serves a batch stream: each chunk carries whole
+// per-key (key, claim, table) segments, applied through accessOne as
+// the chunk arrives — so the first keys' decryptions overlap the later
+// keys' garbling and wire time — and the single response frame is
+// identical to handleAccessBatch's. Keys in chunks that never arrive
+// are untouched; because earlier chunks may already have applied, the
+// proxy resolves an aborted batch stream by probing each key rather
+// than replaying bytes (pending.go).
+func (s *LBLServer) streamAccessBatch(ctx context.Context, r *wire.Reader, sr *transport.StreamReader) ([]byte, error) {
+	geo, err := readStreamGeometry(r)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.Uint32())
+	perChunk := int(r.Uint32())
+	nChunks := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > maxBatchAccesses {
+		return nil, fmt.Errorf("core: implausible batch size %d", n)
+	}
+	if perChunk <= 0 || perChunk > n || nChunks != (n+perChunk-1)/perChunk {
+		return nil, fmt.Errorf("core: implausible stream chunking %d×%d for %d accesses", nChunks, perChunk, n)
+	}
+	if err := s.checkBudget(ctx); err != nil {
+		return nil, err
+	}
+	sp := trace.StartChild(ctx, "server_decrypt")
+	defer sp.End()
+
+	segLen := prf.Size + lblClaimLen + geo.tableBytes()
+	stride := geo.groups * prf.Size
+	labelsBuf := make([]byte, n*stride)
+	errs := make([]error, n)
+	for c := 0; c < nChunks; c++ {
+		k0 := c * perChunk
+		k1 := k0 + perChunk
+		if k1 > n {
+			k1 = n
+		}
+		body, cerr := s.nextStreamChunk(ctx, sr, wire.StreamBatch, geo, c, k1-k0, segLen)
+		if cerr != nil {
+			return nil, cerr
+		}
+		// Fan this chunk's accesses out like the monolithic batch
+		// handler; the next chunk's wire time overlaps the decryption.
+		count := k1 - k0
+		workers := runtime.GOMAXPROCS(0)
+		if workers > count {
+			workers = count
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= count {
+						return
+					}
+					k := k0 + j
+					seg := body[j*segLen : (j+1)*segLen]
+					if err := s.checkBudget(ctx); err != nil {
+						errs[k] = err
+						continue
+					}
+					if err := s.checkEpoch(readClaim(seg[prf.Size : prf.Size+lblClaimLen])); err != nil {
+						errs[k] = err
+						continue
+					}
+					errs[k] = s.accessOne(string(seg[:prf.Size]), geo, seg[prf.Size+lblClaimLen:], labelsBuf[k*stride:(k+1)*stride])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if eerr := s.nextStreamEnd(ctx, sr, wire.StreamBatch, nChunks); eerr != nil {
+		return nil, eerr
+	}
+
 	out := wire.NewWriter(n * (1 + stride))
 	for i := range errs {
 		if errs[i] != nil {

@@ -51,6 +51,9 @@ type lblProxyObs struct {
 	batchRecover *obs.Histogram // parallel label recovery, per chunk
 	batchKeys    *obs.Counter   // accesses carried in batch chunks
 
+	streamRounds *obs.Counter // rounds carried by the chunked-streaming path
+	streamChunks *obs.Counter // chunk frames emitted on the streaming path
+
 	pendingSaved    *obs.Counter // rounds parked after ambiguous transport failures
 	pendingResolved *obs.Counter // parked rounds settled by at-most-once replay
 
@@ -92,6 +95,9 @@ func (p *LBLProxy) Instrument(reg *obs.Registry) {
 		batchRPC:     batchStage("rpc"),
 		batchRecover: batchStage("label_recover"),
 		batchKeys:    reg.Counter("ortoa_lbl_batch_accesses_total", "accesses carried in batch chunks"),
+
+		streamRounds: reg.Counter("ortoa_lbl_stream_rounds_total", "rounds carried by the chunked-streaming request path (MsgLBLAccessStream)"),
+		streamChunks: reg.Counter("ortoa_lbl_stream_chunks_total", "stream chunk frames emitted by the proxy"),
 
 		pendingSaved:    reg.Counter("ortoa_lbl_pending_rounds_total", "LBL rounds parked after an ambiguous transport failure"),
 		pendingResolved: reg.Counter("ortoa_lbl_pending_resolved_total", "parked LBL rounds settled by at-most-once replay"),

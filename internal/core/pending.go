@@ -47,11 +47,20 @@ import (
 type pendingRound struct {
 	id      uint64 // transport request id; the replay reuses it
 	msgType byte
-	req     []byte // exact request payload of the original attempt
-	batch   bool   // req is a MsgLBLAccessBatch frame
-	pos     int    // this key's index within the batch chunk
-	op      Op
-	value   []byte // written value (private copy), for write-back verification
+	// req is the exact request payload of the original attempt. It is
+	// nil for rounds that went out over the chunked-streaming path,
+	// whose table bytes lived in pooled chunk frames: a single access
+	// rebuilds a monolithic request at the same counter on resolution
+	// (the dedup cache replays by id alone if the original executed,
+	// and a rebuilt table is a fresh valid round at ct if it did not),
+	// while a streamed batch must probe per key instead — the server
+	// applies streamed chunks incrementally, so a byte replay could
+	// re-answer keys from chunks that already applied.
+	req   []byte
+	batch bool // the round was a MsgLBLAccessBatch-shaped batch
+	pos   int  // this key's index within the batch chunk
+	op    Op
+	value []byte // written value (private copy), for write-back verification
 }
 
 // pendingValue copies newValue for parking on a pendingRound; the
@@ -74,7 +83,20 @@ func pendingValue(op Op, newValue []byte) []byte {
 // caller must hold entry.mu.
 func (p *LBLProxy) resolvePending(key string, entry *counterEntry) error {
 	pr := entry.pending
-	resp, err := p.client.CallContextID(context.Background(), pr.id, pr.msgType, pr.req)
+	req := pr.req
+	if req == nil {
+		// A streamed round parked no bytes. Batches settle by probing
+		// (see pendingRound.req); single accesses rebuild a monolithic
+		// request at the parked counter and replay under the same id.
+		if pr.batch {
+			return p.probePending(key, entry)
+		}
+		var err error
+		if req, err = p.buildRequest(pr.op, key, pr.value, entry.ct); err != nil {
+			return fmt.Errorf("core: rebuilding streamed round for %q: %w", key, err)
+		}
+	}
+	resp, err := p.client.CallContextID(context.Background(), pr.id, pr.msgType, req)
 	switch {
 	case err == nil:
 		// One execution's response in hand — the original's, replayed

@@ -42,6 +42,8 @@ func ShapeClassify(msgType byte, payload []byte) (class uint64, strictReq, stric
 			return 0, false, false
 		}
 		return lblShapeClass(geo, n), true, false
+	case MsgLBLAccessStream:
+		return streamShapeClassify(payload)
 	case MsgTEEAccess:
 		return 0, true, true
 	case MsgEpochClaim:
@@ -51,6 +53,59 @@ func ShapeClassify(msgType byte, payload []byte) (class uint64, strictReq, stric
 		return 0, true, true
 	}
 	return 0, false, false
+}
+
+// streamShapeClassify classifies one frame of a chunked stream
+// (wire/stream.go). Every segment header field is fixed-width and
+// public (segment kind, sub-type, geometry, chunk index, element
+// count), so every stream request frame is strict: within a class the
+// length is fully determined. The single logical response rides on the
+// begin frame's class — strict for single accesses (a fixed label
+// block), distribution-tracked for batches (per-key error strings),
+// exactly like the monolithic encodings.
+func streamShapeClassify(payload []byte) (uint64, bool, bool) {
+	r := wire.NewReader(payload)
+	kind := r.Byte()
+	switch kind {
+	case wire.StreamBegin:
+		sub := r.Byte()
+		if sub == wire.StreamSingle {
+			r.Raw(prf.Size)
+			r.Raw(lblClaimLen)
+		}
+		mode := r.Byte()
+		groups := r.Uint32()
+		if r.Err() != nil {
+			return 0, false, false
+		}
+		return streamShapeClass(kind, sub, mode, groups, 0), true, sub == wire.StreamSingle
+	case wire.StreamChunk:
+		sub, mode, groups, _, count := wire.ReadStreamChunkHeader(r)
+		if r.Err() != nil {
+			return 0, false, false
+		}
+		// The chunk index is deliberately not folded in: all chunks of
+		// one class must be the same length, and merging indices makes
+		// the auditor check exactly that. Only the final short chunk
+		// differs, and its smaller count gives it its own class.
+		return streamShapeClass(kind, sub, mode, groups, uint64(count)), true, false
+	case wire.StreamEnd:
+		sub := r.Byte()
+		chunks := r.Uint32()
+		if r.Err() != nil {
+			return 0, false, false
+		}
+		return streamShapeClass(kind, sub, 0, 0, uint64(chunks)), true, false
+	}
+	return 0, false, false
+}
+
+// streamShapeClass packs a stream frame's public parameters into one
+// class value, disjoint from lblShapeClass by the 0xA tag in the top
+// nibble. Fields occupy non-overlapping bit ranges for every realistic
+// configuration (groups < 2^24, count ≤ max(groups, batch size)).
+func streamShapeClass(kind, sub, mode byte, groups uint32, n uint64) uint64 {
+	return uint64(0xA)<<60 ^ uint64(kind)<<56 ^ uint64(sub)<<52 ^ uint64(mode)<<48 ^ uint64(groups)<<24 ^ n
 }
 
 // lblShapeClass packs the public geometry parameters and batch size

@@ -44,22 +44,32 @@ func randomLabel() ([]byte, error) {
 	return l, nil
 }
 
+// labelState returns (creating on first use) the simulator's stored
+// per-group labels for key.
+func (s *LBLSimulator) labelState(key string) ([][]byte, error) {
+	if labels, ok := s.state[key]; ok {
+		return labels, nil
+	}
+	labels := make([][]byte, s.cfg.Groups())
+	for g := range labels {
+		l, err := randomLabel()
+		if err != nil {
+			return nil, err
+		}
+		labels[g] = l
+	}
+	s.state[key] = labels
+	return labels, nil
+}
+
 // Simulate produces a server-bound access message for key, shaped
 // exactly like a real LBL request, from dummy values only.
 func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
 	cfg := s.cfg
 	groups := cfg.Groups()
-	labels, ok := s.state[key]
-	if !ok {
-		labels = make([][]byte, groups)
-		for g := range labels {
-			l, err := randomLabel()
-			if err != nil {
-				return nil, err
-			}
-			labels[g] = l
-		}
-		s.state[key] = labels
+	labels, err := s.labelState(key)
+	if err != nil {
+		return nil, err
 	}
 
 	nEntries := cfg.Mode.entries()
@@ -128,6 +138,88 @@ func (s *LBLSimulator) Simulate(key string) ([]byte, error) {
 		labels[g] = nl
 	}
 	return w.Bytes(), nil
+}
+
+// SimulateStream produces the frame payload sequence of one streamed
+// access (MsgLBLAccessStream begin/chunk/end, wire/stream.go) for key,
+// shaped exactly like the real proxy's stream, from dummy values only.
+// The ROR-RW projection extends frame-by-frame: real read streams,
+// real write streams, and simulated streams have identical frame
+// counts, per-frame lengths, and headers.
+func (s *LBLSimulator) SimulateStream(key string) ([][]byte, error) {
+	cfg := s.cfg
+	groups := cfg.Groups()
+	labels, err := s.labelState(key)
+	if err != nil {
+		return nil, err
+	}
+
+	nEntries := cfg.Mode.entries()
+	entryLen := cfg.Mode.entryLen()
+	plainLen := cfg.Mode.entryPlainLen()
+	cg := cfg.streamChunkGroups()
+	nChunks := cfg.streamChunks()
+
+	frames := make([][]byte, 0, nChunks+2)
+	bw := wire.NewWriter(streamBeginSingleLen)
+	bw.Byte(wire.StreamBegin)
+	bw.Byte(wire.StreamSingle)
+	ek := make([]byte, prf.Size)
+	if _, err := rand.Read(ek); err != nil {
+		return nil, err
+	}
+	bw.Raw(ek)
+	putClaim(bw.Extend(lblClaimLen), RangeOf(key), 0)
+	bw.Byte(byte(cfg.Mode))
+	bw.Uint32(uint32(groups))
+	bw.Uint32(uint32(entryLen))
+	bw.Uint32(uint32(cg))
+	bw.Uint32(uint32(nChunks))
+	frames = append(frames, bw.Bytes())
+
+	shuf := newCryptoShuffler()
+	sealer := secretbox.NewLabelSealer()
+	plain := make([]byte, plainLen)
+	junkKey := make([]byte, prf.Size)
+	zeroPlain := make([]byte, plainLen)
+	var perm [16]int
+	for i := 0; i < nChunks; i++ {
+		g0 := i * cg
+		g1 := g0 + cg
+		if g1 > groups {
+			g1 = groups
+		}
+		cw := wire.NewWriter(wire.StreamChunkHeaderLen + (g1-g0)*nEntries*entryLen)
+		wire.PutStreamChunkHeader(cw, wire.StreamSingle, byte(cfg.Mode), uint32(groups), uint32(i), uint32(g1-g0))
+		table := cw.Extend((g1 - g0) * nEntries * entryLen)
+		for g := g0; g < g1; g++ {
+			nl, err := randomLabel()
+			if err != nil {
+				return nil, err
+			}
+			shuf.perm(nEntries, perm[:])
+			slots := table[(g-g0)*nEntries*entryLen : (g-g0+1)*nEntries*entryLen]
+			copy(plain, nl)
+			if err := sealer.SealInto(slots[perm[0]*entryLen:(perm[0]+1)*entryLen], labels[g], plain); err != nil {
+				return nil, err
+			}
+			for e := 1; e < nEntries; e++ {
+				if _, err := rand.Read(junkKey); err != nil {
+					return nil, err
+				}
+				slot := perm[e]
+				if err := sealer.SealInto(slots[slot*entryLen:(slot+1)*entryLen], junkKey, zeroPlain); err != nil {
+					return nil, err
+				}
+			}
+			labels[g] = nl
+		}
+		frames = append(frames, cw.Bytes())
+	}
+	ew := wire.NewWriter(wire.StreamEndLen)
+	wire.PutStreamEnd(ew, wire.StreamSingle, uint32(nChunks))
+	frames = append(frames, ew.Bytes())
+	return frames, nil
 }
 
 // A TEESimulator emits TEE-ORTOA-shaped requests from dummy values

@@ -40,7 +40,12 @@ type BenchReport struct {
 	// It only reflects multicore scaling when cpus_available >= 8;
 	// regenerate with `make bench-json` on the target hardware.
 	TableBuildSpeedup8w float64 `json:"table_build_speedup_8w_vs_1w"`
-	Note                string  `json:"note,omitempty"`
+	// Stream is the streamed-vs-monolithic end-to-end point over a
+	// calibrated netsim link (see StreamBench). Additive: baselines
+	// without it stay comparable, and the regression gate ignores it
+	// (end-to-end numbers fold in simulated link time, not just code).
+	Stream *StreamBench `json:"stream,omitempty"`
+	Note   string       `json:"note,omitempty"`
 }
 
 // benchWorkerCounts are the fan-outs BENCH_5.json records.
@@ -239,6 +244,18 @@ func Bench(opt Options) (*Table, error) {
 		report.TableBuildSpeedup8w = report.TableBuild[2].OpsPerSec / report.TableBuild[0].OpsPerSec
 	}
 
+	// End-to-end streamed-vs-monolithic point at a size where one table
+	// is a meaningful wire payload but the pair still runs in seconds.
+	streamValue, streamRounds := 4096, 3
+	if opt.Quick {
+		streamValue, streamRounds = 1024, 2
+	}
+	sb, err := measureStreamBench(streamValue, streamRounds)
+	if err != nil {
+		return nil, fmt.Errorf("stream point: %w", err)
+	}
+	report.Stream = &sb
+
 	if opt.BenchOut != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -266,7 +283,9 @@ func Bench(opt Options) (*Table, error) {
 			fmt.Sprintf("%.0f", pt.BytesPerOp), fmt.Sprintf("%.1f", pt.AllocsPerOp))
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("table-build speedup 8w vs 1w: %.2fx on %d CPU(s)", report.TableBuildSpeedup8w, report.NumCPU))
+		fmt.Sprintf("table-build speedup 8w vs 1w: %.2fx on %d CPU(s)", report.TableBuildSpeedup8w, report.NumCPU),
+		fmt.Sprintf("stream point (%dB values, %d chunks): monolithic %.1f ms/op vs streamed %.1f ms/op = %.2fx on the calibrated link",
+			sb.ValueSize, sb.Chunks, sb.MonoMsPerOp, sb.StreamMsPerOp, sb.Speedup))
 	if report.Note != "" {
 		t.Notes = append(t.Notes, report.Note)
 	}

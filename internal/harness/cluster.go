@@ -92,6 +92,11 @@ type Config struct {
 	// probe spiral (multi-proxy only). Zero picks a harness default
 	// large enough for every built-in workload.
 	ProxyReconcileScan int
+	// StreamChunkBytes, when positive, puts every LBL proxy on the
+	// chunked-streaming request path (core.LBLConfig.StreamChunkBytes):
+	// access tables cross the WAN in sealed chunks of about this many
+	// bytes as they are built, overlapping garbling with transmission.
+	StreamChunkBytes int
 	// Admission, when non-nil, installs deadline-aware admission
 	// control on every shard server and (in multi-proxy deployments)
 	// every proxy front end: bounded concurrency, LIFO queueing under
@@ -293,7 +298,7 @@ func newShard(cfg Config, idx int, auds clusterAuditors) (*shard, error) {
 		lblSrv := core.NewLBLServer(store)
 		lblSrv.Instrument(cfg.Metrics)
 		lblSrv.Register(srv)
-		lcfg := core.LBLConfig{ValueSize: cfg.ValueSize, Mode: cfg.LBLMode}
+		lcfg := core.LBLConfig{ValueSize: cfg.ValueSize, Mode: cfg.LBLMode, StreamChunkBytes: cfg.StreamChunkBytes}
 		if cfg.Durability != nil {
 			lcfg.ReconcileScan = cfg.Durability.ReconcileScan
 		}

@@ -122,10 +122,11 @@ func (pn *proxyNode) start(cfg Config, sh *shard, f *prf.PRF, instrument bool) e
 		scan = defaultProxyReconcileScan
 	}
 	proxy, err := core.NewLBLProxy(core.LBLConfig{
-		ValueSize:     cfg.ValueSize,
-		Mode:          cfg.LBLMode,
-		ReconcileScan: scan,
-		AutoAdopt:     true,
+		ValueSize:        cfg.ValueSize,
+		Mode:             cfg.LBLMode,
+		ReconcileScan:    scan,
+		AutoAdopt:        true,
+		StreamChunkBytes: cfg.StreamChunkBytes,
 	}, f, client)
 	if err != nil {
 		client.Close()

@@ -61,6 +61,13 @@ const (
 	flagResponse = 1 << 0
 	flagError    = 1 << 1
 	flagBusy     = 1 << 2
+	// flagStream marks a request frame that belongs to a chunked
+	// stream: the first such frame for a (session, id) opens the
+	// stream and dispatches the handler; later frames with the same id
+	// are continuation chunks consumed by that handler via
+	// StreamFrom(ctx). The server answers the whole stream with the
+	// single response frame the handler returns.
+	flagStream = 1 << 3
 )
 
 // MsgBusy is the message type of an admission-rejection response: the
@@ -117,6 +124,15 @@ func IsReplayEvicted(err error) bool {
 	return errors.As(err, &re) && re.Msg == replayEvictedMsg
 }
 
+// A NotSentError reports a streamed call that failed before any frame
+// went on the wire: the outcome is definite — the peer never saw the
+// request — so Ambiguous reports false for it and stateful callers may
+// rebuild and reissue freely.
+type NotSentError struct{ Err error }
+
+func (e *NotSentError) Error() string { return "transport: not sent: " + e.Err.Error() }
+func (e *NotSentError) Unwrap() error { return e.Err }
+
 // AmbiguousMsgPrefix marks a RemoteError whose handler itself hit an
 // ambiguous failure one hop further upstream (a proxy whose server
 // round's outcome is unknown). Relays prefix their error text with it
@@ -171,6 +187,12 @@ func IsBusy(err error) bool {
 // issuing a conflicting request.
 func Ambiguous(err error) bool {
 	if err == nil {
+		return false
+	}
+	var ns *NotSentError
+	if errors.As(err, &ns) {
+		// The stream failed before its first frame: nothing reached the
+		// peer, so the call definitively did not execute.
 		return false
 	}
 	var re *RemoteError
@@ -486,6 +508,73 @@ func (s *Server) untrack(conn net.Conn) {
 	}
 }
 
+// streamChunkBuffer bounds how many undelivered chunk frames a stream
+// handler can fall behind by before the connection's read loop blocks,
+// back-pressuring the sender through TCP instead of buffering an
+// unbounded table in server memory.
+const streamChunkBuffer = 8
+
+// A StreamReader delivers the continuation chunk payloads of a
+// streamed request (flagStream) to its handler, in arrival order.
+type StreamReader struct {
+	ch       chan []byte
+	connDone chan struct{} // closed when the carrying connection's read loop exits
+}
+
+// Next returns the next chunk payload, blocking until one arrives, ctx
+// expires, or the carrying connection is lost (no more chunks can ever
+// arrive).
+func (sr *StreamReader) Next(ctx context.Context) ([]byte, error) {
+	select {
+	case p := <-sr.ch:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-sr.ch:
+		return p, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-sr.connDone:
+		// Drain anything the read loop delivered before dying.
+		select {
+		case p := <-sr.ch:
+			return p, nil
+		default:
+			return nil, errors.New("transport: stream connection lost")
+		}
+	}
+}
+
+type streamCtxKey struct{}
+
+// StreamFrom returns the request's StreamReader when the handler was
+// dispatched for a streamed request, or nil for a monolithic one.
+func StreamFrom(ctx context.Context) *StreamReader {
+	sr, _ := ctx.Value(streamCtxKey{}).(*StreamReader)
+	return sr
+}
+
+// streamState is the read loop's record of one active inbound stream.
+type streamState struct {
+	ch   chan []byte
+	done chan struct{} // closed when the stream's handler has produced its response
+}
+
+// auditFrame records a single direction-only frame observation (a
+// stream continuation chunk, which has no paired response) with the
+// shape auditor, if installed.
+func (s *Server) auditFrame(msgType byte, payload []byte) {
+	s.shapeMu.RLock()
+	a, classify := s.shapeAud, s.shapeClassify
+	s.shapeMu.RUnlock()
+	if a == nil {
+		return
+	}
+	class, strictReq, _ := classify(msgType, payload)
+	a.Observe("in", msgType, class, strictReq, len(payload))
+}
+
 // serveConn reads request frames until the connection fails or Close
 // interrupts the read via a deadline; either way it then waits for
 // in-flight handlers to write their responses before closing the conn,
@@ -495,8 +584,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wmu sync.Mutex // serializes response frames
 	var pending sync.WaitGroup
 	defer pending.Wait()
+	// connDone closes before pending.Wait runs (defers are LIFO), so a
+	// stream handler blocked on chunks that will never arrive wakes up
+	// instead of deadlocking shutdown.
+	connDone := make(chan struct{})
+	defer close(connDone)
+	// streams tracks active inbound streams by request id. Only this
+	// read loop touches the map; handlers see the chunk channel.
+	var streams map[uint64]*streamState
 	for {
-		sid, id, tr, budget, msgType, _, payload, err := readFrame(conn)
+		sid, id, tr, budget, msgType, flags, payload, err := readFrame(conn)
 		if err != nil {
 			return // closed, draining, or corrupt; stop reading
 		}
@@ -512,52 +609,115 @@ func (s *Server) serveConn(conn net.Conn) {
 			m.framesIn.Inc()
 			m.bytesIn.Add(int64(headerSize + len(payload)))
 		}
+		var sr *StreamReader
+		if flags&flagStream != 0 {
+			isBegin := len(payload) > 0 && payload[0] == wire.StreamBegin
+			if st, ok := streams[id]; ok {
+				stale := false
+				select {
+				case <-st.done:
+					// The handler already answered (shed, errored, or
+					// completed): the id's stream is over.
+					stale = true
+					delete(streams, id)
+				default:
+				}
+				if !stale {
+					// Continuation chunk: audit it as the adversary sees
+					// it, then feed the handler. A full buffer blocks
+					// this read loop — deliberate backpressure — unless
+					// the handler finishes first.
+					s.auditFrame(msgType, payload)
+					s.observe(msgType, len(payload), 0)
+					select {
+					case st.ch <- payload:
+					case <-st.done:
+						delete(streams, id)
+					}
+					continue
+				}
+			}
+			if !isBegin {
+				// A chunk with no open stream: its handler already
+				// finished (early error, shed, or dedup replay). The
+				// frame still crossed the wire, so it is still audited,
+				// then dropped.
+				s.auditFrame(msgType, payload)
+				s.observe(msgType, len(payload), 0)
+				continue
+			}
+			// Begin frame: open the stream, then dispatch the begin
+			// payload like a normal request with the reader attached.
+			// (A retried begin re-dispatches here and is answered from
+			// the dedup cache like any monolithic retry.)
+			if streams == nil {
+				streams = make(map[uint64]*streamState)
+			}
+			st := &streamState{ch: make(chan []byte, streamChunkBuffer), done: make(chan struct{})}
+			streams[id] = st
+			sr = &StreamReader{ch: st.ch, connDone: connDone}
+			pending.Add(1)
+			go func() {
+				defer pending.Done()
+				defer close(st.done)
+				s.serveRequest(conn, &wmu, sid, id, tr, deadline, msgType, payload, m, sr)
+			}()
+			continue
+		}
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
-			var flags byte
-			var resp []byte
-			msgOut := msgType
-			if adm := s.admission.Load(); adm != nil {
-				switch adm.admit(deadline) {
-				case admitRun:
-					flags, resp = s.respondReleasing(adm, sid, id, tr, deadline, msgType, payload, m)
-				default: // admitShed, admitExpired — one wire shape for both
-					msgOut, flags, resp = MsgBusy, flagResponse|flagBusy, adm.busyPayload()
-					s.auditBusy(msgType, payload, resp)
-				}
-			} else {
-				flags, resp = s.respond(sid, id, tr, deadline, msgType, payload, m)
-			}
-			if m != nil {
-				m.framesOut.Inc()
-				m.bytesOut.Add(int64(headerSize + len(resp)))
-			}
-			s.observe(msgType, len(payload), len(resp))
-			if msgOut != MsgBusy {
-				s.auditExchange(msgType, payload, resp, flags)
-			}
-			wmu.Lock()
-			// Responses echo the request's trace ref, so a traced
-			// caller can stitch both directions into one trace.
-			werr := writeFrame(conn, sid, id, tr, 0, msgOut, flags, resp)
-			wmu.Unlock()
-			if werr != nil {
-				// A connection that cannot carry responses must not keep
-				// accepting requests: tear it down so the read loop exits
-				// and the client's pool redials. The response itself is
-				// preserved in the dedup cache for the client's retry.
-				conn.Close()
-			}
+			s.serveRequest(conn, &wmu, sid, id, tr, deadline, msgType, payload, m, nil)
 		}()
 	}
 }
 
+// serveRequest admits, executes, and answers one request frame (the
+// begin frame, for a streamed request).
+func (s *Server) serveRequest(conn net.Conn, wmu *sync.Mutex, sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics, sr *StreamReader) {
+	var flags byte
+	var resp []byte
+	msgOut := msgType
+	if adm := s.admission.Load(); adm != nil {
+		switch adm.admit(deadline) {
+		case admitRun:
+			flags, resp = s.respondReleasing(adm, sid, id, tr, deadline, msgType, payload, m, sr)
+		default: // admitShed, admitExpired — one wire shape for both
+			msgOut, flags, resp = MsgBusy, flagResponse|flagBusy, adm.busyPayload()
+			s.auditBusy(msgType, payload, resp)
+		}
+	} else {
+		flags, resp = s.respond(sid, id, tr, deadline, msgType, payload, m, sr)
+	}
+	if m != nil {
+		m.framesOut.Inc()
+		m.bytesOut.Add(int64(headerSize + len(resp)))
+	}
+	s.observe(msgType, len(payload), len(resp))
+	if msgOut != MsgBusy {
+		s.auditExchange(msgType, payload, resp, flags)
+	}
+	wmu.Lock()
+	// Responses echo the request's trace ref, so a traced
+	// caller can stitch both directions into one trace.
+	werr := writeFrame(conn, sid, id, tr, 0, msgOut, flags, resp)
+	wmu.Unlock()
+	if werr != nil {
+		// A connection that cannot carry responses must not keep
+		// accepting requests: tear it down so the read loop exits
+		// and the client's pool redials. The response itself is
+		// preserved in the dedup cache for the client's retry.
+		conn.Close()
+	}
+}
+
 // respondReleasing runs respond under an admission slot, releasing it
-// however the handler exits.
-func (s *Server) respondReleasing(adm *admission, sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
+// however the handler exits. A streamed request holds its one slot for
+// the whole stream: admission happened at the begin frame, and chunks
+// ride the already-admitted call.
+func (s *Server) respondReleasing(adm *admission, sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics, sr *StreamReader) (byte, []byte) {
 	defer adm.release()
-	return s.respond(sid, id, tr, deadline, msgType, payload, m)
+	return s.respond(sid, id, tr, deadline, msgType, payload, m, sr)
 }
 
 // auditBusy records a shed exchange with the shape auditor: the
@@ -581,7 +741,7 @@ func (s *Server) auditBusy(msgType byte, payload, resp []byte) {
 // replay if this (session, id) already completed, otherwise one
 // handler execution whose outcome is cached before it is written, so a
 // response lost on the wire can still be replayed to a retry.
-func (s *Server) respond(sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics) (byte, []byte) {
+func (s *Server) respond(sid, id uint64, tr trace.SpanContext, deadline time.Time, msgType byte, payload []byte, m *serverMetrics, sr *StreamReader) (byte, []byte) {
 	var sess *dedupSession
 	var entry *dedupEntry
 	if sid != 0 {
@@ -614,6 +774,9 @@ func (s *Server) respond(sid, id uint64, tr trace.SpanContext, deadline time.Tim
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
+	}
+	if sr != nil {
+		ctx = context.WithValue(ctx, streamCtxKey{}, sr)
 	}
 	var sp *trace.Span
 	if t := s.tracer.Load(); t != nil {
@@ -981,6 +1144,159 @@ func (c *Client) CallContextID(ctx context.Context, id uint64, msgType byte, pay
 		m.callErrors.Inc()
 	}
 	return resp, err
+}
+
+// errStreamDone is the sentinel send returns once the peer has already
+// answered (busy, error, or early response): the producer should stop
+// sending and let the stream call return that response.
+var errStreamDone = errors.New("transport: stream already answered")
+
+// CallStreamContextID issues one logical request as a chunked stream
+// of frames sharing the request id: produce is called with a send
+// function and emits the begin, chunk, and end payloads in order; the
+// call then blocks for the single response frame. The payload passed
+// to send is copied before send returns, so the producer may reuse one
+// buffer across chunks — peak memory stays bounded by the chunk size.
+//
+// Streams are conn-affine (every frame rides one pooled connection, in
+// order) and never retried by the transport: a failure after the first
+// frame is ambiguous exactly like a monolithic send failure, and a
+// failure before it is reported as a *NotSentError, which Ambiguous
+// classifies as definite. send returns errStreamDone (an internal
+// sentinel) once the peer has answered early; produce should return
+// any error from send unchanged.
+func (c *Client) CallStreamContextID(ctx context.Context, id uint64, msgType byte, produce func(send func(payload []byte) error) error) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, &NotSentError{Err: ErrClosed}
+	}
+	m := c.metrics.Load()
+	if m != nil {
+		if m.inflight.Inc() > int64(len(c.conns)) {
+			m.poolSaturated.Inc()
+		}
+		start := time.Now()
+		defer func() {
+			m.callLatency.Since(start)
+			m.inflight.Dec()
+		}()
+	}
+	cc := c.pickConn()
+	if cc == nil {
+		if m != nil {
+			m.callErrors.Inc()
+		}
+		return nil, &NotSentError{Err: ErrNoLiveConns}
+	}
+	sp := trace.StartChild(ctx, "transport_stream")
+	if sp == nil {
+		if t := c.tracer.Load(); t != nil {
+			sp = t.StartRoot("transport_stream")
+		}
+	}
+	defer sp.End()
+	if c.opts.CallTimeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+		ctx = actx
+	}
+	resp, err := cc.callStream(ctx, id, sp.Context(), msgType, produce)
+	if err != nil && m != nil {
+		m.callErrors.Inc()
+	}
+	return resp, err
+}
+
+// callStream runs one streamed call on this connection. All frames are
+// written under wmu in producer order, so chunks arrive in sequence.
+func (cc *clientConn) callStream(ctx context.Context, id uint64, tr trace.SpanContext, msgType byte, produce func(send func(payload []byte) error) error) ([]byte, error) {
+	pc := pendingCall{ch: make(chan result, 1), msgType: msgType}
+	aud, classify := cc.client.shape()
+	registered := false
+	var conn net.Conn // pinned at registration: the whole stream rides one physical conn
+	var early *result
+	send := func(payload []byte) error {
+		if early != nil {
+			return errStreamDone
+		}
+		if registered {
+			// An early response (busy, handler error) aborts the
+			// producer: the remaining chunks would only be dropped.
+			select {
+			case res := <-pc.ch:
+				early = &res
+				return errStreamDone
+			default:
+			}
+		}
+		if len(payload) > MaxFrameSize-minFrameLen {
+			return ErrFrameTooLarge
+		}
+		// The budget restamps on every frame, so the server's
+		// rehydrated deadline tracks the caller's true remaining time
+		// however long the stream takes to produce.
+		budget, err := callBudget(ctx)
+		if err != nil {
+			return err
+		}
+		if aud != nil {
+			class, strictReq, strictResp := classify(msgType, payload)
+			if !registered {
+				// The response is audited under the begin frame's class.
+				pc.class, pc.strictResp = class, strictResp
+			}
+			aud.Observe("out", msgType, class, strictReq, len(payload))
+		}
+		if !registered {
+			cc.mu.Lock()
+			if cc.dead != nil {
+				err := cc.dead
+				cc.mu.Unlock()
+				return err
+			}
+			conn = cc.conn
+			cc.pending[id] = pc
+			cc.mu.Unlock()
+			registered = true
+		}
+		cc.wmu.Lock()
+		err = writeFrame(conn, cc.client.session, id, tr, budget, msgType, flagStream, payload)
+		cc.wmu.Unlock()
+		if err != nil {
+			return fmt.Errorf("transport: stream send: %w", err)
+		}
+		cc.client.bytesSent.Add(int64(headerSize + len(payload)))
+		return nil
+	}
+	perr := produce(send)
+	if perr != nil && !errors.Is(perr, errStreamDone) {
+		if registered {
+			cc.mu.Lock()
+			delete(cc.pending, id)
+			cc.mu.Unlock()
+			// At least the begin frame may have reached the peer: the
+			// outcome is unknown, exactly like a monolithic send failure.
+			return nil, perr
+		}
+		return nil, &NotSentError{Err: perr}
+	}
+	if !registered {
+		// produce sent nothing and reported success — a producer bug,
+		// but a definite one.
+		return nil, &NotSentError{Err: errors.New("transport: stream produced no frames")}
+	}
+	cc.client.calls.Add(1)
+	if early != nil {
+		return early.payload, early.err
+	}
+	select {
+	case res := <-pc.ch:
+		return res.payload, res.err
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }
 
 func (c *Client) callRetry(ctx context.Context, id uint64, msgType byte, payload []byte, m *clientMetrics) ([]byte, error) {

@@ -1,0 +1,71 @@
+package wire
+
+// Stream segment encoding for chunked multi-frame requests
+// (MsgLBLAccessStream): a logical request is carried as one begin
+// frame, one or more chunk frames, and one end frame, all sharing the
+// same session/request id on one connection. Every segment header
+// field is fixed-width, so within a shape class (segment kind,
+// sub-type, geometry, and element count) frame lengths are invariant
+// whatever operation the stream carries — the same property the
+// monolithic encodings have, extended frame-by-frame.
+
+// Stream segment kinds, the first byte of every stream frame payload.
+const (
+	// StreamBegin opens a stream: geometry and chunk-count commitment.
+	StreamBegin byte = 0x01
+	// StreamChunk carries one chunk of sealed payload.
+	StreamChunk byte = 0x02
+	// StreamEnd closes a stream, re-committing the chunk count so a
+	// truncated stream is distinguishable from a complete one.
+	StreamEnd byte = 0x03
+)
+
+// Stream sub-types, the second byte of every stream frame payload:
+// what one chunk element is.
+const (
+	// StreamSingle streams one access's table; chunk elements are
+	// sealed groups.
+	StreamSingle byte = 0x00
+	// StreamBatch streams a batch of accesses; chunk elements are whole
+	// per-key segments (key, claim, table).
+	StreamBatch byte = 0x01
+)
+
+// StreamChunkHeaderLen is the fixed width of a chunk frame's header:
+// kind, sub, mode, then little-endian u32 groups, index, and count.
+// The geometry fields repeat on every chunk so each frame is
+// independently classifiable by a shape auditor that keeps no
+// cross-frame state.
+const StreamChunkHeaderLen = 3 + 4 + 4 + 4
+
+// PutStreamChunkHeader appends a chunk frame's fixed-width header.
+func PutStreamChunkHeader(w *Writer, sub, mode byte, groups, index, count uint32) {
+	w.Byte(StreamChunk)
+	w.Byte(sub)
+	w.Byte(mode)
+	w.Uint32(groups)
+	w.Uint32(index)
+	w.Uint32(count)
+}
+
+// ReadStreamChunkHeader consumes a chunk frame's header after the kind
+// byte has already been read.
+func ReadStreamChunkHeader(r *Reader) (sub, mode byte, groups, index, count uint32) {
+	sub = r.Byte()
+	mode = r.Byte()
+	groups = r.Uint32()
+	index = r.Uint32()
+	count = r.Uint32()
+	return sub, mode, groups, index, count
+}
+
+// StreamEndLen is the fixed width of an end frame: kind, sub, and the
+// little-endian u32 chunk count.
+const StreamEndLen = 2 + 4
+
+// PutStreamEnd appends an end frame's payload.
+func PutStreamEnd(w *Writer, sub byte, chunks uint32) {
+	w.Byte(StreamEnd)
+	w.Byte(sub)
+	w.Uint32(chunks)
+}

@@ -403,6 +403,15 @@ type ClientConfig struct {
 	// peer's ranges; pair with ReconcileScan so adopted counters rebase
 	// (the adopter starts from its own, possibly stale, snapshot).
 	AutoAdopt bool
+	// StreamChunk, when positive, streams each LBL access table to the
+	// server in sealed chunks of about this many bytes as they are
+	// built (LBL only): the server trial-decrypts chunk by chunk while
+	// later chunks are still being garbled and in flight, pipelining
+	// proxy CPU against the WAN, and the proxy's peak table memory per
+	// access drops to roughly one chunk. Still one logical request and
+	// one response. Zero keeps the monolithic single-frame request;
+	// tables that fit in one chunk fall back to it automatically.
+	StreamChunk int
 	// Metrics, when non-nil, instruments the trusted side: transport
 	// and per-stage access metrics are registered with it (serve them
 	// with ServeMetrics). Nil runs without observability overhead.
@@ -494,7 +503,7 @@ func NewClient(cfg ClientConfig, dial func() (net.Conn, error)) (*Client, error)
 			rpc.Close()
 			return nil, err
 		}
-		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode, ReconcileScan: cfg.ReconcileScan, AutoAdopt: cfg.AutoAdopt}, f, rpc)
+		proxy, err := core.NewLBLProxy(core.LBLConfig{ValueSize: cfg.ValueSize, Mode: mode, ReconcileScan: cfg.ReconcileScan, AutoAdopt: cfg.AutoAdopt, StreamChunkBytes: cfg.StreamChunk}, f, rpc)
 		if err != nil {
 			rpc.Close()
 			return nil, err
